@@ -1,0 +1,160 @@
+//! The [`Attack`] abstraction and its result types.
+
+use hmd_tabular::{Class, Dataset, TabularError};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::AdvError;
+
+/// The outcome of perturbing one malware sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerturbedSample {
+    /// The adversarial feature vector.
+    pub features: Vec<f64>,
+    /// Whether the imperceptibility evaluator classified it as benign.
+    pub evades: bool,
+    /// Weighted perturbation norm `‖r ⊙ v‖₂`.
+    pub weighted_norm: f64,
+    /// Optimization iterations spent.
+    pub iterations: usize,
+}
+
+/// The outcome of an attack campaign over a malware dataset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttackResult {
+    /// The adversarial samples, labeled [`Class::Adversarial`], in input
+    /// row order.
+    pub adversarial: Dataset,
+    /// Per-sample outcomes aligned with `adversarial` rows.
+    pub outcomes: Vec<PerturbedSample>,
+}
+
+impl AttackResult {
+    /// Fraction of samples that evade the imperceptibility evaluator —
+    /// the paper's attack success rate (reported at 100% for LowProFool).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let ok = self.outcomes.iter().filter(|o| o.evades).count();
+        ok as f64 / self.outcomes.len() as f64
+    }
+
+    /// Mean weighted perturbation norm over successful samples.
+    #[must_use]
+    pub fn mean_perturbation(&self) -> f64 {
+        let succ: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.evades)
+            .map(|o| o.weighted_norm)
+            .collect();
+        if succ.is_empty() {
+            return 0.0;
+        }
+        succ.iter().sum::<f64>() / succ.len() as f64
+    }
+
+    /// Only the evading samples, as a dataset (what an attacker deploys).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset subsetting errors.
+    pub fn evading_subset(&self) -> Result<Dataset, TabularError> {
+        let idx: Vec<usize> = self
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.evades)
+            .map(|(i, _)| i)
+            .collect();
+        self.adversarial.subset(&idx)
+    }
+}
+
+/// An adversarial evasion attack on tabular HPC feature vectors.
+///
+/// Implementations perturb malware rows so an ML detector classifies them
+/// as benign while keeping the perturbation imperceptible (small weighted
+/// norm, within physical feature bounds).
+pub trait Attack: Send + std::fmt::Debug {
+    /// Attack name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Perturbs one malware feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attack was not fitted or `row` has the
+    /// wrong width.
+    fn perturb_row(&self, row: &[f64], rng: &mut StdRng) -> Result<PerturbedSample, AdvError>;
+
+    /// Runs the attack over every row of `malware` (rows are expected to
+    /// be legitimate malware samples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Attack::perturb_row`] errors.
+    fn generate(&self, malware: &Dataset, seed: u64) -> Result<AttackResult, AdvError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adversarial = Dataset::new(malware.feature_names().to_vec())?;
+        let mut outcomes = Vec::with_capacity(malware.len());
+        for (row, _) in malware {
+            let outcome = self.perturb_row(row, &mut rng)?;
+            adversarial.push(&outcome.features, Class::Adversarial)?;
+            outcomes.push(outcome);
+        }
+        Ok(AttackResult { adversarial, outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(evades: Vec<bool>) -> AttackResult {
+        let mut adversarial = Dataset::new(vec!["x".into()]).unwrap();
+        let outcomes = evades
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                adversarial.push(&[i as f64], Class::Adversarial).unwrap();
+                PerturbedSample {
+                    features: vec![i as f64],
+                    evades: e,
+                    weighted_norm: 0.5,
+                    iterations: 3,
+                }
+            })
+            .collect();
+        AttackResult { adversarial, outcomes }
+    }
+
+    #[test]
+    fn success_rate_counts_evaders() {
+        let r = result_with(vec![true, false, true, true]);
+        assert!((r.success_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_has_zero_rates() {
+        let r = result_with(vec![]);
+        assert_eq!(r.success_rate(), 0.0);
+        assert_eq!(r.mean_perturbation(), 0.0);
+    }
+
+    #[test]
+    fn evading_subset_filters() {
+        let r = result_with(vec![true, false, true]);
+        let e = r.evading_subset().unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.row(1).unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn mean_perturbation_over_successes_only() {
+        let r = result_with(vec![true, false]);
+        assert!((r.mean_perturbation() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Baseline attacks LowProFool is compared against: targeted FGSM and
+//! unguided random noise.
+
+use hmd_ml::{Classifier, LogisticRegression};
+use hmd_tabular::{Class, Dataset, MinMaxClipper};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{Attack, PerturbedSample};
+use crate::AdvError;
+
+/// Targeted Fast Gradient Sign Method: one step of size ε along
+/// `−sign(∇ₓ L(x, benign))`, clipped to the malware feature range.
+///
+/// # Example
+///
+/// ```
+/// use hmd_adversarial::{Attack, Fgsm};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), hmd_adversarial::AdvError> {
+/// let mut d = Dataset::new(vec!["x".into()])?;
+/// for i in 0..25 { d.push(&[i as f64 / 10.0], Class::Benign)?; }
+/// for i in 15..40 { d.push(&[i as f64 / 10.0], Class::Malware)?; }
+/// let attack = Fgsm::fit(&d, 1.5)?;
+/// let result = attack.generate(&d.filter(Class::is_attack), 1)?;
+/// assert!(result.success_rate() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fgsm {
+    epsilon: f64,
+    surrogate: LogisticRegression,
+    clipper: MinMaxClipper,
+}
+
+impl Fgsm {
+    /// Fits the LR surrogate and bounds, with step size `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdvError::InvalidConfig`] for non-positive ε; propagates
+    /// surrogate-training errors.
+    pub fn fit(data: &Dataset, epsilon: f64) -> Result<Self, AdvError> {
+        if epsilon <= 0.0 {
+            return Err(AdvError::InvalidConfig("epsilon must be positive"));
+        }
+        let targets = data.binary_targets(Class::is_attack);
+        let mut surrogate = LogisticRegression::new();
+        surrogate.fit(data, &targets)?;
+        let clipper = MinMaxClipper::fit(&data.filter(Class::is_attack))?;
+        Ok(Self { epsilon, surrogate, clipper })
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &'static str {
+        "FGSM"
+    }
+
+    fn perturb_row(&self, row: &[f64], _rng: &mut StdRng) -> Result<PerturbedSample, AdvError> {
+        let grad = self.surrogate.input_gradient(row, 0.0)?;
+        let mut x: Vec<f64> = row
+            .iter()
+            .zip(&grad)
+            .map(|(xi, g)| xi - self.epsilon * g.signum())
+            .collect();
+        self.clipper.clip_row(&mut x)?;
+        let evades = self.surrogate.predict_proba_row(&x)? < 0.5;
+        let norm = x
+            .iter()
+            .zip(row)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        Ok(PerturbedSample { features: x, evades, weighted_norm: norm, iterations: 1 })
+    }
+}
+
+/// Unguided Gaussian noise — the sanity baseline: perturbs every feature
+/// with `N(0, σ²)` and hopes. Real attacks must beat this.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomNoise {
+    sigma: f64,
+    evaluator: LogisticRegression,
+    clipper: MinMaxClipper,
+}
+
+impl RandomNoise {
+    /// Fits bounds and the evaluation LR, with noise scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdvError::InvalidConfig`] for non-positive σ; propagates
+    /// training errors.
+    pub fn fit(data: &Dataset, sigma: f64) -> Result<Self, AdvError> {
+        if sigma <= 0.0 {
+            return Err(AdvError::InvalidConfig("sigma must be positive"));
+        }
+        let targets = data.binary_targets(Class::is_attack);
+        let mut evaluator = LogisticRegression::new();
+        evaluator.fit(data, &targets)?;
+        let clipper = MinMaxClipper::fit(&data.filter(Class::is_attack))?;
+        Ok(Self { sigma, evaluator, clipper })
+    }
+}
+
+impl Attack for RandomNoise {
+    fn name(&self) -> &'static str {
+        "RandomNoise"
+    }
+
+    fn perturb_row(&self, row: &[f64], rng: &mut StdRng) -> Result<PerturbedSample, AdvError> {
+        // Box–Muller, sequential pairs
+        let mut x = row.to_vec();
+        for v in &mut x {
+            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            *v += self.sigma * z;
+        }
+        self.clipper.clip_row(&mut x)?;
+        let evades = self.evaluator.predict_proba_row(&x)? < 0.5;
+        let norm = x
+            .iter()
+            .zip(row)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        Ok(PerturbedSample { features: x, evades, weighted_norm: norm, iterations: 1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..n {
+            let benign = [rng.random_range(-1.0..0.4), rng.random_range(-1.0..0.4)];
+            let attack = [rng.random_range(0.2..1.5), rng.random_range(0.2..1.5)];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn fgsm_with_large_epsilon_evades() {
+        let data = blobs(120, 1);
+        let attack = Fgsm::fit(&data, 2.0).unwrap();
+        let result = attack.generate(&data.filter(Class::is_attack), 2).unwrap();
+        assert!(result.success_rate() > 0.5, "fgsm success {}", result.success_rate());
+    }
+
+    #[test]
+    fn fgsm_with_tiny_epsilon_fails() {
+        let data = blobs(120, 2);
+        let attack = Fgsm::fit(&data, 0.01).unwrap();
+        let result = attack.generate(&data.filter(Class::is_attack), 2).unwrap();
+        assert!(result.success_rate() < 0.3, "fgsm success {}", result.success_rate());
+    }
+
+    #[test]
+    fn noise_rarely_evades() {
+        let data = blobs(120, 3);
+        let attack = RandomNoise::fit(&data, 0.1).unwrap();
+        let result = attack.generate(&data.filter(Class::is_attack), 4).unwrap();
+        assert!(result.success_rate() < 0.4, "noise success {}", result.success_rate());
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let data = blobs(60, 5);
+        let attack = RandomNoise::fit(&data, 0.2).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let a = attack.generate(&malware, 9).unwrap();
+        let b = attack.generate(&malware, 9).unwrap();
+        assert_eq!(a.adversarial, b.adversarial);
+    }
+
+    #[test]
+    fn configs_validate() {
+        let data = blobs(40, 6);
+        assert!(matches!(Fgsm::fit(&data, 0.0), Err(AdvError::InvalidConfig(_))));
+        assert!(matches!(RandomNoise::fit(&data, -1.0), Err(AdvError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,274 @@
+//! A decision-based (black-box) boundary attack.
+//!
+//! LowProFool needs gradient access to a surrogate; the boundary attack
+//! needs only the defender's *hard decisions* — the strongest-realism
+//! variant of the paper's threat model, where the attacker can merely
+//! observe whether a crafted HPC vector passes the anti-malware check.
+//!
+//! The algorithm (a simplified Brendel–Rauber boundary walk): start from
+//! a known-benign sample, binary-search along the line toward the
+//! malware sample until the decision flips, then alternate random
+//! orthogonal perturbations with steps toward the target while staying
+//! on the benign side.
+
+use hmd_ml::Classifier;
+use hmd_tabular::{Class, Dataset, MinMaxClipper};
+use rand::prelude::*;
+
+use crate::attack::{Attack, PerturbedSample};
+use crate::AdvError;
+
+/// Hyper-parameters for [`BoundaryAttack`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct BoundaryAttackConfig {
+    /// Boundary-walk iterations per sample.
+    pub steps: usize,
+    /// Initial orthogonal-perturbation scale (relative to the current
+    /// distance).
+    pub initial_delta: f64,
+    /// Step size toward the original sample (relative).
+    pub epsilon: f64,
+    /// Binary-search refinements of the initial boundary crossing.
+    pub binary_search_steps: usize,
+}
+
+impl Default for BoundaryAttackConfig {
+    fn default() -> Self {
+        Self { steps: 120, initial_delta: 0.3, epsilon: 0.2, binary_search_steps: 12 }
+    }
+}
+
+/// The fitted decision-based attack. It holds a pool of benign starting
+/// points and the target model's decision function is supplied per call
+/// (the attack never sees probabilities or gradients).
+#[derive(Debug)]
+pub struct BoundaryAttack<'a> {
+    victim: &'a dyn Classifier,
+    benign_pool: Dataset,
+    clipper: MinMaxClipper,
+    config: BoundaryAttackConfig,
+}
+
+impl<'a> BoundaryAttack<'a> {
+    /// Prepares the attack against `victim`, using `data`'s benign rows
+    /// as starting points; outputs are clipped to the overall observed
+    /// feature range (the walk interpolates between benign and malware
+    /// territory, so the malware-only box of LowProFool would cut off
+    /// its own starting points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdvError::InvalidConfig`] when no benign rows exist or
+    /// the configuration is degenerate.
+    pub fn new(
+        victim: &'a dyn Classifier,
+        data: &Dataset,
+        config: BoundaryAttackConfig,
+    ) -> Result<Self, AdvError> {
+        if config.steps == 0 || config.epsilon <= 0.0 || config.initial_delta <= 0.0 {
+            return Err(AdvError::InvalidConfig("steps/epsilon/delta must be positive"));
+        }
+        let benign_pool = data.filter(|c| c == Class::Benign);
+        if benign_pool.is_empty() {
+            return Err(AdvError::InvalidConfig("need benign starting points"));
+        }
+        let clipper = MinMaxClipper::fit(data)?;
+        Ok(Self { victim, benign_pool, clipper, config })
+    }
+
+    /// The victim's hard decision (`true` = flagged as attack).
+    fn flagged(&self, row: &[f64]) -> Result<bool, AdvError> {
+        Ok(self.victim.predict_row(row)?)
+    }
+
+    fn distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+}
+
+impl Attack for BoundaryAttack<'_> {
+    fn name(&self) -> &'static str {
+        "Boundary"
+    }
+
+    fn perturb_row(&self, row: &[f64], rng: &mut StdRng) -> Result<PerturbedSample, AdvError> {
+        let d = row.len();
+        // starting point: a benign sample the victim actually passes
+        let mut start: Option<Vec<f64>> = None;
+        for _ in 0..self.benign_pool.len().min(32) {
+            let i = rng.random_range(0..self.benign_pool.len());
+            let candidate = self.benign_pool.row(i)?;
+            if !self.flagged(candidate)? {
+                start = Some(candidate.to_vec());
+                break;
+            }
+        }
+        let Some(mut current) = start else {
+            // victim flags everything; no evasion possible
+            return Ok(PerturbedSample {
+                features: row.to_vec(),
+                evades: false,
+                weighted_norm: 0.0,
+                iterations: 0,
+            });
+        };
+
+        // binary-search the crossing point on the segment current→row
+        let mut lo = 0.0f64; // fraction toward `row` that is still benign
+        let mut hi = 1.0f64;
+        for _ in 0..self.config.binary_search_steps {
+            let mid = (lo + hi) / 2.0;
+            let probe: Vec<f64> =
+                current.iter().zip(row).map(|(s, t)| s + mid * (t - s)).collect();
+            if self.flagged(&probe)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        current = current.iter().zip(row).map(|(s, t)| s + lo * (t - s)).collect();
+
+        // boundary walk: orthogonal jitter + step toward the target
+        let mut iterations = self.config.binary_search_steps;
+        let mut delta = self.config.initial_delta;
+        for _ in 0..self.config.steps {
+            iterations += 1;
+            let dist = Self::distance(&current, row);
+            if dist < 1e-9 {
+                break;
+            }
+            // random direction scaled to delta·dist, projected to keep
+            // roughly the same distance from the target
+            let noise: Vec<f64> = (0..d)
+                .map(|_| {
+                    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = rng.random();
+                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                })
+                .collect();
+            let noise_norm = noise.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            let mut candidate: Vec<f64> = current
+                .iter()
+                .zip(&noise)
+                .map(|(c, n)| c + delta * dist * n / noise_norm)
+                .collect();
+            // contraction toward the target
+            for (c, &t) in candidate.iter_mut().zip(row) {
+                *c += self.config.epsilon * (t - *c);
+            }
+            self.clipper.clip_row(&mut candidate)?;
+            if !self.flagged(&candidate)? && Self::distance(&candidate, row) < dist {
+                current = candidate;
+                delta = (delta * 1.1).min(0.5);
+            } else {
+                delta = (delta * 0.85).max(1e-3);
+            }
+        }
+
+        let evades = !self.flagged(&current)?;
+        let weighted_norm = Self::distance(&current, row);
+        Ok(PerturbedSample { features: current, evades, weighted_norm, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_ml::RandomForest;
+
+    fn blobs(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..n {
+            let benign = [rng.random_range(-1.0..0.4), rng.random_range(-1.0..0.4)];
+            let attack = [rng.random_range(0.2..1.6), rng.random_range(0.2..1.6)];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        (d, t)
+    }
+
+    #[test]
+    fn evades_a_black_box_forest() {
+        let (d, t) = blobs(150, 1);
+        let mut rf = RandomForest::new();
+        rf.fit(&d, &t).unwrap();
+        let attack = BoundaryAttack::new(&rf, &d, BoundaryAttackConfig::default()).unwrap();
+        let malware = d.filter(Class::is_attack);
+        let subset = malware.subset(&(0..30).collect::<Vec<_>>()).unwrap();
+        let result = attack.generate(&subset, 9).unwrap();
+        assert!(
+            result.success_rate() > 0.8,
+            "boundary attack success {}",
+            result.success_rate()
+        );
+        // every evading sample really passes the victim
+        for o in result.outcomes.iter().filter(|o| o.evades) {
+            assert!(!rf.predict_row(&o.features).unwrap());
+        }
+    }
+
+    #[test]
+    fn walk_shrinks_distance_from_start() {
+        let (d, t) = blobs(120, 2);
+        let mut rf = RandomForest::new();
+        rf.fit(&d, &t).unwrap();
+        let attack = BoundaryAttack::new(&rf, &d, BoundaryAttackConfig::default()).unwrap();
+        let malware = d.filter(Class::is_attack);
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = malware.row(0).unwrap();
+        let out = attack.perturb_row(target, &mut rng).unwrap();
+        // the crafted point is closer to the target than a typical benign
+        // sample is (the walk made progress)
+        let mean_benign_dist: f64 = {
+            let benign = d.filter(|c| c == Class::Benign);
+            let total: f64 = (0..benign.len())
+                .map(|i| BoundaryAttack::<'_>::distance(benign.row(i).unwrap(), target))
+                .sum();
+            total / benign.len() as f64
+        };
+        assert!(out.weighted_norm < mean_benign_dist);
+    }
+
+    #[test]
+    fn respects_clip_bounds() {
+        let (d, t) = blobs(100, 4);
+        let mut rf = RandomForest::new();
+        rf.fit(&d, &t).unwrap();
+        let attack = BoundaryAttack::new(&rf, &d, BoundaryAttackConfig::default()).unwrap();
+        let malware = d.filter(Class::is_attack);
+        let clipper = MinMaxClipper::fit(&d).unwrap();
+        let subset = malware.subset(&(0..10).collect::<Vec<_>>()).unwrap();
+        let result = attack.generate(&subset, 5).unwrap();
+        for o in &result.outcomes {
+            if o.iterations == 0 {
+                continue; // untouched fallback
+            }
+            for (f, &v) in o.features.iter().enumerate() {
+                assert!(v >= clipper.mins()[f] - 1e-9);
+                assert!(v <= clipper.maxs()[f] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn validates_config_and_data() {
+        let (d, t) = blobs(30, 6);
+        let mut rf = RandomForest::new();
+        rf.fit(&d, &t).unwrap();
+        assert!(matches!(
+            BoundaryAttack::new(
+                &rf,
+                &d,
+                BoundaryAttackConfig { steps: 0, ..BoundaryAttackConfig::default() }
+            ),
+            Err(AdvError::InvalidConfig(_))
+        ));
+        let malware_only = d.filter(Class::is_attack);
+        assert!(matches!(
+            BoundaryAttack::new(&rf, &malware_only, BoundaryAttackConfig::default()),
+            Err(AdvError::InvalidConfig(_))
+        ));
+    }
+}

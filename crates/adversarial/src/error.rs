@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use hmd_ml::MlError;
+use hmd_tabular::TabularError;
+
+/// Errors produced by adversarial attack generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AdvError {
+    /// The attack was used before fitting its surrogate/evaluator.
+    NotFitted,
+    /// An invalid attack hyper-parameter.
+    InvalidConfig(&'static str),
+    /// The underlying surrogate model failed.
+    Ml(MlError),
+    /// The underlying tabular operation failed.
+    Tabular(TabularError),
+}
+
+impl fmt::Display for AdvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFitted => write!(f, "attack used before fitting"),
+            Self::InvalidConfig(what) => write!(f, "invalid attack configuration: {what}"),
+            Self::Ml(e) => write!(f, "surrogate model error: {e}"),
+            Self::Tabular(e) => write!(f, "tabular error: {e}"),
+        }
+    }
+}
+
+impl Error for AdvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Ml(e) => Some(e),
+            Self::Tabular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for AdvError {
+    fn from(e: MlError) -> Self {
+        Self::Ml(e)
+    }
+}
+
+impl From<TabularError> for AdvError {
+    fn from(e: TabularError) -> Self {
+        Self::Tabular(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! Adversarial attack generation for tabular HPC data (paper §2.4).
+//!
+//! The paper's threat model: attackers profile malware the same way the
+//! defenders do, then craft *imperceptible* perturbations of the HPC
+//! feature vectors so detectors classify running malware as benign — the
+//! executable itself is untouched; the counters the anti-malware system
+//! reads are what gets manipulated (via malicious firmware or MITM on the
+//! inference path).
+//!
+//! * [`LowProFool`] — the paper's customized attack (Eq. 1 +
+//!   Algorithm 1): gradient descent on the LR surrogate's loss plus a
+//!   feature-importance-weighted norm penalty, min/max clipping to the
+//!   observed malware range, and an LR imperceptibility evaluator that
+//!   keeps the smallest accepted perturbation. Reaches ~100% success.
+//! * [`Fgsm`], [`RandomNoise`] — baselines for comparison.
+//! * [`BoundaryAttack`] — a decision-based black-box attack needing only
+//!   hard verdicts (the strongest-realism threat model).
+//! * [`defense`] — the alternative defenses of the paper's Table 1:
+//!   RHMD-style randomized ensembles and a moving-target defense, for
+//!   head-to-head comparison with adversarial training.
+//! * [`eval`] — transferability evaluation across the whole model zoo.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_adversarial::{Attack, LowProFool};
+//! use hmd_tabular::{Class, Dataset};
+//!
+//! # fn main() -> Result<(), hmd_adversarial::AdvError> {
+//! # let mut data = Dataset::new(vec!["e".into()])?;
+//! # for i in 0..40 {
+//! #     let label = if i < 20 { Class::Benign } else { Class::Malware };
+//! #     data.push(&[i as f64], label)?;
+//! # }
+//! let attack = LowProFool::fit(&data)?;
+//! let result = attack.generate(&data.filter(Class::is_attack), 42)?;
+//! println!("success rate: {:.0}%", result.success_rate() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attack;
+pub mod baselines;
+pub mod boundary;
+pub mod defense;
+pub mod eval;
+pub mod lowprofool;
+
+mod error;
+
+pub use attack::{Attack, AttackResult, PerturbedSample};
+pub use baselines::{Fgsm, RandomNoise};
+pub use boundary::{BoundaryAttack, BoundaryAttackConfig};
+pub use defense::{MovingTargetDefense, RandomizedEnsemble};
+pub use error::AdvError;
+pub use eval::{attacked_test_set, transferability, TransferRecord};
+pub use lowprofool::{LowProFool, LowProFoolConfig};

@@ -1,0 +1,325 @@
+//! The customized LowProFool attack for tabular HPC data (paper §2.4,
+//! Algorithm 1).
+//!
+//! LowProFool (Ballet et al. 2019) minimizes
+//!
+//! `g(r) = L(x + r, t) + λ‖r ⊙ v‖ₚ²`        (Eq. 1 of the paper)
+//!
+//! where `L` is the surrogate's loss toward the target label `t` (benign),
+//! `v` is a per-feature importance vector, and λ trades evasion against
+//! imperceptibility. The paper customizes it with (a) min/max clipping of
+//! the perturbed vector to the observed malware feature range, and (b) a
+//! Logistic-Regression *imperceptibility evaluator* that accepts a
+//! candidate only when it crosses the benign decision boundary; the best
+//! (smallest weighted-norm) accepted candidate over all steps wins.
+
+use hmd_ml::{Classifier, LogisticRegression};
+use hmd_tabular::stats::pearson;
+use hmd_tabular::{Dataset, MinMaxClipper};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{Attack, PerturbedSample};
+use crate::AdvError;
+
+/// Hyper-parameters for [`LowProFool`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LowProFoolConfig {
+    /// Weight λ of the imperceptibility regularizer in Eq. 1.
+    pub lambda: f64,
+    /// Gradient-descent step size α.
+    pub alpha: f64,
+    /// Maximum optimization steps per sample.
+    pub max_iters: usize,
+    /// Extra margin pushed past the decision boundary: candidates are
+    /// accepted when `P(attack) < 0.5 − margin`, making the adversarial
+    /// samples robustly benign to the evaluator.
+    pub margin: f64,
+}
+
+impl Default for LowProFoolConfig {
+    fn default() -> Self {
+        Self { lambda: 1.0, alpha: 0.15, max_iters: 200, margin: 0.05 }
+    }
+}
+
+/// The fitted LowProFool attack.
+///
+/// # Example
+///
+/// ```
+/// use hmd_adversarial::{Attack, LowProFool};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), hmd_adversarial::AdvError> {
+/// // overlapping classes: malware range reaches into benign territory
+/// let mut d = Dataset::new(vec!["llc-misses".into()])?;
+/// for i in 0..25 { d.push(&[i as f64 / 10.0], Class::Benign)?; }
+/// for i in 15..40 { d.push(&[i as f64 / 10.0], Class::Malware)?; }
+/// let attack = LowProFool::fit(&d)?;
+/// let malware = d.filter(Class::is_attack);
+/// let result = attack.generate(&malware, 7)?;
+/// assert!(result.success_rate() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LowProFool {
+    config: LowProFoolConfig,
+    /// The surrogate + imperceptibility evaluator (paper: LR trained on
+    /// legitimate malware and benign data).
+    surrogate: LogisticRegression,
+    /// Normalized per-feature importance `v` (absolute Pearson
+    /// correlation with the label, as in the LowProFool paper).
+    importance: Vec<f64>,
+    /// Bounds fitted on the malware data (Algorithm 1, line 1).
+    clipper: MinMaxClipper,
+}
+
+impl LowProFool {
+    /// Fits the attack on labeled data: trains the LR surrogate /
+    /// imperceptibility evaluator, computes the feature-importance vector,
+    /// and records per-feature clipping bounds from the malware rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surrogate-training and bound-fitting errors.
+    pub fn fit(data: &Dataset) -> Result<Self, AdvError> {
+        Self::fit_with_config(data, LowProFoolConfig::default())
+    }
+
+    /// [`Self::fit`] with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdvError::InvalidConfig`] for non-positive λ/α/iters and
+    /// propagates surrogate-training errors.
+    pub fn fit_with_config(data: &Dataset, config: LowProFoolConfig) -> Result<Self, AdvError> {
+        if config.lambda < 0.0 || config.alpha <= 0.0 || config.max_iters == 0 {
+            return Err(AdvError::InvalidConfig("lambda ≥ 0, alpha > 0, iters > 0 required"));
+        }
+        let targets = data.binary_targets(hmd_tabular::Class::is_attack);
+        let mut surrogate = LogisticRegression::new();
+        surrogate.fit(data, &targets)?;
+
+        // importance v_i = |pearson(x_i, y)|, normalized to unit L2 norm
+        let mut importance = Vec::with_capacity(data.n_features());
+        for f in 0..data.n_features() {
+            let col = data.column(f)?;
+            importance.push(pearson(&col, &targets).abs());
+        }
+        let norm = importance.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > f64::EPSILON {
+            for v in &mut importance {
+                *v /= norm;
+            }
+        } else {
+            let uniform = 1.0 / (importance.len() as f64).sqrt();
+            importance.fill(uniform);
+        }
+
+        let malware = data.filter(hmd_tabular::Class::is_attack);
+        let clipper = MinMaxClipper::fit(&malware)?;
+        Ok(Self { config, surrogate, importance, clipper })
+    }
+
+    /// The fitted per-feature importance vector `v`.
+    #[must_use]
+    pub fn importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// The LR surrogate / imperceptibility evaluator.
+    #[must_use]
+    pub fn evaluator(&self) -> &LogisticRegression {
+        &self.surrogate
+    }
+
+    /// Weighted norm `‖r ⊙ v‖₂`.
+    fn weighted_norm(&self, r: &[f64]) -> f64 {
+        r.iter()
+            .zip(&self.importance)
+            .map(|(ri, vi)| (ri * vi) * (ri * vi))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Attack for LowProFool {
+    fn name(&self) -> &'static str {
+        "LowProFool"
+    }
+
+    fn perturb_row(&self, row: &[f64], _rng: &mut StdRng) -> Result<PerturbedSample, AdvError> {
+        let d = row.len();
+        let accept_below = 0.5 - self.config.margin;
+        let mut iterations = 0;
+        let mut last_x = row.to_vec();
+
+        // Adaptive λ back-off: samples deep inside the malware region stall
+        // when the imperceptibility pull-back balances the loss gradient;
+        // relaxing λ (eventually to 0 = pure loss descent) guarantees the
+        // boundary is crossed whenever the clip box allows it, while
+        // near-boundary samples keep the most imperceptible perturbation
+        // from the strongest λ that succeeds.
+        for lambda_scale in [1.0, 0.25, 0.0625, 0.0] {
+            let lambda = self.config.lambda * lambda_scale;
+            let mut x = row.to_vec();
+            let mut best: Option<(Vec<f64>, f64)> = None;
+            for _ in 0..self.config.max_iters {
+                iterations += 1;
+                // ∇ₓ L(x, benign) from the surrogate
+                let grad_loss = self.surrogate.input_gradient(&x, 0.0)?;
+                for i in 0..d {
+                    // ∇ of λ‖r⊙v‖² = 2λ v² r, with r = x − x₀
+                    let r_i = x[i] - row[i];
+                    let grad_reg =
+                        2.0 * lambda * self.importance[i] * self.importance[i] * r_i;
+                    x[i] -= self.config.alpha * (grad_loss[i] + grad_reg);
+                }
+                // Algorithm 1: clip to the observed malware min/max
+                self.clipper.clip_row(&mut x)?;
+
+                // evaluate imperceptibility: must cross the benign boundary
+                let p = self.surrogate.predict_proba_row(&x)?;
+                if p < accept_below {
+                    let r: Vec<f64> =
+                        x.iter().zip(row).map(|(xi, x0)| xi - x0).collect();
+                    let norm = self.weighted_norm(&r);
+                    if best.as_ref().is_none_or(|(_, b)| norm < *b) {
+                        best = Some((x.clone(), norm));
+                    }
+                }
+            }
+            if let Some((features, weighted_norm)) = best {
+                return Ok(PerturbedSample {
+                    features,
+                    evades: true,
+                    weighted_norm,
+                    iterations,
+                });
+            }
+            last_x = x;
+        }
+
+        // No λ level crossed the boundary (infeasible within clip bounds).
+        let r: Vec<f64> = last_x.iter().zip(row).map(|(xi, x0)| xi - x0).collect();
+        let weighted_norm = self.weighted_norm(&r);
+        let evades = self.surrogate.predict_proba_row(&last_x)? < 0.5;
+        Ok(PerturbedSample { features: last_x, evades, weighted_norm, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_tabular::Class;
+
+    /// Overlapping 2-D blobs: malware up-right, benign down-left.
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..n {
+            let benign = [rng.random_range(-1.0..0.5), rng.random_range(-1.0..0.5)];
+            let attack = [rng.random_range(0.0..1.5), rng.random_range(0.0..1.5)];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn achieves_high_success_rate() {
+        let data = blobs(150, 1);
+        let attack = LowProFool::fit(&data).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let result = attack.generate(&malware, 3).unwrap();
+        assert!(result.success_rate() >= 0.99, "success {}", result.success_rate());
+    }
+
+    #[test]
+    fn adversarial_samples_fool_the_evaluator() {
+        let data = blobs(100, 2);
+        let attack = LowProFool::fit(&data).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let result = attack.generate(&malware, 3).unwrap();
+        for (row, _) in &result.evading_subset().unwrap() {
+            let p = attack.evaluator().predict_proba_row(row).unwrap();
+            assert!(p < 0.5, "evader scored {p}");
+        }
+    }
+
+    #[test]
+    fn perturbations_are_small_relative_to_gap() {
+        let data = blobs(100, 4);
+        let attack = LowProFool::fit(&data).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let result = attack.generate(&malware, 5).unwrap();
+        // mean weighted perturbation norm is far below the class-mean gap (~1.0)
+        assert!(result.mean_perturbation() < 1.0, "norm {}", result.mean_perturbation());
+        assert!(result.mean_perturbation() > 0.0);
+    }
+
+    #[test]
+    fn respects_clipping_bounds() {
+        let data = blobs(100, 6);
+        let attack = LowProFool::fit(&data).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let result = attack.generate(&malware, 7).unwrap();
+        let (mins, maxs) = (attack.clipper.mins().to_vec(), attack.clipper.maxs().to_vec());
+        for (row, _) in &result.adversarial {
+            for (i, &v) in row.iter().enumerate() {
+                assert!(v >= mins[i] - 1e-9 && v <= maxs[i] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn importance_is_normalized() {
+        let data = blobs(80, 8);
+        let attack = LowProFool::fit(&data).unwrap();
+        let norm: f64 = attack.importance().iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_lambda_means_smaller_perturbations() {
+        let data = blobs(100, 9);
+        let malware = data.filter(Class::is_attack);
+        let run = |lambda| {
+            let attack = LowProFool::fit_with_config(
+                &data,
+                LowProFoolConfig { lambda, ..LowProFoolConfig::default() },
+            )
+            .unwrap();
+            attack.generate(&malware, 1).unwrap().mean_perturbation()
+        };
+        assert!(run(8.0) <= run(0.0) + 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let data = blobs(50, 10);
+        assert!(matches!(
+            LowProFool::fit_with_config(
+                &data,
+                LowProFoolConfig { alpha: 0.0, ..LowProFoolConfig::default() }
+            ),
+            Err(AdvError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn labels_output_as_adversarial() {
+        let data = blobs(50, 11);
+        let attack = LowProFool::fit(&data).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let result = attack.generate(&malware, 1).unwrap();
+        assert!(result
+            .adversarial
+            .labels()
+            .iter()
+            .all(|&l| l == Class::Adversarial));
+        assert_eq!(result.adversarial.len(), malware.len());
+    }
+}

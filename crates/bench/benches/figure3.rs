@@ -1,0 +1,58 @@
+//! Criterion benchmarks behind Figure 3: LowProFool per-sample attack
+//! generation cost and the A2C predictor's per-sample step/inference
+//! cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hmd_adversarial::{Attack, LowProFool};
+use hmd_rl::{A2cAgent, A2cConfig, Environment, PredictorEnv};
+use hmd_tabular::{Class, Dataset};
+use rand::prelude::*;
+
+fn merged(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..4).map(|i| format!("e{i}")).collect();
+    let mut d = Dataset::new(names).unwrap();
+    for _ in 0..n {
+        let benign: Vec<f64> = (0..4).map(|_| rng.random_range(-2.0..-0.2)).collect();
+        let malware: Vec<f64> = (0..4).map(|_| rng.random_range(0.2..2.0)).collect();
+        let adv: Vec<f64> = (0..4).map(|_| rng.random_range(-0.4..0.1)).collect();
+        d.push(&benign, Class::Benign).unwrap();
+        d.push(&malware, Class::Malware).unwrap();
+        d.push(&adv, Class::Adversarial).unwrap();
+    }
+    d
+}
+
+fn bench_lowprofool(c: &mut Criterion) {
+    let data = merged(200, 1);
+    let attack = LowProFool::fit(&data).unwrap();
+    let malware = data.filter(Class::is_attack);
+    let row = malware.row(0).unwrap().to_vec();
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("lowprofool_perturb_row", |b| {
+        b.iter(|| black_box(attack.perturb_row(black_box(&row), &mut rng).unwrap()));
+    });
+}
+
+fn bench_a2c(c: &mut Criterion) {
+    let data = merged(100, 3);
+    let mut env = PredictorEnv::new(&data, 4).unwrap();
+    let mut agent = A2cAgent::new(env.state_dim(), env.n_actions(), A2cConfig::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("a2c_train_episode", |b| {
+        b.iter(|| black_box(agent.train_episode(&mut env, &mut rng, 1)));
+    });
+    let row = data.row(0).unwrap().to_vec();
+    c.bench_function("a2c_feedback_reward", |b| {
+        b.iter(|| black_box(agent.value(black_box(&row))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lowprofool, bench_a2c
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks behind Figure 4(a): the UCB controller's
+//! decision and update cost — the "lightweight" property that justifies
+//! choosing UCB for run-time scheduling — compared with one detector
+//! inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hmd_ml::{Classifier, LogisticRegression};
+use hmd_rl::Ucb;
+use hmd_tabular::{Class, Dataset};
+use rand::prelude::*;
+
+fn bench_ucb(c: &mut Criterion) {
+    let mut ucb = Ucb::new(5, 0.8);
+    for arm in 0..5 {
+        ucb.update(arm, 0.5);
+    }
+    c.bench_function("ucb_select", |b| {
+        b.iter(|| black_box(ucb.select()));
+    });
+    c.bench_function("ucb_update", |b| {
+        let mut u = ucb.clone();
+        b.iter(|| {
+            u.update(black_box(2), black_box(0.7));
+        });
+    });
+}
+
+fn bench_detector_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let names: Vec<String> = (0..4).map(|i| format!("e{i}")).collect();
+    let mut d = Dataset::new(names).unwrap();
+    for _ in 0..200 {
+        let benign: Vec<f64> = (0..4).map(|_| rng.random_range(-1.0..0.3)).collect();
+        let attack: Vec<f64> = (0..4).map(|_| rng.random_range(0.3..1.5)).collect();
+        d.push(&benign, Class::Benign).unwrap();
+        d.push(&attack, Class::Malware).unwrap();
+    }
+    let targets = d.binary_targets(Class::is_attack);
+    let mut lr = LogisticRegression::new();
+    lr.fit(&d, &targets).unwrap();
+    let row = d.row(0).unwrap().to_vec();
+    c.bench_function("lr_infer_row", |b| {
+        b.iter(|| black_box(lr.predict_proba_row(black_box(&row)).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_ucb, bench_detector_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks behind Table 2's model column: training and
+//! single-sample inference cost of every detector on a fixed synthetic
+//! 4-feature task (the same width the paper's detectors see).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hmd_ml::all_models;
+use hmd_tabular::{Class, Dataset};
+use rand::prelude::*;
+
+fn training_set(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..4).map(|i| format!("e{i}")).collect();
+    let mut d = Dataset::new(names).unwrap();
+    for _ in 0..n {
+        let benign: Vec<f64> = (0..4).map(|_| rng.random_range(-1.0..0.4)).collect();
+        let attack: Vec<f64> = (0..4).map(|_| rng.random_range(0.2..1.6)).collect();
+        d.push(&benign, Class::Benign).unwrap();
+        d.push(&attack, Class::Malware).unwrap();
+    }
+    let t = d.binary_targets(Class::is_attack);
+    (d, t)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    let (data, targets) = training_set(400, 1);
+    for template in all_models() {
+        let name = template.name();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    all_models()
+                        .into_iter()
+                        .find(|m| m.name() == name)
+                        .expect("model present")
+                },
+                |mut model| {
+                    model.fit(black_box(&data), black_box(&targets)).unwrap();
+                    black_box(model)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer_row");
+    let (data, targets) = training_set(400, 2);
+    let row = data.row(0).unwrap().to_vec();
+    for mut model in all_models() {
+        model.fit(&data, &targets).unwrap();
+        group.bench_function(model.name(), |b| {
+            b.iter(|| black_box(model.predict_proba_row(black_box(&row)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_training, bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Ablation studies over the framework's design choices (DESIGN.md):
+//!
+//! 1. feature-selection width (MI top-k vs the paper's fixed 4);
+//! 2. LowProFool λ (imperceptibility weight) vs success rate and
+//!    perturbation size;
+//! 3. UCB exploration constant vs controller convergence;
+//! 4. bandit algorithm for the controller (UCB1 vs ε-greedy vs Thompson);
+//! 5. perf multiplexing-noise magnitude vs detection quality;
+//! 6. counter multiplexing on/off vs detection quality.
+
+use hmd_bench::{standard_config, EXPERIMENT_SEED};
+use hmd_core::{FeatureSelection, Framework};
+use hmd_adversarial::{Attack, LowProFool, LowProFoolConfig};
+use hmd_ml::{evaluate, Classifier, Gbdt};
+use hmd_rl::{
+    BanditPolicy, ConstraintController, ConstraintKind, ControllerConfig, EpsilonGreedy,
+    ModelProfile, ThompsonSampling, Ucb,
+};
+use hmd_tabular::Class;
+use rand::prelude::*;
+
+fn main() {
+    println!("Ablation studies\n");
+    let base_config = standard_config(EXPERIMENT_SEED);
+
+    // ---- 1. feature width ----
+    println!("1) feature-selection width (MI top-k), GBDT baseline F1:");
+    for k in [2usize, 4, 8, 16, 35] {
+        let mut config = base_config.clone();
+        config.features = FeatureSelection::MutualInfo { k, bins: 32 };
+        let fw = Framework::new(config);
+        let bundle = fw.prepare_data().expect("prepare");
+        let targets = bundle.train.binary_targets(Class::is_attack);
+        let mut model = Gbdt::new();
+        model.fit(&bundle.train, &targets).expect("fit");
+        let test_targets = bundle.test.binary_targets(Class::is_attack);
+        let m = evaluate(&model, &bundle.test, &test_targets).expect("eval");
+        println!("   k={k:<3} f1={:.3} auc={:.3}", m.f1, m.auc);
+    }
+
+    // ---- 2. LowProFool λ ----
+    println!("\n2) LowProFool λ vs success rate / perturbation:");
+    let fw = Framework::new(base_config.clone());
+    let bundle = fw.prepare_data().expect("prepare");
+    let malware = bundle.test.filter(Class::is_attack);
+    for lambda in [0.0, 0.5, 1.0, 4.0, 16.0] {
+        let attack = LowProFool::fit_with_config(
+            &bundle.train,
+            LowProFoolConfig { lambda, ..LowProFoolConfig::default() },
+        )
+        .expect("fit attack");
+        let result = attack.generate(&malware, EXPERIMENT_SEED).expect("generate");
+        println!(
+            "   λ={lambda:<5} success={:.3} mean-perturbation={:.3}",
+            result.success_rate(),
+            result.mean_perturbation()
+        );
+    }
+
+    // ---- 3. UCB exploration ----
+    println!("\n3) UCB exploration constant vs pulls on the converged arm:");
+    let attacks = fw.generate_attacks(&bundle).expect("attacks");
+    let merged = Framework::merged_training_set(&bundle, &attacks).expect("merge");
+    let targets = merged.binary_targets(Class::is_attack);
+    let mut models = hmd_ml::classical_models();
+    for m in &mut models {
+        m.fit(&merged, &targets).expect("fit");
+    }
+    let profiles: Vec<ModelProfile> = models
+        .iter()
+        .map(|m| ModelProfile {
+            name: m.name().to_owned(),
+            latency_ms: 0.01,
+            size_bytes: m.size_bytes(),
+        })
+        .collect();
+    for exploration in [0.0, 0.4, 0.8, 1.6, 3.2] {
+        let c = ConstraintController::train(
+            ConstraintKind::BestDetection,
+            &models,
+            profiles.clone(),
+            &merged,
+            &targets,
+            ControllerConfig { exploration, ..ControllerConfig::default() },
+        )
+        .expect("controller");
+        let pulls = c.ucb().counts();
+        let best = c.selected_model();
+        let share = pulls[best] as f64 / pulls.iter().sum::<u64>() as f64;
+        println!(
+            "   c={exploration:<4} -> {} ({:.0}% of pulls on converged arm)",
+            profiles[best].name,
+            share * 100.0
+        );
+    }
+
+    // ---- 4. bandit algorithm for model selection ----
+    println!("\n4) bandit algorithm on the model-selection task (reward = correct):");
+    {
+        let targets_vec = merged.binary_targets(Class::is_attack);
+        let mut policies: Vec<Box<dyn BanditPolicy>> = vec![
+            Box::new(Ucb::new(models.len(), 0.8)),
+            Box::new(EpsilonGreedy::new(models.len(), 0.1)),
+            Box::new(ThompsonSampling::new(models.len())),
+        ];
+        for policy in &mut policies {
+            let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+            let mut reward_sum = 0.0;
+            let mut pulls = 0u64;
+            for (i, &target) in targets_vec.iter().enumerate() {
+                let arm = policy.select(&mut rng);
+                let row = merged.row(i).expect("row");
+                let correct =
+                    models[arm].predict_row(row).expect("predict") == (target == 1.0);
+                let reward = f64::from(correct);
+                reward_sum += reward;
+                pulls += 1;
+                policy.update(arm, reward);
+            }
+            println!(
+                "   {:<16} converged on {} (mean reward {:.3} over {} pulls)",
+                policy.name(),
+                models[policy.best_arm()].name(),
+                reward_sum / pulls as f64,
+                pulls
+            );
+        }
+    }
+
+    // ---- 5. multiplexing-noise magnitude ----
+    println!("\n5) perf multiplexing noise vs detection quality (GBDT):");
+    for noise in [0.0, 0.015, 0.05, 0.15, 0.4] {
+        let mut config = base_config.clone();
+        config.corpus.perf.mux_noise = noise;
+        let fw = Framework::new(config);
+        let bundle = fw.prepare_data().expect("prepare");
+        let targets = bundle.train.binary_targets(Class::is_attack);
+        let mut model = Gbdt::new();
+        model.fit(&bundle.train, &targets).expect("fit");
+        let test_targets = bundle.test.binary_targets(Class::is_attack);
+        let m = evaluate(&model, &bundle.test, &test_targets).expect("eval");
+        println!("   noise={noise:<6} f1={:.3} auc={:.3}", m.f1, m.auc);
+    }
+
+    // ---- 6. counter multiplexing ----
+    println!("\n6) counter multiplexing (35 events / 4 slots) vs direct counting:");
+    for (label, slots) in [("multiplexed (4 slots)", 4usize), ("direct (35 slots)", 35)] {
+        let mut config = base_config.clone();
+        config.corpus.perf.hardware_slots = slots;
+        let fw = Framework::new(config);
+        let bundle = fw.prepare_data().expect("prepare");
+        let targets = bundle.train.binary_targets(Class::is_attack);
+        let mut model = Gbdt::new();
+        model.fit(&bundle.train, &targets).expect("fit");
+        let test_targets = bundle.test.binary_targets(Class::is_attack);
+        let m = evaluate(&model, &bundle.test, &test_targets).expect("eval");
+        println!("   {label:<22} f1={:.3} auc={:.3}", m.f1, m.auc);
+    }
+}

@@ -1,0 +1,75 @@
+//! Extension experiment: the adaptive arms race the paper's feedback
+//! loop implies. Each round the attacker re-mounts a decision-based
+//! boundary attack against the *current* defender; the defender absorbs
+//! the crafted samples through [`hmd_core::Framework::retraining_round`]
+//! and refits.
+//!
+//! The interesting series is the attacker's *cost*: a boundary attack can
+//! always reach the benign region eventually, but the perturbation it
+//! needs (distance from the true malware signature) grows as the
+//! defender hardens — evasions drift away from real malware behaviour.
+
+use hmd_adversarial::{Attack, BoundaryAttack, BoundaryAttackConfig};
+use hmd_bench::{standard_config, EXPERIMENT_SEED};
+use hmd_core::Framework;
+use hmd_ml::{evaluate, Classifier, RandomForest};
+use hmd_tabular::{Class, Dataset};
+
+const ROUNDS: usize = 5;
+
+fn main() {
+    println!("Adaptive arms race (extension experiment)\n");
+    let fw = Framework::new(standard_config(EXPERIMENT_SEED));
+    let bundle = fw.prepare_data().expect("prepare");
+
+    let mut training = bundle.train.clone();
+    let mut models: Vec<Box<dyn Classifier>> = vec![Box::new(RandomForest::new())];
+    let targets = training.binary_targets(Class::is_attack);
+    models[0].fit(&training, &targets).expect("fit");
+
+    let test_malware = bundle.test.filter(Class::is_attack);
+    let probe: Dataset = test_malware
+        .subset(&(0..test_malware.len().min(120)).collect::<Vec<_>>())
+        .expect("subset");
+    let clean_targets = bundle.test.binary_targets(Class::is_attack);
+
+    println!(
+        "{:>6} {:>12} {:>16} {:>12} {:>12}",
+        "round", "attack-succ", "mean-perturb", "clean F1", "training-size"
+    );
+    for round in 0..ROUNDS {
+        // attacker probes the current defender (decision access only)
+        let attack = BoundaryAttack::new(
+            models[0].as_ref(),
+            &bundle.train,
+            BoundaryAttackConfig::default(),
+        )
+        .expect("attack");
+        let result = attack
+            .generate(&probe, EXPERIMENT_SEED ^ round as u64)
+            .expect("generate");
+
+        let clean = evaluate(models[0].as_ref(), &bundle.test, &clean_targets).expect("eval");
+        println!(
+            "{round:>6} {:>11.1}% {:>16.3} {:>12.2} {:>13}",
+            result.success_rate() * 100.0,
+            result.mean_perturbation(),
+            clean.f1,
+            training.len()
+        );
+
+        // defender absorbs the evading samples (they are adversarial
+        // malware and get labeled as such by the feedback loop)
+        let quarantine = result.evading_subset().expect("subset");
+        let mut labeled = Dataset::new(quarantine.feature_names().to_vec()).expect("schema");
+        for (row, _) in &quarantine {
+            labeled.push(row, Class::Adversarial).expect("push");
+        }
+        Framework::retraining_round(&mut models, &mut training, &labeled).expect("retrain");
+    }
+    println!(
+        "\nexpected shape: success stays high (decision-based attacks always \
+         reach benign territory) but the required perturbation grows round \
+         over round — evasion gets costlier — while clean F1 is preserved."
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates the "This Work" row of **Table 1**: attack success rate
+//! and the maximum defense improvement per metric (defended − attacked,
+//! over all models), alongside the adaptive-learning capability the
+//! comparison table tracks.
+
+use hmd_bench::{run_standard, EXPERIMENT_SEED};
+use hmd_core::FrameworkReport;
+
+fn main() {
+    println!("Table 1 (\"This Work\" row) — attack + defense summary\n");
+    let report = run_standard(EXPERIMENT_SEED);
+
+    let max_delta = |f: fn(&hmd_ml::BinaryMetrics) -> f64| -> f64 {
+        report
+            .attacked
+            .iter()
+            .filter_map(|a| {
+                FrameworkReport::metrics_for(&report.defended, &a.model)
+                    .map(|d| f(d) - f(&a.metrics))
+            })
+            .fold(0.0, f64::max)
+    };
+
+    println!("perturbed features   : HPCs ({})", report.selected_features.join(", "));
+    println!("attack type          : inference integrity (malware attack)");
+    println!(
+        "attack success rate  : {:.0}%  (paper: 100%)",
+        report.attack_success_rate * 100.0
+    );
+    println!("defense approach     : adversarial training + RL-based dynamic defense");
+    println!("defense improvement  :");
+    println!(
+        "  up to {:.0}% (F1-score)      [paper: up to 86%]",
+        max_delta(|m| m.f1) * 100.0
+    );
+    println!(
+        "  up to {:.0}% (accuracy)      [paper: up to 47%]",
+        max_delta(|m| m.accuracy) * 100.0
+    );
+    println!(
+        "  up to {:.0}% (AUC)           [paper: up to 63%]",
+        max_delta(|m| m.auc) * 100.0
+    );
+    println!(
+        "  up to {:.0}% (precision)     [paper: up to 64%]",
+        max_delta(|m| m.precision) * 100.0
+    );
+    println!(
+        "  up to {:.0}% (recall)        [paper: up to 87%]",
+        max_delta(|m| m.recall) * 100.0
+    );
+    println!(
+        "  up to {:.0}% (TPR)           [paper: up to 87%]",
+        max_delta(|m| m.tpr) * 100.0
+    );
+    println!("adaptive learning    : yes (A2C predictor + UCB constraint controller)");
+}

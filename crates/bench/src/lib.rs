@@ -1,0 +1,126 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index); this library provides
+//! the shared configuration and formatting.
+
+use hmd_core::{Framework, FrameworkConfig, FrameworkReport};
+
+/// The standard experiment configuration: the paper-scale corpus
+/// (3,000+ applications) unless the `HMD_QUICK` environment variable is
+/// set, in which case a small smoke-test corpus is used.
+#[must_use]
+pub fn standard_config(seed: u64) -> FrameworkConfig {
+    if std::env::var_os("HMD_QUICK").is_some() {
+        let mut config = FrameworkConfig::quick(seed);
+        config.predictor.episodes = 6_000;
+        config
+    } else {
+        let mut config = FrameworkConfig::paper(seed);
+        config.corpus.benign_apps = 1_550;
+        config.corpus.malware_apps = 1_550;
+        config.corpus.windows_per_app = 3;
+        config.corpus.warmup_windows = 2;
+        config
+    }
+}
+
+/// The seed every experiment binary defaults to, so tables regenerate
+/// identically run to run.
+pub const EXPERIMENT_SEED: u64 = 0xDAC_2024;
+
+/// Runs the full framework under the standard configuration.
+///
+/// # Panics
+///
+/// Panics if any framework phase fails (experiment binaries surface
+/// failures loudly).
+#[must_use]
+pub fn run_standard(seed: u64) -> FrameworkReport {
+    Framework::new(standard_config(seed))
+        .run()
+        .expect("framework run failed")
+}
+
+/// Formats a metric as the paper prints it (two decimals).
+#[must_use]
+pub fn fmt_metric(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders one fixed-width, two-space-separated table row.
+#[must_use]
+pub fn table_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// A crude ASCII sparkline for reward traces (8 levels).
+#[must_use]
+pub fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let t = if hi > lo { ((v - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.0 };
+            LEVELS[(t * 7.0).round() as usize]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `n` points by averaging buckets.
+#[must_use]
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n || n == 0 {
+        return values.to_vec();
+    }
+    let bucket = values.len().div_ceil(n);
+    values
+        .chunks(bucket)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_formatting_matches_paper_style() {
+        assert_eq!(fmt_metric(0.879), "0.88");
+        assert_eq!(fmt_metric(1.0), "1.00");
+    }
+
+    #[test]
+    fn rows_are_aligned() {
+        let row = table_row(&["RF".into(), "0.88".into()], &[8, 6]);
+        assert_eq!(row.chars().count(), 8 + 2 + 6);
+    }
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let s = sparkline(&[0.0, 50.0, 100.0], 0.0, 100.0);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn downsample_averages_buckets() {
+        let v: Vec<f64> = (0..10).map(f64::from).collect();
+        let d = downsample(&v, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], 0.5);
+    }
+
+    #[test]
+    fn standard_config_respects_quick_env() {
+        // without the env var the paper corpus is used
+        let c = standard_config(1);
+        assert!(c.corpus.benign_apps + c.corpus.malware_apps >= 96);
+    }
+}

@@ -1,0 +1,116 @@
+//! Framework configuration.
+
+use hmd_adversarial::LowProFoolConfig;
+use hmd_rl::{ControllerConfig, PredictorConfig};
+use hmd_sim::CorpusConfig;
+
+/// How the framework selects its HPC feature subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeatureSelection {
+    /// Pin the four features the paper reports as its MI winners:
+    /// `LLC-load-misses`, `LLC-loads`, `cache-misses`,
+    /// `cpu/cache-misses/`.
+    PaperTop4,
+    /// Rank by mutual information on this corpus and keep the top `k`.
+    MutualInfo {
+        /// Number of features to keep.
+        k: usize,
+        /// Histogram bins for the MI estimator.
+        bins: usize,
+    },
+}
+
+/// End-to-end configuration of the multi-phased framework.
+#[derive(Clone, Debug)]
+pub struct FrameworkConfig {
+    /// Corpus-collection campaign (simulated Perf + LXC).
+    pub corpus: CorpusConfig,
+    /// Feature-selection strategy (paper: top-4 by MI).
+    pub features: FeatureSelection,
+    /// Test fraction of the train/test split (paper: 80:20).
+    pub test_fraction: f64,
+    /// LowProFool attack settings.
+    pub attack: LowProFoolConfig,
+    /// A2C adversarial-predictor settings.
+    pub predictor: PredictorConfig,
+    /// UCB constraint-controller settings.
+    pub controller: ControllerConfig,
+    /// Master seed for splits and attack generation.
+    pub seed: u64,
+    /// Inference repeats when measuring per-model latency.
+    pub latency_repeats: usize,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        Self {
+            corpus: CorpusConfig::default(),
+            features: FeatureSelection::PaperTop4,
+            test_fraction: 0.2,
+            attack: LowProFoolConfig::default(),
+            predictor: PredictorConfig::default(),
+            controller: ControllerConfig::default(),
+            seed: 0x4441_4332, // "DAC2"
+            latency_repeats: 5,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// The full paper-scale configuration (3,000 applications).
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        Self { corpus: CorpusConfig { seed, ..CorpusConfig::default() }, seed, ..Self::default() }
+    }
+
+    /// A small configuration for unit tests and examples: tens of
+    /// applications, short simulation slices, light predictor training.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        let mut corpus = CorpusConfig::quick(seed);
+        corpus.benign_apps = 48;
+        corpus.malware_apps = 48;
+        corpus.windows_per_app = 3;
+        corpus.warmup_windows = 1;
+        Self {
+            corpus,
+            predictor: hmd_rl::PredictorConfig {
+                a2c: hmd_rl::A2cConfig {
+                    hidden: vec![16, 16],
+                    actor_lr: 2e-3,
+                    critic_lr: 5e-3,
+                    seed,
+                    ..hmd_rl::A2cConfig::default()
+                },
+                episodes: 3000,
+                seed,
+                ..hmd_rl::PredictorConfig::default()
+            },
+            seed,
+            latency_repeats: 1,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = FrameworkConfig::default();
+        assert_eq!(c.test_fraction, 0.2);
+        assert_eq!(c.features, FeatureSelection::PaperTop4);
+        assert_eq!(c.corpus.perf.sample_period_ms, 10.0);
+        assert_eq!(c.corpus.perf.hardware_slots, 4);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let q = FrameworkConfig::quick(1);
+        let p = FrameworkConfig::paper(1);
+        assert!(q.corpus.benign_apps < p.corpus.benign_apps);
+        assert!(q.predictor.episodes < p.predictor.episodes);
+    }
+}

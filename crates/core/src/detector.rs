@@ -1,0 +1,211 @@
+//! The run-time adaptive detector: the deployed composition of
+//! adversarial predictor, constraint-selected ML models, and integrity
+//! validation (Figure 1's inference path).
+
+use hmd_ml::Classifier;
+use hmd_rl::{AdversarialPredictor, ConstraintController};
+use hmd_tabular::{Class, Dataset};
+use parking_lot::Mutex;
+
+use crate::CoreError;
+
+/// The verdict for one incoming HPC sample.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The adversarial predictor flagged the sample; it is quarantined
+    /// and queued for the next adversarial-training round.
+    AdversarialAttack,
+    /// The routed ML model classified the sample as (non-adversarial)
+    /// malware.
+    MalwareAttack,
+    /// The routed ML model classified the sample as benign.
+    Benign,
+}
+
+impl Verdict {
+    /// Whether the sample should be blocked.
+    #[must_use]
+    pub fn is_attack(self) -> bool {
+        !matches!(self, Verdict::Benign)
+    }
+}
+
+/// The deployed detector.
+///
+/// Incoming samples flow through the adversarial predictor first; flagged
+/// samples are labeled [`Class::Adversarial`] and buffered for retraining
+/// (the paper's feedback loop), everything else is routed to the ML model
+/// the constraint controller selected.
+pub struct AdaptiveDetector {
+    predictor: AdversarialPredictor,
+    controller: ConstraintController,
+    models: Vec<Box<dyn Classifier>>,
+    /// Flagged samples awaiting the next adversarial-training round.
+    quarantine: Mutex<Dataset>,
+}
+
+impl std::fmt::Debug for AdaptiveDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveDetector")
+            .field("models", &self.models.len())
+            .field("selected_model", &self.controller.selected_model())
+            .field("quarantined", &self.quarantine.lock().len())
+            .finish()
+    }
+}
+
+impl AdaptiveDetector {
+    /// Assembles a detector from its trained parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] if `models` is empty or
+    /// `feature_names` is.
+    pub fn new(
+        predictor: AdversarialPredictor,
+        controller: ConstraintController,
+        models: Vec<Box<dyn Classifier>>,
+        feature_names: Vec<String>,
+    ) -> Result<Self, CoreError> {
+        if models.is_empty() {
+            return Err(CoreError::Invalid("detector needs at least one model"));
+        }
+        let quarantine =
+            Dataset::new(feature_names).map_err(|_| CoreError::Invalid("feature names empty"))?;
+        Ok(Self { predictor, controller, models, quarantine: Mutex::new(quarantine) })
+    }
+
+    /// Classifies one standardized HPC sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures.
+    pub fn classify(&self, row: &[f64]) -> Result<Verdict, CoreError> {
+        if self.predictor.is_adversarial(row) {
+            self.quarantine
+                .lock()
+                .push(row, Class::Adversarial)
+                .map_err(CoreError::from)?;
+            return Ok(Verdict::AdversarialAttack);
+        }
+        let is_malware = self
+            .controller
+            .predict_row(&self.models, row)
+            .map_err(CoreError::from)?;
+        Ok(if is_malware { Verdict::MalwareAttack } else { Verdict::Benign })
+    }
+
+    /// Drains the quarantined adversarial samples (labeled
+    /// [`Class::Adversarial`]) for the next adversarial-training round.
+    #[must_use]
+    pub fn take_quarantine(&self) -> Dataset {
+        let mut guard = self.quarantine.lock();
+        let names = guard.feature_names().to_vec();
+        std::mem::replace(&mut guard, Dataset::new(names).expect("non-empty schema"))
+    }
+
+    /// Number of currently quarantined samples.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+
+    /// The model the constraint controller routed inference to.
+    #[must_use]
+    pub fn active_model(&self) -> &dyn Classifier {
+        self.models[self.controller.selected_model()].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameworkConfig;
+    use crate::framework::Framework;
+    use hmd_rl::{ConstraintKind, ControllerConfig, ModelProfile};
+
+    /// End-to-end smoke test on the quick corpus: build every component
+    /// and drive the runtime path.
+    #[test]
+    fn detector_routes_samples() {
+        let fw = Framework::new(FrameworkConfig::quick(21));
+        let bundle = fw.prepare_data().unwrap();
+        let attacks = fw.generate_attacks(&bundle).unwrap();
+        let merged = Framework::merged_training_set(&bundle, &attacks).unwrap();
+        let predictor = fw.train_predictor(&merged).unwrap();
+
+        let targets = merged.binary_targets(Class::is_attack);
+        let mut models = hmd_ml::classical_models();
+        for m in &mut models {
+            m.fit(&merged, &targets).unwrap();
+        }
+        let profiles: Vec<ModelProfile> = models
+            .iter()
+            .map(|m| ModelProfile {
+                name: m.name().to_owned(),
+                latency_ms: 0.01,
+                size_bytes: m.size_bytes(),
+            })
+            .collect();
+        let controller = hmd_rl::ConstraintController::train(
+            ConstraintKind::BestDetection,
+            &models,
+            profiles,
+            &merged,
+            &targets,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+
+        let detector = AdaptiveDetector::new(
+            predictor,
+            controller,
+            models,
+            bundle.feature_names.clone(),
+        )
+        .unwrap();
+
+        // adversarial rows should mostly be flagged and quarantined
+        let mut flagged = 0;
+        for (row, _) in &attacks.test_result.adversarial {
+            if detector.classify(row).unwrap() == Verdict::AdversarialAttack {
+                flagged += 1;
+            }
+        }
+        let total = attacks.test_result.adversarial.len();
+        assert!(
+            flagged * 2 > total,
+            "only {flagged}/{total} adversarial rows flagged"
+        );
+        assert_eq!(detector.quarantined(), flagged);
+
+        // quarantine drains with adversarial labels
+        let q = detector.take_quarantine();
+        assert_eq!(q.len(), flagged);
+        assert!(q.labels().iter().all(|&l| l == Class::Adversarial));
+        assert_eq!(detector.quarantined(), 0);
+
+        // benign rows mostly pass
+        let benign = bundle.test.filter(|c| c == Class::Benign);
+        let mut benign_ok = 0;
+        for (row, _) in &benign {
+            if detector.classify(row).unwrap() == Verdict::Benign {
+                benign_ok += 1;
+            }
+        }
+        // quick-corpus models are weak; this is a routing smoke test, so
+        // only require a clear majority of benign rows to pass through
+        assert!(
+            benign_ok * 2 > benign.len(),
+            "only {benign_ok}/{} benign rows passed",
+            benign.len()
+        );
+    }
+
+    #[test]
+    fn verdict_attack_classification() {
+        assert!(Verdict::AdversarialAttack.is_attack());
+        assert!(Verdict::MalwareAttack.is_attack());
+        assert!(!Verdict::Benign.is_attack());
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use hmd_adversarial::AdvError;
+use hmd_ml::MlError;
+use hmd_rl::RlError;
+use hmd_tabular::TabularError;
+
+/// Errors produced by the framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A feature named by the configuration is absent from the corpus.
+    MissingFeature,
+    /// An invalid detector/framework composition.
+    Invalid(&'static str),
+    /// Tabular-layer failure.
+    Tabular(TabularError),
+    /// ML-layer failure.
+    Ml(MlError),
+    /// Attack-layer failure.
+    Adversarial(AdvError),
+    /// RL-layer failure.
+    Rl(RlError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingFeature => {
+                write!(f, "a configured feature is missing from the corpus")
+            }
+            Self::Invalid(what) => write!(f, "invalid composition: {what}"),
+            Self::Tabular(e) => write!(f, "tabular error: {e}"),
+            Self::Ml(e) => write!(f, "ml error: {e}"),
+            Self::Adversarial(e) => write!(f, "adversarial error: {e}"),
+            Self::Rl(e) => write!(f, "rl error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Tabular(e) => Some(e),
+            Self::Ml(e) => Some(e),
+            Self::Adversarial(e) => Some(e),
+            Self::Rl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabularError> for CoreError {
+    fn from(e: TabularError) -> Self {
+        Self::Tabular(e)
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        Self::Ml(e)
+    }
+}
+
+impl From<AdvError> for CoreError {
+    fn from(e: AdvError) -> Self {
+        Self::Adversarial(e)
+    }
+}
+
+impl From<RlError> for CoreError {
+    fn from(e: RlError) -> Self {
+        Self::Rl(e)
+    }
+}

@@ -1,0 +1,44 @@
+//! The proactive, adversarial-resilient hardware malware detection
+//! framework — the paper's primary contribution, assembled from the
+//! workspace substrates.
+//!
+//! [`Framework`] orchestrates the multi-phased pipeline of Figure 1:
+//!
+//! 1. simulated Perf/LXC corpus collection + MI feature engineering
+//!    (`hmd-sim`, `hmd-tabular`);
+//! 2. baseline detection with six ML models (`hmd-ml`);
+//! 3. LowProFool adversarial attack generation (`hmd-adversarial`);
+//! 4. A2C adversarial attack prediction from unlabeled data (`hmd-rl`);
+//! 5. adversarial training on the merged `[Malware, Benign, Adversarial]`
+//!    database;
+//! 6. UCB constraint-aware model scheduling (`hmd-rl`);
+//!
+//! plus [`AdaptiveDetector`], the deployed run-time composition, and
+//! report types carrying everything Tables 1–2 and Figures 2–4 need.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hmd_core::{Framework, FrameworkConfig};
+//!
+//! # fn main() -> Result<(), hmd_core::CoreError> {
+//! let framework = Framework::new(FrameworkConfig::quick(42));
+//! let report = framework.run()?;
+//! println!("attack success: {:.0}%", report.attack_success_rate * 100.0);
+//! println!("best defended F1: {:.3}", report.best_defended_f1());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod detector;
+pub mod framework;
+pub mod report;
+
+mod error;
+
+pub use config::{FeatureSelection, FrameworkConfig};
+pub use detector::{AdaptiveDetector, Verdict};
+pub use error::CoreError;
+pub use framework::{AttackArtifacts, DataBundle, Framework, PAPER_TOP4};
+pub use report::{ControllerReport, FrameworkReport, PredictorReport, ScenarioMetrics};

@@ -1,0 +1,154 @@
+//! Report types produced by the framework phases — the raw material for
+//! every table and figure of the paper.
+
+use hmd_ml::BinaryMetrics;
+use serde::Serialize;
+
+/// One model's metric row in one scenario (a row of Table 2).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScenarioMetrics {
+    /// Model name (RF, DT, LR, MLP, LightGBM, NN).
+    pub model: String,
+    /// The full metric suite.
+    pub metrics: BinaryMetrics,
+}
+
+/// The adversarial predictor's evaluation (paper §3, "Adversarial
+/// Predictor's Performance" + Figure 3(b)).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct PredictorReport {
+    /// Accuracy of the adversarial/non-adversarial decision.
+    pub accuracy: f64,
+    /// F1 of the adversarial class.
+    pub f1: f64,
+    /// Precision of the adversarial class.
+    pub precision: f64,
+    /// Recall of the adversarial class.
+    pub recall: f64,
+    /// Per-sample `(is_adversarial_truth, feedback_reward)` trace over
+    /// the inference stream — Figure 3(b)'s series.
+    pub reward_trace: Vec<(bool, f64)>,
+}
+
+/// One constraint agent's row in Figure 4(a).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ControllerReport {
+    /// Agent label.
+    pub agent: String,
+    /// Name of the model the agent converged on.
+    pub selected_model: String,
+    /// Detection metrics of the deployed agent on the merged test set.
+    pub metrics: BinaryMetrics,
+    /// Measured single-sample latency of the selected model (ms).
+    pub latency_ms: f64,
+    /// Size of the selected model in bytes.
+    pub size_bytes: usize,
+}
+
+impl ControllerReport {
+    /// The paper's "Overhead" proxy: latency × memory.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.latency_ms * self.size_bytes as f64
+    }
+
+    /// The paper's "Efficiency Metric": F1 / (latency × memory).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let o = self.overhead();
+        if o <= 0.0 {
+            0.0
+        } else {
+            self.metrics.f1 / o
+        }
+    }
+}
+
+/// The complete output of a framework run — everything Tables 1–2 and
+/// Figures 2–4 need.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct FrameworkReport {
+    /// Scenario (a): regular malware detection.
+    pub baseline: Vec<ScenarioMetrics>,
+    /// Scenario (b): detection under adversarial attack.
+    pub attacked: Vec<ScenarioMetrics>,
+    /// Scenario (c): after adversarial training.
+    pub defended: Vec<ScenarioMetrics>,
+    /// LowProFool success rate against the imperceptibility evaluator.
+    pub attack_success_rate: f64,
+    /// Mean weighted perturbation of successful attacks.
+    pub mean_perturbation: f64,
+    /// Adversarial-predictor evaluation.
+    pub predictor: PredictorReport,
+    /// The three constraint agents.
+    pub controllers: Vec<ControllerReport>,
+    /// The feature names the pipeline selected.
+    pub selected_features: Vec<String>,
+}
+
+impl FrameworkReport {
+    /// Metrics of one model in one scenario, if present.
+    #[must_use]
+    pub fn metrics_for<'a>(
+        scenario: &'a [ScenarioMetrics],
+        model: &str,
+    ) -> Option<&'a BinaryMetrics> {
+        scenario.iter().find(|s| s.model == model).map(|s| &s.metrics)
+    }
+
+    /// The best defended F1 — the paper's headline "96.1% detection rate
+    /// for the top-performing adaptive malware detector".
+    #[must_use]
+    pub fn best_defended_f1(&self) -> f64 {
+        self.defended
+            .iter()
+            .map(|s| s.metrics.f1)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_and_overhead() {
+        let r = ControllerReport {
+            agent: "Agent 1".into(),
+            selected_model: "LR".into(),
+            metrics: BinaryMetrics { f1: 0.9, ..Default::default() },
+            latency_ms: 0.002,
+            size_bytes: 1000,
+        };
+        assert!((r.overhead() - 2.0).abs() < 1e-12);
+        assert!((r.efficiency() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_guards_zero_overhead() {
+        let r = ControllerReport {
+            agent: "a".into(),
+            selected_model: "m".into(),
+            metrics: BinaryMetrics::default(),
+            latency_ms: 0.0,
+            size_bytes: 0,
+        };
+        assert_eq!(r.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn metrics_lookup_by_model() {
+        let rows = vec![
+            ScenarioMetrics {
+                model: "RF".into(),
+                metrics: BinaryMetrics { f1: 0.5, ..Default::default() },
+            },
+            ScenarioMetrics {
+                model: "MLP".into(),
+                metrics: BinaryMetrics { f1: 0.9, ..Default::default() },
+            },
+        ];
+        assert!((FrameworkReport::metrics_for(&rows, "MLP").unwrap().f1 - 0.9).abs() < 1e-12);
+        assert!(FrameworkReport::metrics_for(&rows, "nope").is_none());
+    }
+}

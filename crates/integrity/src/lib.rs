@@ -1,0 +1,31 @@
+//! ML model integrity validation (paper §2.7).
+//!
+//! The framework protects deployed defense models against tampering with
+//! two complementary mechanisms:
+//!
+//! * [`sha256`] / [`ModelRegistry`] — a from-scratch SHA-256 (FIPS 180-4,
+//!   verified against the NIST test vectors) fingerprints each deployed
+//!   model's bytes together with its deployment timestamp; periodic
+//!   verification compares fresh digests against the stored records.
+//! * [`MetricMonitor`] — baseline accuracy/F1/TPR/FPR/TNR/FNR measured on
+//!   a reserved offline validation set; metric drift beyond a tolerance
+//!   indicates possible model alteration and triggers restoration.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_integrity::{ModelRegistry, sha256::sha256};
+//!
+//! let registry = ModelRegistry::new();
+//! registry.register("MLP", b"weights...", 1_700_000_000);
+//! assert!(registry.verify("MLP", b"weights...").is_verified());
+//! println!("digest: {}", sha256(b"weights..."));
+//! ```
+
+pub mod monitor;
+pub mod registry;
+pub mod sha256;
+
+pub use monitor::{MetricDeviation, MetricMonitor, MetricStatus};
+pub use registry::{DeploymentRecord, IntegrityStatus, ModelRegistry};
+pub use sha256::{sha256 as sha256_digest, Digest, Sha256};

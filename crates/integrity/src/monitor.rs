@@ -1,0 +1,185 @@
+//! The metric monitor (paper §2.7): baseline performance records on a
+//! reserved offline validation set, with drift detection.
+//!
+//! Besides hashing, the paper periodically re-evaluates each deployed
+//! model on a held-out validation set and compares accuracy, F1, TPR,
+//! FPR, TNR and FNR against established records; deviations indicate
+//! possible tampering and trigger restoration of the verified model.
+
+use std::collections::HashMap;
+
+use hmd_ml::BinaryMetrics;
+use parking_lot::RwLock;
+use serde::Serialize;
+
+/// Verdict of one metric assessment.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum MetricStatus {
+    /// All monitored metrics within tolerance of the baseline.
+    Stable,
+    /// One or more metrics drifted; each entry names the metric with its
+    /// baseline and observed value.
+    Drifted(Vec<MetricDeviation>),
+    /// No baseline recorded for this model.
+    Unknown,
+}
+
+/// One out-of-tolerance metric.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct MetricDeviation {
+    /// Metric name (`"accuracy"`, `"f1"`, `"tpr"`, `"fpr"`, `"tnr"`,
+    /// `"fnr"`).
+    pub metric: &'static str,
+    /// Recorded baseline value.
+    pub baseline: f64,
+    /// Currently observed value.
+    pub observed: f64,
+}
+
+/// Thread-safe monitor of per-model baseline metrics.
+///
+/// # Example
+///
+/// ```
+/// use hmd_integrity::MetricMonitor;
+/// use hmd_ml::BinaryMetrics;
+///
+/// let monitor = MetricMonitor::new(0.05);
+/// let baseline = BinaryMetrics { accuracy: 0.9, f1: 0.9, ..Default::default() };
+/// monitor.record_baseline("MLP", baseline);
+/// assert!(monitor.assess("MLP", &baseline).is_stable());
+/// ```
+#[derive(Debug)]
+pub struct MetricMonitor {
+    baselines: RwLock<HashMap<String, BinaryMetrics>>,
+    tolerance: f64,
+}
+
+impl MetricStatus {
+    /// `true` only for [`MetricStatus::Stable`].
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        matches!(self, MetricStatus::Stable)
+    }
+}
+
+impl MetricMonitor {
+    /// A monitor flagging metrics that deviate more than `tolerance`
+    /// (absolute) from their baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative tolerance.
+    #[must_use]
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        Self { baselines: RwLock::new(HashMap::new()), tolerance }
+    }
+
+    /// Records (or replaces) a model's baseline metrics.
+    pub fn record_baseline(&self, name: &str, metrics: BinaryMetrics) {
+        self.baselines.write().insert(name.to_owned(), metrics);
+    }
+
+    /// Compares freshly measured metrics against the stored baseline.
+    #[must_use]
+    pub fn assess(&self, name: &str, observed: &BinaryMetrics) -> MetricStatus {
+        let baselines = self.baselines.read();
+        let Some(base) = baselines.get(name) else {
+            return MetricStatus::Unknown;
+        };
+        let pairs: [(&'static str, f64, f64); 6] = [
+            ("accuracy", base.accuracy, observed.accuracy),
+            ("f1", base.f1, observed.f1),
+            ("tpr", base.tpr, observed.tpr),
+            ("fpr", base.fpr, observed.fpr),
+            ("tnr", base.tnr, observed.tnr),
+            ("fnr", base.fnr, observed.fnr),
+        ];
+        let deviations: Vec<MetricDeviation> = pairs
+            .into_iter()
+            .filter(|(_, b, o)| (b - o).abs() > self.tolerance)
+            .map(|(metric, baseline, observed)| MetricDeviation { metric, baseline, observed })
+            .collect();
+        if deviations.is_empty() {
+            MetricStatus::Stable
+        } else {
+            MetricStatus::Drifted(deviations)
+        }
+    }
+
+    /// The stored baseline for a model, if any.
+    #[must_use]
+    pub fn baseline(&self, name: &str) -> Option<BinaryMetrics> {
+        self.baselines.read().get(name).copied()
+    }
+
+    /// The configured tolerance.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(acc: f64, f1: f64) -> BinaryMetrics {
+        BinaryMetrics { accuracy: acc, f1, tpr: 0.9, fpr: 0.1, tnr: 0.9, fnr: 0.1, ..Default::default() }
+    }
+
+    #[test]
+    fn stable_within_tolerance() {
+        let m = MetricMonitor::new(0.05);
+        m.record_baseline("RF", metrics(0.90, 0.90));
+        assert!(m.assess("RF", &metrics(0.93, 0.88)).is_stable());
+    }
+
+    #[test]
+    fn drift_is_reported_per_metric() {
+        let m = MetricMonitor::new(0.05);
+        m.record_baseline("RF", metrics(0.90, 0.90));
+        match m.assess("RF", &metrics(0.60, 0.89)) {
+            MetricStatus::Drifted(devs) => {
+                assert_eq!(devs.len(), 1);
+                assert_eq!(devs[0].metric, "accuracy");
+                assert!((devs[0].observed - 0.60).abs() < 1e-12);
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_model_reported() {
+        let m = MetricMonitor::new(0.05);
+        assert_eq!(m.assess("ghost", &metrics(0.9, 0.9)), MetricStatus::Unknown);
+    }
+
+    #[test]
+    fn multiple_drifts_collected() {
+        let m = MetricMonitor::new(0.02);
+        m.record_baseline("DT", metrics(0.9, 0.9));
+        let observed = BinaryMetrics {
+            accuracy: 0.5,
+            f1: 0.4,
+            tpr: 0.3,
+            fpr: 0.6,
+            tnr: 0.4,
+            fnr: 0.7,
+            ..Default::default()
+        };
+        match m.assess("DT", &observed) {
+            MetricStatus::Drifted(devs) => assert_eq!(devs.len(), 6),
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_flags_any_change() {
+        let m = MetricMonitor::new(0.0);
+        m.record_baseline("LR", metrics(0.9, 0.9));
+        assert!(!m.assess("LR", &metrics(0.9000001, 0.9)).is_stable());
+        assert!(m.assess("LR", &metrics(0.9, 0.9)).is_stable());
+    }
+}

@@ -1,0 +1,186 @@
+//! The model integrity registry (paper §2.7): SHA-256 fingerprints of
+//! deployed models, combined with deployment timestamps, verified
+//! periodically against stored records.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::sha256::{Digest, Sha256};
+
+/// A recorded deployment: fingerprint + timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeploymentRecord {
+    /// Digest of the model bytes combined with the deployment timestamp.
+    pub digest: Digest,
+    /// Deployment timestamp (seconds since an arbitrary epoch).
+    pub deployed_at: u64,
+}
+
+/// Result of an integrity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntegrityStatus {
+    /// Fingerprint matches the stored record.
+    Verified,
+    /// Fingerprint differs — the model was altered since deployment.
+    Tampered {
+        /// The stored fingerprint.
+        expected: Digest,
+        /// The fingerprint computed now.
+        actual: Digest,
+    },
+    /// No record exists for this model name.
+    Unknown,
+}
+
+/// Thread-safe registry of deployed-model fingerprints.
+///
+/// # Example
+///
+/// ```
+/// use hmd_integrity::ModelRegistry;
+///
+/// let registry = ModelRegistry::new();
+/// registry.register("MLP", b"model bytes", 1_700_000_000);
+/// assert!(registry.verify("MLP", b"model bytes").is_verified());
+/// assert!(!registry.verify("MLP", b"tampered bytes").is_verified());
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    records: RwLock<HashMap<String, DeploymentRecord>>,
+}
+
+impl IntegrityStatus {
+    /// `true` only for [`IntegrityStatus::Verified`].
+    #[must_use]
+    pub fn is_verified(&self) -> bool {
+        matches!(self, IntegrityStatus::Verified)
+    }
+}
+
+fn fingerprint(model_bytes: &[u8], deployed_at: u64) -> Digest {
+    // hash(model bytes ‖ timestamp) — the paper combines the model path
+    // with its deployment timestamp; we bind the content instead of the
+    // path so byte-level tampering is always caught.
+    let mut h = Sha256::new();
+    h.update(model_bytes);
+    h.update(&deployed_at.to_le_bytes());
+    h.finalize()
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) a deployed model.
+    pub fn register(&self, name: &str, model_bytes: &[u8], deployed_at: u64) {
+        let record =
+            DeploymentRecord { digest: fingerprint(model_bytes, deployed_at), deployed_at };
+        self.records.write().insert(name.to_owned(), record);
+    }
+
+    /// Verifies a model's current bytes against its stored record.
+    #[must_use]
+    pub fn verify(&self, name: &str, model_bytes: &[u8]) -> IntegrityStatus {
+        let records = self.records.read();
+        let Some(record) = records.get(name) else {
+            return IntegrityStatus::Unknown;
+        };
+        let actual = fingerprint(model_bytes, record.deployed_at);
+        if actual == record.digest {
+            IntegrityStatus::Verified
+        } else {
+            IntegrityStatus::Tampered { expected: record.digest, actual }
+        }
+    }
+
+    /// The stored record for a model, if any.
+    #[must_use]
+    pub fn record(&self, name: &str) -> Option<DeploymentRecord> {
+        self.records.read().get(name).cloned()
+    }
+
+    /// Names of all registered models, sorted.
+    #[must_use]
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.records.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_roundtrip() {
+        let r = ModelRegistry::new();
+        r.register("RF", b"forest", 100);
+        assert_eq!(r.verify("RF", b"forest"), IntegrityStatus::Verified);
+    }
+
+    #[test]
+    fn detects_tampering() {
+        let r = ModelRegistry::new();
+        r.register("RF", b"forest", 100);
+        match r.verify("RF", b"f0rest") {
+            IntegrityStatus::Tampered { expected, actual } => assert_ne!(expected, actual),
+            other => panic!("expected tampered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_model() {
+        let r = ModelRegistry::new();
+        assert_eq!(r.verify("ghost", b""), IntegrityStatus::Unknown);
+    }
+
+    #[test]
+    fn timestamp_binds_the_fingerprint() {
+        let r1 = ModelRegistry::new();
+        r1.register("m", b"same bytes", 1);
+        let r2 = ModelRegistry::new();
+        r2.register("m", b"same bytes", 2);
+        assert_ne!(r1.record("m").unwrap().digest, r2.record("m").unwrap().digest);
+    }
+
+    #[test]
+    fn reregistration_replaces_record() {
+        let r = ModelRegistry::new();
+        r.register("m", b"v1", 1);
+        r.register("m", b"v2", 2);
+        assert_eq!(r.len(), 1);
+        assert!(r.verify("m", b"v2").is_verified());
+        assert!(!r.verify("m", b"v1").is_verified());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let r = ModelRegistry::new();
+        r.register("b", b"", 0);
+        r.register("a", b"", 0);
+        assert_eq!(r.model_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn registry_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ModelRegistry>();
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use hmd_tabular::TabularError;
+
+/// Errors produced by classifier training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The model was used before `fit`, or on data of the wrong width.
+    NotFitted,
+    /// Feature vector width differs from what the model was trained on.
+    DimensionMismatch {
+        /// Width the model was trained on.
+        expected: usize,
+        /// Width of the offending input.
+        actual: usize,
+    },
+    /// Training requires a non-empty dataset with both classes present.
+    DegenerateTrainingSet(&'static str),
+    /// Targets and rows disagree in length, or a target is not 0/1.
+    InvalidTargets(&'static str),
+    /// A hyper-parameter was out of range.
+    InvalidHyperparameter(&'static str),
+    /// An underlying tabular operation failed.
+    Tabular(TabularError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFitted => write!(f, "model used before fitting"),
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "input has {actual} features, model expects {expected}")
+            }
+            Self::DegenerateTrainingSet(what) => {
+                write!(f, "degenerate training set: {what}")
+            }
+            Self::InvalidTargets(what) => write!(f, "invalid targets: {what}"),
+            Self::InvalidHyperparameter(what) => {
+                write!(f, "invalid hyper-parameter: {what}")
+            }
+            Self::Tabular(e) => write!(f, "tabular error: {e}"),
+        }
+    }
+}
+
+impl Error for MlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Tabular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabularError> for MlError {
+    fn from(e: TabularError) -> Self {
+        Self::Tabular(e)
+    }
+}

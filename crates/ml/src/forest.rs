@@ -1,0 +1,283 @@
+//! Random forest: bagged CART trees with per-split feature subsampling.
+
+use hmd_tabular::Dataset;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{validate_training_set, Classifier};
+use crate::tree::{DecisionTree, DecisionTreeConfig};
+use crate::MlError;
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration (its `max_features` is overridden by
+    /// `max_features` below).
+    pub tree: DecisionTreeConfig,
+    /// Features examined per split (`None` = ⌈√d⌉, the usual default).
+    pub max_features: Option<usize>,
+    /// Seed for bootstraps and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 60,
+            tree: DecisionTreeConfig {
+                max_depth: 14,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
+            max_features: None,
+            seed: 17,
+        }
+    }
+}
+
+/// A bagging ensemble of decision trees; probabilities are averaged over
+/// the ensemble.
+///
+/// # Example
+///
+/// ```
+/// use hmd_ml::{Classifier, RandomForest};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), hmd_ml::MlError> {
+/// let mut d = Dataset::new(vec!["x".into()])?;
+/// for i in 0..60 {
+///     let label = if i < 30 { Class::Benign } else { Class::Malware };
+///     d.push(&[i as f64], label)?;
+/// }
+/// let targets = d.binary_targets(Class::is_attack);
+/// let mut rf = RandomForest::new();
+/// rf.fit(&d, &targets)?;
+/// assert!(rf.predict_proba_row(&[55.0])? > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTree>,
+    fitted: bool,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RandomForest {
+    /// A forest with default hyper-parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(RandomForestConfig::default())
+    }
+
+    /// A forest with explicit hyper-parameters.
+    #[must_use]
+    pub fn with_config(config: RandomForestConfig) -> Self {
+        Self { config, trees: Vec::new(), fitted: false }
+    }
+
+    /// Number of fitted trees.
+    #[must_use]
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Forest-level feature importances: the mean of the member trees'
+    /// normalized gini importances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before `fit`.
+    pub fn feature_importances(&self) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        let mut total: Vec<f64> = Vec::new();
+        for tree in &self.trees {
+            let imp = tree.feature_importances()?;
+            if total.is_empty() {
+                total = imp;
+            } else {
+                for (t, v) in total.iter_mut().zip(imp) {
+                    *t += v;
+                }
+            }
+        }
+        for t in &mut total {
+            *t /= self.trees.len() as f64;
+        }
+        Ok(total)
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+
+    fn fit(&mut self, data: &Dataset, targets: &[f64]) -> Result<(), MlError> {
+        validate_training_set(data, targets)?;
+        if self.config.n_trees == 0 {
+            return Err(MlError::InvalidHyperparameter("need at least one tree"));
+        }
+        let n = data.len();
+        let sqrt_features = (data.n_features() as f64).sqrt().ceil() as usize;
+        let max_features = self.config.max_features.unwrap_or(sqrt_features).max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees.clear();
+        for t in 0..self.config.n_trees {
+            // bootstrap sample
+            let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let tree_config = DecisionTreeConfig {
+                max_features: Some(max_features),
+                ..self.config.tree
+            };
+            let mut tree = DecisionTree::with_config(tree_config);
+            tree.set_seed(self.config.seed.wrapping_add(t as u64).wrapping_mul(0x9e37));
+            tree.fit_indices(data, targets, &indices)?;
+            self.trees.push(tree);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<f64, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        let mut sum = 0.0;
+        for tree in &self.trees {
+            sum += tree.predict_proba_row(row)?;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.trees.iter().map(Classifier::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate;
+    use hmd_tabular::Class;
+
+    fn noisy_blobs(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        for _ in 0..n {
+            let benign = [
+                rng.random_range(-1.0..0.6),
+                rng.random_range(-1.0..0.6),
+                rng.random_range(-1.0..1.0), // noise feature
+            ];
+            let attack = [
+                rng.random_range(0.4..2.0),
+                rng.random_range(0.4..2.0),
+                rng.random_range(-1.0..1.0),
+            ];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        (d, t)
+    }
+
+    #[test]
+    fn outperforms_single_tree_on_noisy_data() {
+        let (train, t_train) = noisy_blobs(150, 1);
+        let (test, t_test) = noisy_blobs(150, 2);
+        let mut tree = DecisionTree::new();
+        tree.fit(&train, &t_train).unwrap();
+        let mut forest = RandomForest::new();
+        forest.fit(&train, &t_train).unwrap();
+        let m_tree = evaluate(&tree, &test, &t_test).unwrap();
+        let m_forest = evaluate(&forest, &test, &t_test).unwrap();
+        assert!(
+            m_forest.auc >= m_tree.auc - 0.01,
+            "forest auc {} vs tree {}",
+            m_forest.auc,
+            m_tree.auc
+        );
+        assert!(m_forest.accuracy > 0.85);
+    }
+
+    #[test]
+    fn probabilities_are_ensemble_averages() {
+        let (d, t) = noisy_blobs(100, 3);
+        let mut forest = RandomForest::with_config(RandomForestConfig {
+            n_trees: 5,
+            ..RandomForestConfig::default()
+        });
+        forest.fit(&d, &t).unwrap();
+        assert_eq!(forest.tree_count(), 5);
+        let p = forest.predict_proba_row(&[1.5, 1.5, 0.0]).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (d, t) = noisy_blobs(80, 4);
+        let fit = |seed| {
+            let mut f = RandomForest::with_config(RandomForestConfig {
+                n_trees: 8,
+                seed,
+                ..RandomForestConfig::default()
+            });
+            f.fit(&d, &t).unwrap();
+            f.predict_proba(&d).unwrap()
+        };
+        assert_eq!(fit(7), fit(7));
+        assert_ne!(fit(7), fit(8));
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let forest = RandomForest::new();
+        assert_eq!(forest.predict_proba_row(&[1.0]).unwrap_err(), MlError::NotFitted);
+        let (d, t) = noisy_blobs(40, 5);
+        let mut zero = RandomForest::with_config(RandomForestConfig {
+            n_trees: 0,
+            ..RandomForestConfig::default()
+        });
+        assert!(matches!(zero.fit(&d, &t), Err(MlError::InvalidHyperparameter(_))));
+    }
+
+    #[test]
+    fn forest_importances_average_members() {
+        let (d, t) = noisy_blobs(100, 9);
+        let mut forest = RandomForest::with_config(RandomForestConfig {
+            n_trees: 10,
+            ..RandomForestConfig::default()
+        });
+        forest.fit(&d, &t).unwrap();
+        let imp = forest.feature_importances().unwrap();
+        assert_eq!(imp.len(), 3);
+        // the noise feature (index 2) matters least
+        assert!(imp[2] < imp[0] && imp[2] < imp[1], "importances {imp:?}");
+    }
+
+    #[test]
+    fn size_sums_trees() {
+        let (d, t) = noisy_blobs(60, 6);
+        let mut forest = RandomForest::with_config(RandomForestConfig {
+            n_trees: 4,
+            ..RandomForestConfig::default()
+        });
+        forest.fit(&d, &t).unwrap();
+        let total: usize = forest.trees.iter().map(Classifier::size_bytes).sum();
+        assert_eq!(forest.size_bytes(), total);
+        assert!(forest.size_bytes() > 0);
+    }
+}

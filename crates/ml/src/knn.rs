@@ -1,0 +1,225 @@
+//! k-nearest-neighbours classifier — an extension baseline: the
+//! prototypical non-parametric detector, interesting against adversarial
+//! samples because its decision surface hugs the training manifold.
+
+use hmd_tabular::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{validate_training_set, Classifier};
+use crate::MlError;
+
+/// Hyper-parameters for [`Knn`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbours consulted.
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 7 }
+    }
+}
+
+/// A brute-force k-NN classifier with Euclidean distance.
+///
+/// Probabilities are the positive fraction among the k nearest training
+/// rows, distance-weighted.
+///
+/// # Example
+///
+/// ```
+/// use hmd_ml::{Classifier, Knn};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), hmd_ml::MlError> {
+/// let mut d = Dataset::new(vec!["x".into()])?;
+/// for i in 0..30 {
+///     let label = if i < 15 { Class::Benign } else { Class::Malware };
+///     d.push(&[i as f64], label)?;
+/// }
+/// let targets = d.binary_targets(Class::is_attack);
+/// let mut knn = Knn::new();
+/// knn.fit(&d, &targets)?;
+/// assert!(knn.predict_proba_row(&[27.0])? > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Knn {
+    config: KnnConfig,
+    /// Training rows, flattened row-major.
+    data: Vec<f64>,
+    targets: Vec<f64>,
+    n_features: usize,
+    fitted: bool,
+}
+
+impl Default for Knn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Knn {
+    /// A classifier with the default `k`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(KnnConfig::default())
+    }
+
+    /// A classifier with an explicit `k`.
+    #[must_use]
+    pub fn with_config(config: KnnConfig) -> Self {
+        Self { config, data: Vec::new(), targets: Vec::new(), n_features: 0, fitted: false }
+    }
+
+    /// The configured neighbour count.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn fit(&mut self, data: &Dataset, targets: &[f64]) -> Result<(), MlError> {
+        validate_training_set(data, targets)?;
+        if self.config.k == 0 {
+            return Err(MlError::InvalidHyperparameter("k must be positive"));
+        }
+        if self.config.k > data.len() {
+            return Err(MlError::InvalidHyperparameter("k exceeds training size"));
+        }
+        self.n_features = data.n_features();
+        self.data = data.raw_data().to_vec();
+        self.targets = targets.to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<f64, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        let n = self.targets.len();
+        // (distance², target) for every training row, then partial sort
+        let mut dists: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let base = i * self.n_features;
+                let d2: f64 = row
+                    .iter()
+                    .zip(&self.data[base..base + self.n_features])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d2, self.targets[i])
+            })
+            .collect();
+        let k = self.config.k;
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        // inverse-distance weighting over the k nearest
+        let mut weight_sum = 0.0;
+        let mut positive = 0.0;
+        for &(d2, t) in &dists[..k] {
+            let w = 1.0 / (d2.sqrt() + 1e-9);
+            weight_sum += w;
+            positive += w * t;
+        }
+        Ok(positive / weight_sum)
+    }
+
+    fn size_bytes(&self) -> usize {
+        // k-NN memorizes the training set
+        (self.data.len() + self.targets.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate;
+    use hmd_tabular::Class;
+    use rand::prelude::*;
+
+    fn blobs(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..n {
+            let benign = [rng.random_range(-1.0..0.3), rng.random_range(-1.0..0.3)];
+            let attack = [rng.random_range(0.3..1.6), rng.random_range(0.3..1.6)];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        (d, t)
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let (train, tt) = blobs(120, 1);
+        let (test, te) = blobs(60, 2);
+        let mut knn = Knn::new();
+        knn.fit(&train, &tt).unwrap();
+        let m = evaluate(&knn, &test, &te).unwrap();
+        assert!(m.accuracy > 0.9, "accuracy {}", m.accuracy);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_points() {
+        let (d, t) = blobs(40, 3);
+        let mut knn = Knn::with_config(KnnConfig { k: 1 });
+        knn.fit(&d, &t).unwrap();
+        for (i, &target) in t.iter().enumerate() {
+            let p = knn.predict_proba_row(d.row(i).unwrap()).unwrap();
+            assert_eq!(p >= 0.5, target == 1.0, "row {i}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_weighted_fractions() {
+        let (d, t) = blobs(50, 4);
+        let mut knn = Knn::new();
+        knn.fit(&d, &t).unwrap();
+        let p = knn.predict_proba_row(&[0.0, 0.0]).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn validates_k() {
+        let (d, t) = blobs(5, 5);
+        let mut zero = Knn::with_config(KnnConfig { k: 0 });
+        assert!(matches!(zero.fit(&d, &t), Err(MlError::InvalidHyperparameter(_))));
+        let mut huge = Knn::with_config(KnnConfig { k: 1000 });
+        assert!(matches!(huge.fit(&d, &t), Err(MlError::InvalidHyperparameter(_))));
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let knn = Knn::new();
+        assert_eq!(knn.predict_proba_row(&[0.0]).unwrap_err(), MlError::NotFitted);
+        let (d, t) = blobs(20, 6);
+        let mut knn = Knn::new();
+        knn.fit(&d, &t).unwrap();
+        assert!(matches!(
+            knn.predict_proba_row(&[0.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn size_reflects_memorized_data() {
+        let (d, t) = blobs(30, 7);
+        let mut knn = Knn::new();
+        knn.fit(&d, &t).unwrap();
+        assert_eq!(knn.size_bytes(), (60 * 2 + 60) * 8);
+    }
+}

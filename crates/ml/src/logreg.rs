@@ -1,0 +1,297 @@
+//! Logistic regression with full-batch gradient descent.
+//!
+//! Besides serving as one of the five classical detectors, LR plays two
+//! special roles in the paper: it is the *surrogate model* whose loss
+//! gradient drives LowProFool perturbations, and the *imperceptibility
+//! evaluator* that scores generated adversarial samples (Algorithm 1).
+//! Both need access to the decision function and its input gradient,
+//! which this implementation exposes.
+
+use hmd_nn::sigmoid;
+use hmd_tabular::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{validate_training_set, Classifier};
+use crate::MlError;
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.5, epochs: 300, l2: 1e-4 }
+    }
+}
+
+/// L2-regularized logistic regression.
+///
+/// # Example
+///
+/// ```
+/// use hmd_ml::{Classifier, LogisticRegression};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), hmd_ml::MlError> {
+/// let mut d = Dataset::new(vec!["x".into()])?;
+/// for i in 0..20 {
+///     let label = if i < 10 { Class::Benign } else { Class::Malware };
+///     d.push(&[i as f64], label)?;
+/// }
+/// let targets = d.binary_targets(Class::is_attack);
+/// let mut lr = LogisticRegression::new();
+/// lr.fit(&d, &targets)?;
+/// assert!(lr.predict_proba_row(&[19.0])? > 0.5);
+/// assert!(lr.predict_proba_row(&[0.0])? < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    config: LogisticRegressionConfig,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogisticRegression {
+    /// A model with default hyper-parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(LogisticRegressionConfig::default())
+    }
+
+    /// A model with explicit hyper-parameters.
+    #[must_use]
+    pub fn with_config(config: LogisticRegressionConfig) -> Self {
+        Self { config, weights: Vec::new(), bias: 0.0, fitted: false }
+    }
+
+    /// The fitted weight vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before `fit`.
+    pub fn weights(&self) -> Result<&[f64], MlError> {
+        if self.fitted {
+            Ok(&self.weights)
+        } else {
+            Err(MlError::NotFitted)
+        }
+    }
+
+    /// The fitted intercept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before `fit`.
+    pub fn bias(&self) -> Result<f64, MlError> {
+        if self.fitted {
+            Ok(self.bias)
+        } else {
+            Err(MlError::NotFitted)
+        }
+    }
+
+    /// The raw decision value `w·x + b` (positive ⇒ attack side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] / [`MlError::DimensionMismatch`].
+    pub fn decision_function(&self, row: &[f64]) -> Result<f64, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if row.len() != self.weights.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.weights.len(),
+                actual: row.len(),
+            });
+        }
+        Ok(self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + self.bias)
+    }
+
+    /// Gradient of the logistic loss `L(x, t)` with respect to the *input*
+    /// `x` for a desired target `t` — the term LowProFool descends along
+    /// (Eq. 1 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] / [`MlError::DimensionMismatch`].
+    pub fn input_gradient(&self, row: &[f64], target: f64) -> Result<Vec<f64>, MlError> {
+        let z = self.decision_function(row)?;
+        let p = sigmoid(z);
+        // dL/dx = (p - t) * w
+        Ok(self.weights.iter().map(|w| (p - target) * w).collect())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn fit(&mut self, data: &Dataset, targets: &[f64]) -> Result<(), MlError> {
+        validate_training_set(data, targets)?;
+        if self.config.learning_rate <= 0.0 || self.config.epochs == 0 {
+            return Err(MlError::InvalidHyperparameter("learning rate/epochs must be positive"));
+        }
+        let n = data.len();
+        let d = data.n_features();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let mut grad = vec![0.0; d];
+        for _ in 0..self.config.epochs {
+            grad.fill(0.0);
+            let mut grad_b = 0.0;
+            for (i, &target) in targets.iter().enumerate() {
+                let row = data.row(i)?;
+                let z = self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
+                    + self.bias;
+                let err = sigmoid(z) - target;
+                for (g, &x) in grad.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+                grad_b += err;
+            }
+            let lr = self.config.learning_rate / n as f64;
+            for (w, g) in self.weights.iter_mut().zip(&grad) {
+                *w -= lr * (g + self.config.l2 * *w * n as f64);
+            }
+            self.bias -= lr * grad_b;
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<f64, MlError> {
+        Ok(sigmoid(self.decision_function(row)?))
+    }
+
+    fn size_bytes(&self) -> usize {
+        (self.weights.len() + 1) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_tabular::Class;
+    use rand::prelude::*;
+
+    fn separable(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..n {
+            let benign = [rng.random_range(-1.0..0.3), rng.random_range(-1.0..0.3)];
+            let attack = [rng.random_range(0.7..2.0), rng.random_range(0.7..2.0)];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        (d, t)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (d, t) = separable(100, 1);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&d, &t).unwrap();
+        let m = crate::model::evaluate(&lr, &d, &t).unwrap();
+        assert!(m.accuracy > 0.97, "accuracy {}", m.accuracy);
+        assert!(m.auc > 0.99, "auc {}", m.auc);
+    }
+
+    #[test]
+    fn decision_function_sign_matches_probability() {
+        let (d, t) = separable(50, 2);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&d, &t).unwrap();
+        let z = lr.decision_function(&[1.5, 1.5]).unwrap();
+        let p = lr.predict_proba_row(&[1.5, 1.5]).unwrap();
+        assert!(z > 0.0 && p > 0.5);
+        let z = lr.decision_function(&[-0.8, -0.8]).unwrap();
+        let p = lr.predict_proba_row(&[-0.8, -0.8]).unwrap();
+        assert!(z < 0.0 && p < 0.5);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let (d, t) = separable(50, 3);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&d, &t).unwrap();
+        let x = [0.4, 0.6];
+        let target = 0.0;
+        let grad = lr.input_gradient(&x, target).unwrap();
+        let loss = |x: &[f64]| -> f64 {
+            let p = lr.predict_proba_row(x).unwrap();
+            // binary cross-entropy toward `target`
+            -(target * p.max(1e-12).ln() + (1.0 - target) * (1.0 - p).max(1e-12).ln())
+        };
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - grad[i]).abs() < 1e-6 * (1.0 + num.abs()),
+                "grad {i}: numeric {num} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_width() {
+        let lr = LogisticRegression::new();
+        assert_eq!(lr.predict_proba_row(&[1.0]).unwrap_err(), MlError::NotFitted);
+        assert!(lr.weights().is_err());
+        let (d, t) = separable(20, 4);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&d, &t).unwrap();
+        assert!(matches!(
+            lr.predict_proba_row(&[1.0]),
+            Err(MlError::DimensionMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (d, t) = separable(100, 5);
+        let mut weak = LogisticRegression::with_config(LogisticRegressionConfig {
+            l2: 0.0,
+            ..LogisticRegressionConfig::default()
+        });
+        let mut strong = LogisticRegression::with_config(LogisticRegressionConfig {
+            l2: 0.5,
+            ..LogisticRegressionConfig::default()
+        });
+        weak.fit(&d, &t).unwrap();
+        strong.fit(&d, &t).unwrap();
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm(strong.weights().unwrap()) < norm(weak.weights().unwrap()));
+    }
+
+    #[test]
+    fn size_counts_weights_and_bias() {
+        let (d, t) = separable(20, 6);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&d, &t).unwrap();
+        assert_eq!(lr.size_bytes(), 3 * 8);
+    }
+}

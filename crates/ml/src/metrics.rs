@@ -1,0 +1,292 @@
+//! Binary classification metrics: the full suite the paper reports
+//! (ACC, F1, AUC, TPR, FPR, FNR, TNR, precision, recall).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix (positive = attack).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Attacks flagged as attacks.
+    pub tp: usize,
+    /// Benign flagged as attacks (false alarms).
+    pub fp: usize,
+    /// Benign passed as benign.
+    pub tn: usize,
+    /// Attacks passed as benign (missed detections).
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies a matrix from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/truth length mismatch");
+        let mut m = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy: (TP + TN) / total.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Precision: TP / (TP + FP).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall / true-positive rate: TP / (TP + FN).
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// True-positive rate (alias of [`Self::recall`]).
+    #[must_use]
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// False-positive rate: FP / (FP + TN).
+    #[must_use]
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False-negative rate: FN / (FN + TP).
+    #[must_use]
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// True-negative rate: TN / (TN + FP).
+    #[must_use]
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// F1-score: harmonic mean of precision and recall.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The metric row the paper's Table 2 reports for one model and scenario.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// Accuracy.
+    pub accuracy: f64,
+    /// F1-score.
+    pub f1: f64,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// True-positive rate (= recall).
+    pub tpr: f64,
+    /// False-positive rate.
+    pub fpr: f64,
+    /// False-negative rate.
+    pub fnr: f64,
+    /// True-negative rate.
+    pub tnr: f64,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+}
+
+impl BinaryMetrics {
+    /// Computes the full suite from scores (`P(attack)`) and truths,
+    /// thresholding at 0.5 for the confusion-matrix metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn from_scores(scores: &[f64], actual: &[bool]) -> Self {
+        assert_eq!(scores.len(), actual.len(), "scores/truth length mismatch");
+        let predicted: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+        let cm = ConfusionMatrix::from_predictions(&predicted, actual);
+        Self {
+            accuracy: cm.accuracy(),
+            f1: cm.f1(),
+            auc: roc_auc(scores, actual),
+            tpr: cm.tpr(),
+            fpr: cm.fpr(),
+            fnr: cm.fnr(),
+            tnr: cm.tnr(),
+            precision: cm.precision(),
+            recall: cm.recall(),
+        }
+    }
+}
+
+/// Area under the ROC curve via the rank-statistic (Mann–Whitney)
+/// formulation, with tie correction.
+///
+/// Returns `0.5` when either class is absent (no ranking information).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let scores = [0.9, 0.8, 0.3, 0.1];
+/// let truth = [true, true, false, false];
+/// assert_eq!(hmd_ml::metrics::roc_auc(&scores, &truth), 1.0);
+/// ```
+#[must_use]
+pub fn roc_auc(scores: &[f64], actual: &[bool]) -> f64 {
+    assert_eq!(scores.len(), actual.len(), "scores/truth length mismatch");
+    let n_pos = actual.iter().filter(|&&a| a).count();
+    let n_neg = actual.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // rank scores ascending with average ranks for ties
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(actual).filter(|&(_, &a)| a).map(|(r, _)| r).sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> ConfusionMatrix {
+        // 8 TP, 2 FP, 6 TN, 4 FN
+        ConfusionMatrix { tp: 8, fp: 2, tn: 6, fn_: 4 }
+    }
+
+    #[test]
+    fn confusion_matrix_from_predictions() {
+        let predicted = [true, true, false, false];
+        let actual = [true, false, true, false];
+        let m = ConfusionMatrix::from_predictions(&predicted, &actual);
+        assert_eq!(m, ConfusionMatrix { tp: 1, fp: 1, tn: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = cm();
+        assert!((m.accuracy() - 0.7).abs() < 1e-12);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.fpr() - 0.25).abs() < 1e-12);
+        assert!((m.fnr() - 4.0 / 12.0).abs() < 1e-12);
+        assert!((m.tnr() - 0.75).abs() < 1e-12);
+        assert!((m.tpr() - m.recall()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn f1_matches_manual() {
+        let m = cm();
+        let p = 0.8;
+        let r = 8.0 / 12.0;
+        assert!((m.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_on_empty_matrix_are_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.fpr(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let truth = [true, true, false, false];
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &truth), 1.0);
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &truth), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // constant scores: all ties → 0.5
+        let truth = [true, false, true, false];
+        assert_eq!(roc_auc(&[0.5, 0.5, 0.5, 0.5], &truth), 0.5);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let scores = [0.9, 0.6, 0.4, 0.7, 0.2, 0.1];
+        let truth = [true, true, true, false, false, false];
+        // pairs: pos {0.9,0.6,0.4} vs neg {0.7,0.2,0.1}: wins 7 of 9
+        assert!((roc_auc(&scores, &truth) - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_metrics_threshold_at_half() {
+        let scores = [0.9, 0.4, 0.6, 0.1];
+        let truth = [true, true, false, false];
+        let m = BinaryMetrics::from_scores(&scores, &truth);
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+        assert!((m.tpr - 0.5).abs() < 1e-12);
+        assert!((m.fpr - 0.5).abs() < 1e-12);
+        assert!((m.auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn auc_rejects_mismatched_lengths() {
+        let _ = roc_auc(&[0.5], &[true, false]);
+    }
+}

@@ -1,0 +1,227 @@
+//! The [`Classifier`] trait every detector implements, plus evaluation
+//! and latency/footprint measurement helpers.
+
+use std::time::Instant;
+
+use hmd_tabular::Dataset;
+
+use crate::metrics::BinaryMetrics;
+use crate::MlError;
+
+/// A binary malware detector (positive class = attack).
+///
+/// All five classical models of the paper (RF, DT, LR, MLP, LightGBM-style
+/// GBDT) plus the conv NN implement this trait, so the framework, the
+/// adversarial attacks, and the RL constraint controller can treat them
+/// uniformly as `Box<dyn Classifier>`.
+pub trait Classifier: Send + Sync + std::fmt::Debug {
+    /// Short model name ("RF", "MLP", …) as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains on `data` with per-row binary targets (`1.0` = attack).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/degenerate training sets or mismatched
+    /// target lengths.
+    fn fit(&mut self, data: &Dataset, targets: &[f64]) -> Result<(), MlError>;
+
+    /// Probability that one feature vector is an attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before `fit` and
+    /// [`MlError::DimensionMismatch`] for wrong-width rows.
+    fn predict_proba_row(&self, row: &[f64]) -> Result<f64, MlError>;
+
+    /// Attack probabilities for a whole dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::predict_proba_row`] errors.
+    fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
+        (0..data.len())
+            .map(|i| self.predict_proba_row(data.row(i)?))
+            .collect()
+    }
+
+    /// Hard decision for one feature vector (threshold 0.5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::predict_proba_row`] errors.
+    fn predict_row(&self, row: &[f64]) -> Result<bool, MlError> {
+        Ok(self.predict_proba_row(row)? >= 0.5)
+    }
+
+    /// Approximate in-memory size of the fitted model in bytes — the
+    /// memory-footprint axis of the constraint controller.
+    fn size_bytes(&self) -> usize;
+}
+
+/// Validates a `(data, targets)` pair before training.
+///
+/// # Errors
+///
+/// Returns an error when `data` is empty, lengths mismatch, a target is
+/// not 0/1, or only one class is present.
+pub fn validate_training_set(data: &Dataset, targets: &[f64]) -> Result<(), MlError> {
+    if data.is_empty() {
+        return Err(MlError::DegenerateTrainingSet("no rows"));
+    }
+    if targets.len() != data.len() {
+        return Err(MlError::InvalidTargets("target length differs from row count"));
+    }
+    if targets.iter().any(|&t| t != 0.0 && t != 1.0) {
+        return Err(MlError::InvalidTargets("targets must be 0.0 or 1.0"));
+    }
+    let pos = targets.iter().filter(|&&t| t == 1.0).count();
+    if pos == 0 || pos == targets.len() {
+        return Err(MlError::DegenerateTrainingSet("need both classes present"));
+    }
+    Ok(())
+}
+
+/// Evaluates a fitted classifier on a labeled test set.
+///
+/// # Errors
+///
+/// Propagates prediction errors.
+pub fn evaluate(
+    model: &dyn Classifier,
+    data: &Dataset,
+    targets: &[f64],
+) -> Result<BinaryMetrics, MlError> {
+    let scores = model.predict_proba(data)?;
+    let truth: Vec<bool> = targets.iter().map(|&t| t == 1.0).collect();
+    Ok(BinaryMetrics::from_scores(&scores, &truth))
+}
+
+/// Measures mean single-row inference latency in milliseconds — the
+/// latency axis of the constraint controller.
+///
+/// # Errors
+///
+/// Propagates prediction errors.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `repeats` is zero.
+pub fn measure_latency_ms(
+    model: &dyn Classifier,
+    data: &Dataset,
+    repeats: usize,
+) -> Result<f64, MlError> {
+    assert!(!data.is_empty(), "need at least one row");
+    assert!(repeats > 0, "need at least one repeat");
+    // warmup
+    let _ = model.predict_proba_row(data.row(0)?)?;
+    let start = Instant::now();
+    let mut calls = 0usize;
+    for _ in 0..repeats {
+        for i in 0..data.len() {
+            let _ = model.predict_proba_row(data.row(i)?)?;
+            calls += 1;
+        }
+    }
+    Ok(start.elapsed().as_secs_f64() * 1e3 / calls as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmd_tabular::Class;
+
+    /// A trivial threshold stub used to test the trait helpers.
+    #[derive(Debug, Default)]
+    struct Stub {
+        threshold: f64,
+        fitted: bool,
+    }
+
+    impl Classifier for Stub {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+
+        fn fit(&mut self, data: &Dataset, targets: &[f64]) -> Result<(), MlError> {
+            validate_training_set(data, targets)?;
+            self.threshold = 0.5;
+            self.fitted = true;
+            Ok(())
+        }
+
+        fn predict_proba_row(&self, row: &[f64]) -> Result<f64, MlError> {
+            if !self.fitted {
+                return Err(MlError::NotFitted);
+            }
+            Ok(if row[0] > self.threshold { 0.9 } else { 0.1 })
+        }
+
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn data() -> (Dataset, Vec<f64>) {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..10 {
+            let label = if i % 2 == 0 { Class::Benign } else { Class::Malware };
+            d.push(&[i as f64 / 10.0], label).unwrap();
+        }
+        let targets = d.binary_targets(Class::is_attack);
+        (d, targets)
+    }
+
+    #[test]
+    fn validation_catches_degenerate_sets() {
+        let (d, mut t) = data();
+        assert!(validate_training_set(&d, &t).is_ok());
+        assert!(matches!(
+            validate_training_set(&d, &t[..5]),
+            Err(MlError::InvalidTargets(_))
+        ));
+        t.fill(1.0);
+        assert!(matches!(
+            validate_training_set(&d, &t),
+            Err(MlError::DegenerateTrainingSet(_))
+        ));
+        let empty = Dataset::new(vec!["x".into()]).unwrap();
+        assert!(matches!(
+            validate_training_set(&empty, &[]),
+            Err(MlError::DegenerateTrainingSet(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_non_binary_targets() {
+        let (d, mut t) = data();
+        t[0] = 0.5;
+        assert!(matches!(validate_training_set(&d, &t), Err(MlError::InvalidTargets(_))));
+    }
+
+    #[test]
+    fn evaluate_produces_metrics() {
+        let (d, t) = data();
+        let mut s = Stub::default();
+        s.fit(&d, &t).unwrap();
+        let m = evaluate(&s, &d, &t).unwrap();
+        // stub flags x > 0.5: rows 6,7,8,9 → tp {7,9}, fp {6,8}
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfitted_model_errors() {
+        let s = Stub::default();
+        assert_eq!(s.predict_proba_row(&[0.1]).unwrap_err(), MlError::NotFitted);
+    }
+
+    #[test]
+    fn latency_is_positive() {
+        let (d, t) = data();
+        let mut s = Stub::default();
+        s.fit(&d, &t).unwrap();
+        let lat = measure_latency_ms(&s, &d, 3).unwrap();
+        assert!((0.0..10.0).contains(&lat));
+    }
+}

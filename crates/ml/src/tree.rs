@@ -1,0 +1,422 @@
+//! CART decision tree (gini impurity) with optional per-split feature
+//! subsampling so it can double as the random-forest base learner.
+
+use hmd_tabular::Dataset;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{validate_training_set, Classifier};
+use crate::MlError;
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Features examined per split (`None` = all — plain CART;
+    /// `Some(k)` = uniform random subset of `k` — forest mode).
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 8, min_samples_leaf: 3, max_features: None }
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART binary classification tree.
+///
+/// # Example
+///
+/// ```
+/// use hmd_ml::{Classifier, DecisionTree};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), hmd_ml::MlError> {
+/// let mut d = Dataset::new(vec!["x".into()])?;
+/// for i in 0..40 {
+///     let label = if i < 20 { Class::Benign } else { Class::Malware };
+///     d.push(&[i as f64], label)?;
+/// }
+/// let targets = d.binary_targets(Class::is_attack);
+/// let mut dt = DecisionTree::new();
+/// dt.fit(&d, &targets)?;
+/// assert!(dt.predict_proba_row(&[35.0])? > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    fitted: bool,
+    rng_seed: u64,
+    /// Accumulated weighted gini gain per feature.
+    importances: Vec<f64>,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionTree {
+    /// A tree with default hyper-parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(DecisionTreeConfig::default())
+    }
+
+    /// A tree with explicit hyper-parameters.
+    #[must_use]
+    pub fn with_config(config: DecisionTreeConfig) -> Self {
+        Self {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            fitted: false,
+            rng_seed: 0,
+            importances: Vec::new(),
+        }
+    }
+
+    /// Sets the seed used for feature subsampling (forest mode).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng_seed = seed;
+    }
+
+    /// Number of nodes in the fitted tree.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Normalized gini importances per feature (sums to 1 when any split
+    /// occurred).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before `fit`.
+    pub fn feature_importances(&self) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return Ok(vec![0.0; self.n_features]);
+        }
+        Ok(self.importances.iter().map(|v| v / total).collect())
+    }
+
+    /// Fits on a subset of rows (bootstrap support for forests).
+    ///
+    /// # Errors
+    ///
+    /// Returns training-set validation errors.
+    pub(crate) fn fit_indices(
+        &mut self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+    ) -> Result<(), MlError> {
+        if indices.is_empty() {
+            return Err(MlError::DegenerateTrainingSet("no rows selected"));
+        }
+        self.n_features = data.n_features();
+        self.nodes.clear();
+        self.importances = vec![0.0; self.n_features];
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+        let mut idx = indices.to_vec();
+        self.build(data, targets, &mut idx, 0, &mut rng)?;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn build(
+        &mut self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Result<usize, MlError> {
+        let n = indices.len();
+        let pos: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let proba = pos / n as f64;
+        let pure = proba == 0.0 || proba == 1.0;
+        if pure || depth >= self.config.max_depth || n < self.config.min_samples_split {
+            self.nodes.push(Node::Leaf { proba });
+            return Ok(self.nodes.len() - 1);
+        }
+
+        // choose candidate features
+        let features: Vec<usize> = match self.config.max_features {
+            Some(k) if k < self.n_features => {
+                let mut all: Vec<usize> = (0..self.n_features).collect();
+                all.shuffle(rng);
+                all.truncate(k.max(1));
+                all
+            }
+            _ => (0..self.n_features).collect(),
+        };
+
+        // best split by gini gain
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let parent_gini = gini(pos, n as f64);
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_by(|&a, &b| data.row(a).expect("valid")[f]
+                .total_cmp(&data.row(b).expect("valid")[f]));
+            let mut left_pos = 0.0;
+            for split_at in 1..n {
+                left_pos += targets[order[split_at - 1]];
+                let x_prev = data.row(order[split_at - 1])?[f];
+                let x_next = data.row(order[split_at])?[f];
+                if x_prev == x_next {
+                    continue;
+                }
+                let left_n = split_at;
+                let right_n = n - split_at;
+                if left_n < self.config.min_samples_leaf
+                    || right_n < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_pos = pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n as f64)
+                    + right_n as f64 * gini(right_pos, right_n as f64))
+                    / n as f64;
+                let gain = parent_gini - weighted;
+                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, (x_prev + x_next) / 2.0, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            self.nodes.push(Node::Leaf { proba });
+            return Ok(self.nodes.len() - 1);
+        };
+        self.importances[feature] += gain * n as f64;
+
+        // partition in place
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in indices.iter() {
+            if data.row(i)?[feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { proba }); // placeholder
+        let left_idx = self.build(data, targets, &mut left, depth + 1, rng)?;
+        let right_idx = self.build(data, targets, &mut right, depth + 1, rng)?;
+        self.nodes[node_idx] = Node::Split { feature, threshold, left: left_idx, right: right_idx };
+        Ok(node_idx)
+    }
+}
+
+fn gini(pos: f64, n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+
+    fn fit(&mut self, data: &Dataset, targets: &[f64]) -> Result<(), MlError> {
+        validate_training_set(data, targets)?;
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_indices(data, targets, &indices)
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<f64, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { proba } => return Ok(*proba),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // feature index + threshold + two child indices ≈ 32 bytes/node
+        self.nodes.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate;
+    use hmd_tabular::Class;
+
+    fn xor_data(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for _ in 0..n {
+            let a = rng.random_bool(0.5);
+            let b = rng.random_bool(0.5);
+            let label = if a ^ b { Class::Malware } else { Class::Benign };
+            let x = [
+                f64::from(u8::from(a)) + rng.random_range(-0.2..0.2),
+                f64::from(u8::from(b)) + rng.random_range(-0.2..0.2),
+            ];
+            d.push(&x, label).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        (d, t)
+    }
+
+    #[test]
+    fn learns_xor_unlike_linear_models() {
+        let (d, t) = xor_data(400, 1);
+        let mut dt = DecisionTree::new();
+        dt.fit(&d, &t).unwrap();
+        let m = evaluate(&dt, &d, &t).unwrap();
+        assert!(m.accuracy > 0.95, "accuracy {}", m.accuracy);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (d, t) = xor_data(400, 2);
+        let mut stump = DecisionTree::with_config(DecisionTreeConfig {
+            max_depth: 1,
+            ..DecisionTreeConfig::default()
+        });
+        stump.fit(&d, &t).unwrap();
+        // depth-1 tree has at most 3 nodes
+        assert!(stump.node_count() <= 3);
+        // and cannot solve XOR
+        let m = evaluate(&stump, &d, &t).unwrap();
+        assert!(m.accuracy < 0.7);
+    }
+
+    #[test]
+    fn pure_leaves_give_confident_probabilities() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..20 {
+            let label = if i < 10 { Class::Benign } else { Class::Malware };
+            d.push(&[i as f64], label).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        let mut dt = DecisionTree::new();
+        dt.fit(&d, &t).unwrap();
+        assert_eq!(dt.predict_proba_row(&[0.0]).unwrap(), 0.0);
+        assert_eq!(dt.predict_proba_row(&[19.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_limits_splits() {
+        let (d, t) = xor_data(60, 3);
+        let mut big_leaf = DecisionTree::with_config(DecisionTreeConfig {
+            min_samples_leaf: 25,
+            ..DecisionTreeConfig::default()
+        });
+        big_leaf.fit(&d, &t).unwrap();
+        let mut small_leaf = DecisionTree::new();
+        small_leaf.fit(&d, &t).unwrap();
+        assert!(big_leaf.node_count() < small_leaf.node_count());
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let dt = DecisionTree::new();
+        assert_eq!(dt.predict_proba_row(&[1.0]).unwrap_err(), MlError::NotFitted);
+        let (d, t) = xor_data(50, 4);
+        let mut dt = DecisionTree::new();
+        dt.fit(&d, &t).unwrap();
+        assert!(matches!(
+            dt.predict_proba_row(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn feature_subsampling_changes_tree() {
+        let (d, t) = xor_data(300, 5);
+        let mut full = DecisionTree::new();
+        full.fit(&d, &t).unwrap();
+        let mut sub = DecisionTree::with_config(DecisionTreeConfig {
+            max_features: Some(1),
+            ..DecisionTreeConfig::default()
+        });
+        sub.set_seed(99);
+        sub.fit(&d, &t).unwrap();
+        // both learn, but structure differs
+        assert!(sub.node_count() > 1);
+        assert_ne!(full.node_count(), 0);
+    }
+
+    #[test]
+    fn importances_favor_the_informative_feature() {
+        // feature 0 decides the label; feature 1 is noise
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]).unwrap();
+        for _ in 0..200 {
+            let benign = [rng.random_range(-1.0..0.0), rng.random_range(-1.0..1.0)];
+            let attack = [rng.random_range(0.0..1.0), rng.random_range(-1.0..1.0)];
+            d.push(&benign, Class::Benign).unwrap();
+            d.push(&attack, Class::Malware).unwrap();
+        }
+        let t = d.binary_targets(Class::is_attack);
+        let mut dt = DecisionTree::new();
+        dt.fit(&d, &t).unwrap();
+        let imp = dt.feature_importances().unwrap();
+        assert!(imp[0] > 0.8, "signal importance {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importances_require_fit() {
+        assert!(DecisionTree::new().feature_importances().is_err());
+    }
+
+    #[test]
+    fn size_scales_with_nodes() {
+        let (d, t) = xor_data(200, 6);
+        let mut dt = DecisionTree::new();
+        dt.fit(&d, &t).unwrap();
+        assert_eq!(dt.size_bytes(), dt.node_count() * 32);
+    }
+}

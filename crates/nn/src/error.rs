@@ -1,0 +1,27 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the neural-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A flattened parameter buffer had the wrong length for the network.
+    ParamLengthMismatch {
+        /// Number of parameters the network holds.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ParamLengthMismatch { expected, actual } => {
+                write!(f, "parameter buffer has {actual} values, network expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}

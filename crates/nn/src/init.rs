@@ -1,0 +1,63 @@
+//! Weight initialization schemes.
+
+use rand::prelude::*;
+
+use crate::Tensor;
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+///
+/// Suits tanh/sigmoid/linear layers.
+///
+/// # Panics
+///
+/// Panics if either fan is zero.
+#[must_use]
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    assert!(rows > 0 && cols > 0, "fans must be positive");
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    Tensor::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+}
+
+/// He/Kaiming uniform initialization: samples from
+/// `U(−√(6/fan_in), +√(6/fan_in))`. Suits ReLU layers.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn he_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    assert!(rows > 0 && cols > 0, "fans must be positive");
+    let limit = (6.0 / rows as f64).sqrt();
+    Tensor::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(50, 30, &mut rng);
+        let limit = (6.0 / 80.0f64).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit));
+        // not degenerate
+        assert!(t.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = he_uniform(40, 10, &mut rng);
+        let limit = (6.0 / 40.0f64).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

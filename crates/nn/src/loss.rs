@@ -1,0 +1,163 @@
+//! Loss functions returning `(scalar loss, gradient w.r.t. prediction)`.
+
+use crate::layer::{sigmoid, softmax_rows};
+use crate::Tensor;
+
+/// Supported training losses.
+///
+/// Every variant returns the mean loss over the batch and the gradient of
+/// that mean with respect to the network *output* (logits for the
+/// cross-entropy variants), ready to feed into
+/// [`crate::Sequential::backward`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Loss {
+    /// Mean squared error over all elements. Targets: same shape as
+    /// predictions. Used by the A2C critic.
+    Mse,
+    /// Softmax + categorical cross-entropy, fused for numerical stability.
+    /// Predictions are raw logits; targets are one-hot rows.
+    SoftmaxCrossEntropy,
+    /// Sigmoid + binary cross-entropy, fused ("BCE with logits").
+    /// Predictions are one logit per row (any width ≥ 1, applied
+    /// element-wise); targets are 0/1 of the same shape.
+    BinaryCrossEntropy,
+}
+
+impl Loss {
+    /// Computes `(loss, dloss/dpred)` for a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` and `target` shapes differ.
+    #[must_use]
+    pub fn compute(self, pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = pred.rows() as f64;
+        match self {
+            Loss::Mse => {
+                let diff = pred.sub(target);
+                let loss =
+                    diff.as_slice().iter().map(|v| v * v).sum::<f64>() / pred.len() as f64;
+                let grad = diff.scaled(2.0 / pred.len() as f64);
+                (loss, grad)
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let probs = softmax_rows(pred);
+                let mut loss = 0.0;
+                for r in 0..pred.rows() {
+                    for c in 0..pred.cols() {
+                        let t = target.get(r, c);
+                        if t > 0.0 {
+                            loss -= t * probs.get(r, c).max(1e-15).ln();
+                        }
+                    }
+                }
+                let grad = probs.sub(target).scaled(1.0 / n);
+                (loss / n, grad)
+            }
+            Loss::BinaryCrossEntropy => {
+                let mut loss = 0.0;
+                let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+                let count = pred.len() as f64;
+                for r in 0..pred.rows() {
+                    for c in 0..pred.cols() {
+                        let z = pred.get(r, c);
+                        let t = target.get(r, c);
+                        // log(1 + e^-|z|) + max(z,0) - t*z is the stable form
+                        loss += (1.0 + (-z.abs()).exp()).ln() + z.max(0.0) - t * z;
+                        grad.set(r, c, (sigmoid(z) - t) / count);
+                    }
+                }
+                (loss / count, grad)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(loss: Loss, pred: &Tensor, target: &Tensor, tol: f64) {
+        let (_, grad) = loss.compute(pred, target);
+        let eps = 1e-6;
+        for i in 0..pred.len() {
+            let mut p = pred.clone();
+            p.as_mut_slice()[i] += eps;
+            let (lp, _) = loss.compute(&p, target);
+            p.as_mut_slice()[i] -= 2.0 * eps;
+            let (lm, _) = loss.compute(&p, target);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad.as_slice()[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs()),
+                "{loss:?} grad {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let p = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let (l, g) = Loss::Mse.compute(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches() {
+        let p = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let t = Tensor::from_rows(&[&[1.0, 0.0], &[1.5, -0.5]]);
+        finite_diff_check(Loss::Mse, &p, &t, 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_matches_manual() {
+        // logits [0, 0] with one-hot [1, 0] → loss = ln 2
+        let p = Tensor::from_rows(&[&[0.0, 0.0]]);
+        let t = Tensor::from_rows(&[&[1.0, 0.0]]);
+        let (l, _) = Loss::SoftmaxCrossEntropy.compute(&p, &t);
+        assert!((l - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches() {
+        let p = Tensor::from_rows(&[&[0.3, -0.7, 1.1], &[-0.2, 0.9, 0.1]]);
+        let t = Tensor::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]]);
+        finite_diff_check(Loss::SoftmaxCrossEntropy, &p, &t, 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        // logit 0 → p=0.5 → loss = ln 2 regardless of target
+        let p = Tensor::from_rows(&[&[0.0]]);
+        let t = Tensor::from_rows(&[&[1.0]]);
+        let (l, _) = Loss::BinaryCrossEntropy.compute(&p, &t);
+        assert!((l - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_gradient_matches() {
+        let p = Tensor::from_rows(&[&[0.5], &[-1.2], &[3.0]]);
+        let t = Tensor::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+        finite_diff_check(Loss::BinaryCrossEntropy, &p, &t, 1e-6);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let p = Tensor::from_rows(&[&[500.0], &[-500.0]]);
+        let t = Tensor::from_rows(&[&[1.0], &[0.0]]);
+        let (l, g) = Loss::BinaryCrossEntropy.compute(&p, &t);
+        assert!(l.is_finite());
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss shape mismatch")]
+    fn rejects_shape_mismatch() {
+        let p = Tensor::zeros(1, 2);
+        let t = Tensor::zeros(2, 2);
+        let _ = Loss::Mse.compute(&p, &t);
+    }
+}

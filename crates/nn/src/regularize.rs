@@ -1,0 +1,173 @@
+//! Regularization utilities: inverted dropout and gradient clipping.
+
+use rand::prelude::*;
+
+use crate::layer::{Layer, ParamBlock};
+use crate::Tensor;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so inference
+/// (which applies no mask) needs no rescaling.
+///
+/// # Example
+///
+/// ```
+/// use hmd_nn::{Dropout, Layer, Tensor};
+///
+/// let mut drop = Dropout::new(0.5, 7);
+/// let x = Tensor::full(4, 8, 1.0);
+/// let y = drop.forward(&x);           // some activations zeroed
+/// assert!(y.as_slice().iter().any(|&v| v == 0.0));
+/// let z = drop.infer(&x);             // inference is the identity
+/// assert_eq!(z, x);
+/// ```
+#[derive(Debug)]
+pub struct Dropout {
+    p: f64,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// A dropout layer zeroing activations with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    #[must_use]
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// The drop probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        if self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask = Tensor::from_fn(input.rows(), input.cols(), |_, _| {
+            if self.rng.random_bool(keep) {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let out = input.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_output.hadamard(mask),
+            None => grad_output.clone(),
+        }
+    }
+}
+
+/// Scales all accumulated gradients so their global L2 norm does not
+/// exceed `max_norm`; returns the pre-clip norm.
+///
+/// # Panics
+///
+/// Panics for a non-positive `max_norm`.
+pub fn clip_grad_norm(blocks: &mut [&mut ParamBlock], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max norm must be positive");
+    let total: f64 = blocks
+        .iter()
+        .map(|b| b.grads.as_slice().iter().map(|g| g * g).sum::<f64>())
+        .sum();
+    let norm = total.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for block in blocks.iter_mut() {
+            for g in block.grads.as_mut_slice() {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_zeroes_about_p_fraction() {
+        let mut drop = Dropout::new(0.3, 1);
+        let x = Tensor::full(100, 100, 1.0);
+        let y = drop.forward(&x);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / y.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "zero fraction {frac}");
+        // survivors are scaled to preserve expectation
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut drop = Dropout::new(0.5, 2);
+        let x = Tensor::full(4, 4, 1.0);
+        let y = drop.forward(&x);
+        let g = drop.backward(&Tensor::full(4, 4, 1.0));
+        // gradient flows exactly where activations survived
+        for (yo, go) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_infer_is_identity() {
+        let drop = Dropout::new(0.9, 3);
+        let x = Tensor::from_rows(&[&[1.0, -2.0, 3.0]]);
+        assert_eq!(drop.infer(&x), x);
+    }
+
+    #[test]
+    fn zero_probability_is_passthrough() {
+        let mut drop = Dropout::new(0.0, 4);
+        let x = Tensor::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(drop.forward(&x), x);
+        assert_eq!(drop.backward(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0, 5);
+    }
+
+    #[test]
+    fn clipping_bounds_global_norm() {
+        let mut a = ParamBlock::new(Tensor::full(1, 2, 0.0));
+        a.grads = Tensor::from_rows(&[&[3.0, 4.0]]); // norm 5
+        let pre = clip_grad_norm(&mut [&mut a], 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        let post: f64 = a.grads.as_slice().iter().map(|g| g * g).sum::<f64>().sqrt();
+        assert!((post - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_alone() {
+        let mut a = ParamBlock::new(Tensor::full(1, 2, 0.0));
+        a.grads = Tensor::from_rows(&[&[0.3, 0.4]]); // norm 0.5
+        let before = a.grads.clone();
+        clip_grad_norm(&mut [&mut a], 1.0);
+        assert_eq!(a.grads, before);
+    }
+}

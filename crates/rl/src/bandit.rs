@@ -1,0 +1,291 @@
+//! Alternative bandit algorithms to UCB1 — ε-greedy and Thompson
+//! sampling — behind one [`BanditPolicy`] trait, so the constraint
+//! controller's algorithm choice (the paper picks UCB for its
+//! lightweight footprint) can be ablated.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::ucb::Ucb;
+
+/// A multi-armed bandit policy over a fixed arm set.
+pub trait BanditPolicy: Send + std::fmt::Debug {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of arms.
+    fn n_arms(&self) -> usize;
+
+    /// Selects the next arm to pull.
+    fn select(&mut self, rng: &mut StdRng) -> usize;
+
+    /// Records the observed reward for a pulled arm.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic for an out-of-range arm.
+    fn update(&mut self, arm: usize, reward: f64);
+
+    /// The arm with the best posterior/empirical mean.
+    fn best_arm(&self) -> usize;
+}
+
+impl BanditPolicy for Ucb {
+    fn name(&self) -> &'static str {
+        "UCB1"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.n_arms()
+    }
+
+    fn select(&mut self, _rng: &mut StdRng) -> usize {
+        Ucb::select(self)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        Ucb::update(self, arm, reward);
+    }
+
+    fn best_arm(&self) -> usize {
+        Ucb::best_arm(self)
+    }
+}
+
+/// ε-greedy: explore a uniform arm with probability ε, otherwise exploit
+/// the best empirical mean.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonGreedy {
+    counts: Vec<u64>,
+    means: Vec<f64>,
+    epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// A policy with exploration rate `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero arms or ε outside [0, 1].
+    #[must_use]
+    pub fn new(n_arms: usize, epsilon: f64) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        Self { counts: vec![0; n_arms], means: vec![0.0; n_arms], epsilon }
+    }
+
+    /// Empirical mean per arm.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+}
+
+impl BanditPolicy for EpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        if let Some(untried) = self.counts.iter().position(|&c| c == 0) {
+            return untried;
+        }
+        if rng.random_bool(self.epsilon) {
+            rng.random_range(0..self.counts.len())
+        } else {
+            self.best_arm()
+        }
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.counts.len(), "arm out of range");
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.means[arm] += (reward - self.means[arm]) / n;
+    }
+
+    fn best_arm(&self) -> usize {
+        (0..self.means.len())
+            .max_by(|&a, &b| self.means[a].total_cmp(&self.means[b]))
+            .expect("non-empty arms")
+    }
+}
+
+/// Thompson sampling with Beta posteriors over Bernoulli-like rewards
+/// (rewards are clamped to [0, 1] and treated as success probabilities).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThompsonSampling {
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+}
+
+impl ThompsonSampling {
+    /// A policy with uniform Beta(1, 1) priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero arms.
+    #[must_use]
+    pub fn new(n_arms: usize) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        Self { alpha: vec![1.0; n_arms], beta: vec![1.0; n_arms] }
+    }
+
+    /// Posterior mean per arm.
+    #[must_use]
+    pub fn posterior_means(&self) -> Vec<f64> {
+        self.alpha
+            .iter()
+            .zip(&self.beta)
+            .map(|(a, b)| a / (a + b))
+            .collect()
+    }
+
+    /// Draws one Beta(α, β) sample via the ratio-of-gammas method
+    /// (gamma via Marsaglia–Tsang for shape ≥ 1, boosted below 1).
+    fn sample_beta(alpha: f64, beta: f64, rng: &mut StdRng) -> f64 {
+        let x = Self::sample_gamma(alpha, rng);
+        let y = Self::sample_gamma(beta, rng);
+        x / (x + y)
+    }
+
+    fn sample_gamma(shape: f64, rng: &mut StdRng) -> f64 {
+        if shape < 1.0 {
+            // boost: Gamma(a) = Gamma(a+1) · U^(1/a)
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            return Self::sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // standard normal via Box–Muller
+            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let v = (1.0 + c * z).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl BanditPolicy for ThompsonSampling {
+    fn name(&self) -> &'static str {
+        "thompson"
+    }
+
+    fn n_arms(&self) -> usize {
+        self.alpha.len()
+    }
+
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        (0..self.alpha.len())
+            .map(|a| (a, Self::sample_beta(self.alpha[a], self.beta[a], rng)))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|(a, _)| a)
+            .expect("non-empty arms")
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.alpha.len(), "arm out of range");
+        let r = reward.clamp(0.0, 1.0);
+        self.alpha[arm] += r;
+        self.beta[arm] += 1.0 - r;
+    }
+
+    fn best_arm(&self) -> usize {
+        let means = self.posterior_means();
+        (0..means.len())
+            .max_by(|&a, &b| means[a].total_cmp(&means[b]))
+            .expect("non-empty arms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_bandit(policy: &mut dyn BanditPolicy, true_means: &[f64], pulls: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..pulls {
+            let arm = policy.select(&mut rng);
+            let reward = f64::from(rng.random_bool(true_means[arm]));
+            policy.update(arm, reward);
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_finds_best_arm() {
+        let mut eg = EpsilonGreedy::new(3, 0.1);
+        run_bandit(&mut eg, &[0.2, 0.8, 0.5], 3000, 1);
+        assert_eq!(eg.best_arm(), 1);
+        assert!((eg.means()[1] - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn thompson_finds_best_arm() {
+        let mut ts = ThompsonSampling::new(3);
+        run_bandit(&mut ts, &[0.2, 0.8, 0.5], 3000, 2);
+        assert_eq!(ts.best_arm(), 1);
+        let m = ts.posterior_means();
+        assert!((m[1] - 0.8).abs() < 0.05, "posterior {m:?}");
+    }
+
+    #[test]
+    fn ucb_via_trait_finds_best_arm() {
+        let mut ucb = Ucb::new(3, 1.0);
+        run_bandit(&mut ucb, &[0.2, 0.8, 0.5], 3000, 3);
+        assert_eq!(BanditPolicy::best_arm(&ucb), 1);
+    }
+
+    #[test]
+    fn thompson_explores_before_committing() {
+        let mut ts = ThompsonSampling::new(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let arm = ts.select(&mut rng);
+            seen[arm] = true;
+            ts.update(arm, 0.5);
+        }
+        assert!(seen.iter().all(|&s| s), "arms unexplored: {seen:?}");
+    }
+
+    #[test]
+    fn beta_samples_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (a, b) in [(0.5, 0.5), (1.0, 3.0), (10.0, 2.0)] {
+            for _ in 0..200 {
+                let x = ThompsonSampling::sample_beta(a, b, &mut rng);
+                assert!((0.0..=1.0).contains(&x), "beta({a},{b}) sample {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_mean_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| ThompsonSampling::sample_beta(2.0, 6.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.25).abs() < 0.01, "beta(2,6) mean {mean}");
+    }
+
+    #[test]
+    fn policies_validate_arms() {
+        let mut eg = EpsilonGreedy::new(2, 0.1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eg.update(5, 1.0);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! A Gym-style environment abstraction (paper §2.5.2 customizes OpenAI
+//! Gym's baseline class; this trait is its Rust equivalent).
+
+/// The result of one environment step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// Observation after the action.
+    pub state: Vec<f64>,
+    /// Reward for the action just taken.
+    pub reward: f64,
+    /// Whether the episode ended.
+    pub done: bool,
+}
+
+/// A discrete-action reinforcement-learning environment.
+///
+/// States are dense `f64` vectors of fixed width; actions are indices in
+/// `0..n_actions()`.
+pub trait Environment: Send {
+    /// Width of the observation vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn n_actions(&self) -> usize;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Applies `action`, returning the next observation, reward and
+    /// termination flag.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= n_actions()` or if called
+    /// after `done` without an intervening [`Environment::reset`].
+    fn step(&mut self, action: usize) -> Step;
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::*;
+
+    /// A two-state corridor: action 1 moves right (+1 reward at the end),
+    /// action 0 ends the episode with no reward. Optimal return = 1.
+    #[derive(Debug, Default)]
+    pub struct Corridor {
+        pos: usize,
+    }
+
+    impl Environment for Corridor {
+        fn state_dim(&self) -> usize {
+            1
+        }
+
+        fn n_actions(&self) -> usize {
+            2
+        }
+
+        fn reset(&mut self) -> Vec<f64> {
+            self.pos = 0;
+            vec![0.0]
+        }
+
+        fn step(&mut self, action: usize) -> Step {
+            assert!(action < 2, "bad action");
+            if action == 0 {
+                return Step { state: vec![self.pos as f64], reward: 0.0, done: true };
+            }
+            self.pos += 1;
+            if self.pos >= 3 {
+                Step { state: vec![self.pos as f64], reward: 1.0, done: true }
+            } else {
+                Step { state: vec![self.pos as f64], reward: 0.0, done: false }
+            }
+        }
+    }
+
+    #[test]
+    fn corridor_rewards_persistence() {
+        let mut env = Corridor::default();
+        let s0 = env.reset();
+        assert_eq!(s0, vec![0.0]);
+        assert!(!env.step(1).done);
+        assert!(!env.step(1).done);
+        let last = env.step(1);
+        assert!(last.done);
+        assert_eq!(last.reward, 1.0);
+    }
+
+    #[test]
+    fn corridor_quit_ends_without_reward() {
+        let mut env = Corridor::default();
+        let _ = env.reset();
+        let s = env.step(0);
+        assert!(s.done);
+        assert_eq!(s.reward, 0.0);
+    }
+}

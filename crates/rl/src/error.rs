@@ -1,0 +1,29 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the RL substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RlError {
+    /// An environment or trainer received an empty dataset.
+    EmptyDataset,
+    /// A required class was absent from the training data.
+    MissingClass(&'static str),
+    /// Aligned inputs (models/profiles/targets) disagreed in shape.
+    Mismatch(&'static str),
+    /// An underlying ML model failed during controller training.
+    Model(String),
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDataset => write!(f, "training requires a non-empty dataset"),
+            Self::MissingClass(what) => write!(f, "missing class: {what}"),
+            Self::Mismatch(what) => write!(f, "shape mismatch: {what}"),
+            Self::Model(what) => write!(f, "model failure: {what}"),
+        }
+    }
+}
+
+impl Error for RlError {}

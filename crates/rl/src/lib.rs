@@ -1,0 +1,47 @@
+//! Reinforcement-learning substrate: the adversarial predictor and the
+//! constraint-aware controller.
+//!
+//! Two RL techniques power the paper's defense framework:
+//!
+//! * **A2C adversarial predictor** (§2.5) — an Advantage Actor-Critic
+//!   agent ([`A2cAgent`]) trained in a Gym-style environment
+//!   ([`env::Environment`], [`PredictorEnv`]) where flagging a labeled
+//!   adversarial sample earns reward 100 and everything else earns 0.
+//!   At inference the critic's value estimate serves as the *feedback
+//!   reward*: ≈100 for adversarial HPC patterns, ≈0 otherwise
+//!   ([`AdversarialPredictor`]).
+//! * **UCB constraint controller** (§2.6) — lightweight [`Ucb`] bandits
+//!   ([`ConstraintController`]) that dynamically pick among the fitted ML
+//!   models under one of three constraint specializations
+//!   ([`ConstraintKind`]): fast inference, small memory footprint, or
+//!   best detection.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_rl::Ucb;
+//!
+//! let mut agent = Ucb::new(5, 1.0);
+//! let arm = agent.select();
+//! agent.update(arm, 1.0);
+//! assert_eq!(agent.total_pulls(), 1);
+//! ```
+
+pub mod a2c;
+pub mod bandit;
+pub mod controller;
+pub mod env;
+pub mod predictor;
+pub mod ucb;
+
+mod error;
+
+pub use a2c::{A2cAgent, A2cConfig};
+pub use bandit::{BanditPolicy, EpsilonGreedy, ThompsonSampling};
+pub use controller::{ConstraintController, ConstraintKind, ControllerConfig, ModelProfile};
+pub use env::{Environment, Step};
+pub use error::RlError;
+pub use predictor::{
+    AdversarialPredictor, PredictorAction, PredictorConfig, PredictorEnv, ADVERSARIAL_REWARD,
+};
+pub use ucb::Ucb;

@@ -1,0 +1,195 @@
+//! The Upper Confidence Bound (UCB1) bandit used by the constraint-aware
+//! controller (paper §2.6: chosen "due to its lightweight nature,
+//! imposing minimal overhead in terms of parameter size and inference
+//! latency").
+
+use serde::{Deserialize, Serialize};
+
+/// A UCB1 agent over `n` arms.
+///
+/// Arm selection maximizes `mean(arm) + c·√(ln t / n(arm))`; untried arms
+/// are always selected first.
+///
+/// # Example
+///
+/// ```
+/// use hmd_rl::Ucb;
+///
+/// let mut ucb = Ucb::new(3, 1.0);
+/// for _ in 0..300 {
+///     let arm = ucb.select();
+///     // arm 2 pays best
+///     let reward = if arm == 2 { 1.0 } else { 0.2 };
+///     ucb.update(arm, reward);
+/// }
+/// assert_eq!(ucb.best_arm(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ucb {
+    counts: Vec<u64>,
+    means: Vec<f64>,
+    total: u64,
+    exploration: f64,
+}
+
+impl Ucb {
+    /// A UCB1 agent with `n_arms` arms and exploration constant `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero arms or negative `c`.
+    #[must_use]
+    pub fn new(n_arms: usize, exploration: f64) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!(exploration >= 0.0, "exploration constant must be non-negative");
+        Self { counts: vec![0; n_arms], means: vec![0.0; n_arms], total: 0, exploration }
+    }
+
+    /// Number of arms.
+    #[must_use]
+    pub fn n_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Selects the next arm to pull (UCB1 rule; untried arms first).
+    #[must_use]
+    pub fn select(&self) -> usize {
+        if let Some(untried) = self.counts.iter().position(|&c| c == 0) {
+            return untried;
+        }
+        let ln_t = (self.total as f64).ln();
+        (0..self.counts.len())
+            .max_by(|&a, &b| self.ucb_score(a, ln_t).total_cmp(&self.ucb_score(b, ln_t)))
+            .expect("non-empty arms")
+    }
+
+    fn ucb_score(&self, arm: usize, ln_t: f64) -> f64 {
+        self.means[arm] + self.exploration * (ln_t / self.counts[arm] as f64).sqrt()
+    }
+
+    /// Records the observed reward for a pulled arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.counts.len(), "arm out of range");
+        self.counts[arm] += 1;
+        self.total += 1;
+        let n = self.counts[arm] as f64;
+        self.means[arm] += (reward - self.means[arm]) / n;
+    }
+
+    /// The arm with the best empirical mean (pure exploitation).
+    #[must_use]
+    pub fn best_arm(&self) -> usize {
+        (0..self.means.len())
+            .max_by(|&a, &b| self.means[a].total_cmp(&self.means[b]))
+            .expect("non-empty arms")
+    }
+
+    /// Empirical mean reward per arm.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Pull count per arm.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total pulls so far.
+    #[must_use]
+    pub fn total_pulls(&self) -> u64 {
+        self.total
+    }
+
+    /// In-memory size of the agent state in bytes — the "lightweight"
+    /// property the paper highlights (a handful of floats per arm).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.counts.len() * (8 + 8) + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn tries_every_arm_first() {
+        let mut ucb = Ucb::new(4, 1.0);
+        let mut seen = [false; 4];
+        for _ in 0..4 {
+            let arm = ucb.select();
+            assert!(!seen[arm], "arm {arm} selected twice before others tried");
+            seen[arm] = true;
+            ucb.update(arm, 0.0);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn converges_to_best_arm_under_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ucb = Ucb::new(3, 1.2);
+        let true_means = [0.3, 0.7, 0.5];
+        for _ in 0..3000 {
+            let arm = ucb.select();
+            let reward = f64::from(rng.random_bool(true_means[arm]));
+            ucb.update(arm, reward);
+        }
+        assert_eq!(ucb.best_arm(), 1);
+        // UCB spends most pulls on the best arm
+        assert!(ucb.counts()[1] > 2000, "pulls {:?}", ucb.counts());
+    }
+
+    #[test]
+    fn empirical_means_track_truth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ucb = Ucb::new(2, 0.8);
+        for _ in 0..5000 {
+            let arm = ucb.select();
+            let reward = if arm == 0 {
+                rng.random_range(0.0..0.4)
+            } else {
+                rng.random_range(0.5..1.0)
+            };
+            ucb.update(arm, reward);
+        }
+        assert!((ucb.means()[1] - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_exploration_exploits_greedily() {
+        let mut ucb = Ucb::new(2, 0.0);
+        ucb.update(0, 1.0);
+        ucb.update(1, 0.0);
+        for _ in 0..10 {
+            assert_eq!(ucb.select(), 0);
+            ucb.update(0, 1.0);
+        }
+    }
+
+    #[test]
+    fn size_is_tiny() {
+        let ucb = Ucb::new(5, 1.0);
+        assert!(ucb.size_bytes() < 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn rejects_zero_arms() {
+        let _ = Ucb::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arm out of range")]
+    fn rejects_bad_arm_update() {
+        let mut ucb = Ucb::new(2, 1.0);
+        ucb.update(5, 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Corpus generation: run thousands of applications, collect a labeled
+//! HPC dataset.
+
+use std::thread;
+
+use rand::prelude::*;
+
+use hmd_tabular::{Class, Dataset};
+
+use crate::container::{Container, IsolationMode};
+use crate::machine::MachineConfig;
+use crate::perf::PerfConfig;
+use crate::workload::{WorkloadClass, WorkloadProfile};
+
+/// Configuration of a corpus-collection campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of benign application instances to run.
+    pub benign_apps: usize,
+    /// Number of malware application instances to run.
+    pub malware_apps: usize,
+    /// Recorded sampling windows per application.
+    pub windows_per_app: usize,
+    /// Unrecorded warm-up windows per application.
+    pub warmup_windows: usize,
+    /// Simulated core configuration.
+    pub machine: MachineConfig,
+    /// Perf sampler configuration (events, period, mux slots).
+    pub perf: PerfConfig,
+    /// Container isolation mode.
+    pub isolation: IsolationMode,
+    /// Master seed; the whole corpus is reproducible from it.
+    pub seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            benign_apps: 1500,
+            malware_apps: 1500,
+            windows_per_app: 4,
+            warmup_windows: 1,
+            machine: MachineConfig::default(),
+            perf: PerfConfig::default(),
+            isolation: IsolationMode::LxcDirect,
+            seed: 0x0DAC_2024,
+            threads: 0,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for unit tests and examples (tens of apps,
+    /// short slices).
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            benign_apps: 24,
+            malware_apps: 24,
+            windows_per_app: 2,
+            warmup_windows: 0,
+            machine: MachineConfig { slice_instructions: 2_000, ..MachineConfig::default() },
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A collected corpus: the labeled dataset plus the workload class behind
+/// every row (for per-family analysis).
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// One row per recorded sampling window.
+    pub dataset: Dataset,
+    /// The workload class that produced each row, aligned with
+    /// `dataset` rows.
+    pub row_classes: Vec<WorkloadClass>,
+}
+
+/// The work order for one application instance.
+#[derive(Copy, Clone, Debug)]
+struct AppJob {
+    class: WorkloadClass,
+    instance_seed: u64,
+}
+
+/// Runs the campaign described by `config` and returns the corpus.
+///
+/// Applications are scheduled round-robin over the 8 benign / 8 malware
+/// classes and executed in parallel containers (one simulated core each),
+/// mirroring the paper's automated Perf + LXC collection of 3,000+
+/// applications.
+///
+/// # Panics
+///
+/// Panics if `config` requests zero apps of both kinds, zero windows, or
+/// an invalid machine/perf configuration.
+#[must_use]
+pub fn build_corpus(config: &CorpusConfig) -> Corpus {
+    assert!(
+        config.benign_apps + config.malware_apps > 0,
+        "corpus needs at least one application"
+    );
+    assert!(config.windows_per_app > 0, "need at least one window per app");
+
+    // Deterministic job list.
+    let mut jobs = Vec::with_capacity(config.benign_apps + config.malware_apps);
+    let mut seed_rng = StdRng::seed_from_u64(config.seed);
+    for i in 0..config.benign_apps {
+        jobs.push(AppJob {
+            class: WorkloadClass::BENIGN[i % WorkloadClass::BENIGN.len()],
+            instance_seed: seed_rng.random(),
+        });
+    }
+    for i in 0..config.malware_apps {
+        jobs.push(AppJob {
+            class: WorkloadClass::MALWARE[i % WorkloadClass::MALWARE.len()],
+            instance_seed: seed_rng.random(),
+        });
+    }
+
+    let threads = if config.threads == 0 {
+        thread::available_parallelism().map_or(4, std::num::NonZero::get)
+    } else {
+        config.threads
+    };
+    let chunk = jobs.len().div_ceil(threads).max(1);
+
+    let feature_names: Vec<String> =
+        config.perf.events.iter().map(|e| e.name().to_owned()).collect();
+
+    // Each worker runs its own container over a contiguous chunk; results
+    // are concatenated in job order so the corpus stays deterministic
+    // regardless of thread count.
+    let chunks: Vec<&[AppJob]> = jobs.chunks(chunk).collect();
+    let results: Vec<Vec<(Vec<f64>, WorkloadClass)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk_jobs| {
+                let machine = config.machine;
+                let perf = config.perf.clone();
+                let isolation = config.isolation;
+                let warmup = config.warmup_windows;
+                let windows = config.windows_per_app;
+                scope.spawn(move |_| {
+                    let mut rows = Vec::new();
+                    for job in *chunk_jobs {
+                        let mut container =
+                            Container::new(machine, perf.clone(), isolation, job.instance_seed);
+                        let mut rng = StdRng::seed_from_u64(job.instance_seed);
+                        let profile = WorkloadProfile::sample_instance(job.class, &mut rng);
+                        for sample in container.run_app(&profile, warmup, windows) {
+                            rows.push((sample.values, job.class));
+                        }
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("corpus worker panicked")).collect()
+    })
+    .expect("corpus scope panicked");
+
+    let mut dataset = Dataset::new(feature_names).expect("perf config has events");
+    let mut row_classes = Vec::new();
+    for rows in results {
+        for (values, class) in rows {
+            let label = if class.is_malware() { Class::Malware } else { Class::Benign };
+            dataset.push(&values, label).expect("sampler emits fixed-width rows");
+            row_classes.push(class);
+        }
+    }
+    Corpus { dataset, row_classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::HpcEvent;
+
+    #[test]
+    fn quick_corpus_shape() {
+        let corpus = build_corpus(&CorpusConfig::quick(1));
+        let d = &corpus.dataset;
+        assert_eq!(d.len(), 48 * 2); // 48 apps × 2 windows
+        assert_eq!(d.n_features(), HpcEvent::ALL.len());
+        assert_eq!(corpus.row_classes.len(), d.len());
+        let counts = d.class_counts();
+        assert_eq!(counts[&Class::Benign], 48);
+        assert_eq!(counts[&Class::Malware], 48);
+    }
+
+    #[test]
+    fn corpus_is_deterministic_across_thread_counts() {
+        let mut one = CorpusConfig::quick(7);
+        one.threads = 1;
+        let mut four = CorpusConfig::quick(7);
+        four.threads = 4;
+        let a = build_corpus(&one);
+        let b = build_corpus(&four);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.row_classes, b.row_classes);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_corpus(&CorpusConfig::quick(1));
+        let b = build_corpus(&CorpusConfig::quick(2));
+        assert_ne!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn rows_cover_all_families() {
+        let corpus = build_corpus(&CorpusConfig::quick(3));
+        for class in WorkloadClass::MALWARE {
+            assert!(
+                corpus.row_classes.contains(&class),
+                "family {class} missing from corpus"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn rejects_empty_campaign() {
+        let cfg = CorpusConfig { benign_apps: 0, malware_apps: 0, ..CorpusConfig::quick(0) };
+        let _ = build_corpus(&cfg);
+    }
+}

@@ -1,0 +1,264 @@
+//! Random distributions implemented on top of `rand`.
+//!
+//! `rand_distr` is not on the sanctioned dependency list, so the handful
+//! of distributions the workload models need (normal, log-normal,
+//! Poisson, exponential) are implemented here from first principles.
+
+use rand::prelude::*;
+
+/// Gaussian sampler via the Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use hmd_sim::dist::Normal;
+/// use rand::prelude::*;
+///
+/// let normal = Normal::new(10.0, 2.0);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite standard deviation.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0 && std_dev.is_finite(), "std dev must be finite, non-negative");
+        Self { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: avoid u == 0 so ln() stays finite.
+        let u: f64 = loop {
+            let u: f64 = rng.random();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let v: f64 = rng.random();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws one sample clamped to `[lo, hi]` (truncated by rejection with
+    /// a clamp fallback after 64 tries).
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        for _ in 0..64 {
+            let x = self.sample(rng);
+            if (lo..=hi).contains(&x) {
+                return x;
+            }
+        }
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Log-normal sampler: `exp(N(mu, sigma))`.
+///
+/// Used for per-application parameter jitter — real program behaviour
+/// varies multiplicatively between runs and inputs.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// A log-normal distribution with the given *log-space* parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite sigma.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self { inner: Normal::new(mu, sigma) }
+    }
+
+    /// A log-normal whose median is 1.0 with multiplicative spread
+    /// `sigma` — the natural "jitter factor" parameterization.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite sigma.
+    #[must_use]
+    pub fn jitter(sigma: f64) -> Self {
+        Self::new(0.0, sigma)
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+/// Poisson sampler (Knuth's method for small means, normal approximation
+/// above 64) for event counts such as context switches per window.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// A Poisson distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite rate.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite, non-negative");
+        Self { lambda }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda > 64.0 {
+            // Normal approximation with continuity correction.
+            let n = Normal::new(self.lambda, self.lambda.sqrt());
+            return n.sample(rng).round().max(0.0) as u64;
+        }
+        let limit = (-self.lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    }
+}
+
+/// Exponential sampler (inverse-CDF) for inter-arrival times.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// An exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive or non-finite rate.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be finite, positive");
+        Self { rate }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.random();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = Normal::new(5.0, 2.0);
+        let xs: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let m = mean_of(&xs);
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = Normal::new(0.0, 10.0);
+        for _ in 0..500 {
+            let x = n.sample_clamped(&mut rng, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_unit_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::jitter(0.3);
+        let xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Poisson::new(3.0);
+        let xs: Vec<f64> = (0..20_000).map(|_| p.sample(&mut rng) as f64).collect();
+        assert!((mean_of(&xs) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Poisson::new(500.0);
+        let xs: Vec<f64> = (0..5_000).map(|_| p.sample(&mut rng) as f64).collect();
+        assert!((mean_of(&xs) - 500.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(Poisson::new(0.0).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = Exponential::new(0.5);
+        let xs: Vec<f64> = (0..20_000).map(|_| e.sample(&mut rng)).collect();
+        assert!((mean_of(&xs) - 2.0).abs() < 0.1);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "std dev")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| Poisson::new(4.0).sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| Poisson::new(4.0).sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

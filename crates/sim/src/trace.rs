@@ -1,0 +1,167 @@
+//! Multi-window execution traces with phase annotations — the raw
+//! material behind every sample, kept inspectable for debugging workload
+//! models and for time-series analyses beyond the paper's per-window
+//! classification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::HpcEvent;
+use crate::machine::{Machine, MachineConfig, RunningWorkload};
+use crate::workload::{WorkloadClass, WorkloadProfile};
+
+/// One traced sampling window: raw (un-multiplexed) counters plus the
+/// behavioural phase that dominated the window.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceWindow {
+    /// Window start in milliseconds.
+    pub time_ms: f64,
+    /// Name of the phase active at the window's end.
+    pub phase: String,
+    /// Raw counter values for every event in [`HpcEvent::ALL`].
+    pub counters: Vec<u64>,
+}
+
+impl TraceWindow {
+    /// Reads one counter from the traced window.
+    #[must_use]
+    pub fn get(&self, event: HpcEvent) -> u64 {
+        self.counters[event.index()]
+    }
+}
+
+/// A complete execution trace of one application instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// The workload class that was traced.
+    pub class: WorkloadClass,
+    /// The traced windows in time order.
+    pub windows: Vec<TraceWindow>,
+}
+
+impl ExecutionTrace {
+    /// Records `windows` sampling windows of `class` on a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero windows or an invalid machine configuration.
+    #[must_use]
+    pub fn record(
+        class: WorkloadClass,
+        machine_config: MachineConfig,
+        windows: usize,
+        window_ms: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(windows > 0, "need at least one window");
+        let mut machine = Machine::new(machine_config);
+        let mut running = RunningWorkload::new(WorkloadProfile::canonical(class), seed);
+        let mut out = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let counters = machine.run_window(&mut running, window_ms);
+            out.push(TraceWindow {
+                time_ms: w as f64 * window_ms,
+                phase: running.current_phase().name.to_owned(),
+                counters: HpcEvent::ALL.iter().map(|&e| counters.get(e)).collect(),
+            });
+        }
+        Self { class, windows: out }
+    }
+
+    /// Number of traced windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the trace is empty (never true after [`Self::record`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The series of one event over time.
+    #[must_use]
+    pub fn series(&self, event: HpcEvent) -> Vec<u64> {
+        self.windows.iter().map(|w| w.get(event)).collect()
+    }
+
+    /// The distinct phases observed, in first-appearance order.
+    #[must_use]
+    pub fn phases_observed(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for w in &self.windows {
+            if !seen.contains(&w.phase) {
+                seen.push(w.phase.clone());
+            }
+        }
+        seen
+    }
+
+    /// Mean of one event over the trace.
+    #[must_use]
+    pub fn mean(&self, event: HpcEvent) -> f64 {
+        let s: u64 = self.windows.iter().map(|w| w.get(event)).sum();
+        s as f64 / self.windows.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MachineConfig {
+        MachineConfig { slice_instructions: 3_000, ..MachineConfig::default() }
+    }
+
+    #[test]
+    fn trace_records_requested_windows() {
+        let t = ExecutionTrace::record(WorkloadClass::Ransomware, small(), 12, 10.0, 1);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.windows[3].time_ms, 30.0);
+        assert_eq!(t.windows[0].counters.len(), HpcEvent::ALL.len());
+    }
+
+    #[test]
+    fn long_traces_visit_multiple_phases() {
+        let t = ExecutionTrace::record(WorkloadClass::Ransomware, small(), 120, 10.0, 2);
+        let phases = t.phases_observed();
+        assert!(phases.len() >= 2, "phases observed: {phases:?}");
+        // all phases come from the canonical profile
+        let valid: Vec<&str> = WorkloadProfile::canonical(WorkloadClass::Ransomware)
+            .phases
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        for p in &phases {
+            assert!(valid.contains(&p.as_str()), "unknown phase {p}");
+        }
+    }
+
+    #[test]
+    fn series_matches_window_values() {
+        let t = ExecutionTrace::record(WorkloadClass::Compiler, small(), 6, 10.0, 3);
+        let series = t.series(HpcEvent::Instructions);
+        assert_eq!(series.len(), 6);
+        assert_eq!(series[2], t.windows[2].get(HpcEvent::Instructions));
+        assert!(series.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max() {
+        let t = ExecutionTrace::record(WorkloadClass::Botnet, small(), 20, 10.0, 4);
+        let series = t.series(HpcEvent::LlcLoads);
+        let min = *series.iter().min().unwrap() as f64;
+        let max = *series.iter().max().unwrap() as f64;
+        let mean = t.mean(HpcEvent::LlcLoads);
+        assert!(mean >= min && mean <= max);
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let a = ExecutionTrace::record(WorkloadClass::Worm, small(), 5, 10.0, 9);
+        let b = ExecutionTrace::record(WorkloadClass::Worm, small(), 5, 10.0, 9);
+        assert_eq!(a, b);
+        let c = ExecutionTrace::record(WorkloadClass::Worm, small(), 5, 10.0, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,484 @@
+//! Phase-based behavioural models of benign applications and malware
+//! families.
+//!
+//! This module is the substitution for the paper's corpus of 3,000+ real
+//! applications from VirusShare/VirusTotal: each [`WorkloadClass`] carries
+//! a multi-phase micro-architectural profile (memory access pattern,
+//! branch behaviour, OS-event rates) matching the family-level HPC
+//! signatures reported in the HMD literature — e.g. ransomware's
+//! scan-then-encrypt streaming traffic, rootkits' icache/branch pollution,
+//! botnets' bursty idling. Per-instance log-normal jitter makes every
+//! sampled application unique.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::dist::LogNormal;
+
+/// The application classes the corpus generator can run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WorkloadClass {
+    /// Interactive text editor (benign).
+    TextEditor,
+    /// Web browser rendering pages (benign).
+    WebBrowser,
+    /// Compiler toolchain run (benign).
+    Compiler,
+    /// Media player decoding a stream (benign).
+    MediaPlayer,
+    /// OLTP-style database engine (benign).
+    Database,
+    /// HTTP server under load (benign).
+    WebServer,
+    /// File compression utility (benign).
+    FileCompression,
+    /// Dense numeric kernel (benign).
+    ScientificCompute,
+    /// Self-propagating network worm (malware).
+    Worm,
+    /// File-infecting virus (malware).
+    Virus,
+    /// Botnet client: idle beaconing with command bursts (malware).
+    Botnet,
+    /// Ransomware: directory scan then bulk encryption (malware).
+    Ransomware,
+    /// Kernel-hooking rootkit (malware).
+    Rootkit,
+    /// Trojan: disguised payload with background exfiltration (malware).
+    Trojan,
+    /// Spyware: input capture and periodic screen scraping (malware).
+    Spyware,
+    /// Covert cryptocurrency miner (malware).
+    CryptoMiner,
+}
+
+impl WorkloadClass {
+    /// The eight benign classes.
+    pub const BENIGN: [WorkloadClass; 8] = [
+        WorkloadClass::TextEditor,
+        WorkloadClass::WebBrowser,
+        WorkloadClass::Compiler,
+        WorkloadClass::MediaPlayer,
+        WorkloadClass::Database,
+        WorkloadClass::WebServer,
+        WorkloadClass::FileCompression,
+        WorkloadClass::ScientificCompute,
+    ];
+
+    /// The eight malware families.
+    pub const MALWARE: [WorkloadClass; 8] = [
+        WorkloadClass::Worm,
+        WorkloadClass::Virus,
+        WorkloadClass::Botnet,
+        WorkloadClass::Ransomware,
+        WorkloadClass::Rootkit,
+        WorkloadClass::Trojan,
+        WorkloadClass::Spyware,
+        WorkloadClass::CryptoMiner,
+    ];
+
+    /// Whether this class is a malware family.
+    #[must_use]
+    pub fn is_malware(self) -> bool {
+        Self::MALWARE.contains(&self)
+    }
+
+    /// Human-readable class name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::TextEditor => "text-editor",
+            WorkloadClass::WebBrowser => "web-browser",
+            WorkloadClass::Compiler => "compiler",
+            WorkloadClass::MediaPlayer => "media-player",
+            WorkloadClass::Database => "database",
+            WorkloadClass::WebServer => "web-server",
+            WorkloadClass::FileCompression => "file-compression",
+            WorkloadClass::ScientificCompute => "scientific-compute",
+            WorkloadClass::Worm => "worm",
+            WorkloadClass::Virus => "virus",
+            WorkloadClass::Botnet => "botnet",
+            WorkloadClass::Ransomware => "ransomware",
+            WorkloadClass::Rootkit => "rootkit",
+            WorkloadClass::Trojan => "trojan",
+            WorkloadClass::Spyware => "spyware",
+            WorkloadClass::CryptoMiner => "crypto-miner",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Data-side memory behaviour of one phase.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPattern {
+    /// Data working-set size in bytes.
+    pub working_set: u64,
+    /// Fraction of the working set forming the hot region.
+    pub hot_fraction: f64,
+    /// Probability that a random access targets the hot region.
+    pub hot_prob: f64,
+    /// Probability that an access continues a sequential stream.
+    pub stream_prob: f64,
+    /// Stream stride in bytes.
+    pub stride: u64,
+    /// Fraction of memory operations that are stores.
+    pub store_ratio: f64,
+    /// Memory operations per instruction.
+    pub mem_ratio: f64,
+}
+
+/// Control-flow behaviour of one phase.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BranchPattern {
+    /// Branches per instruction.
+    pub branch_ratio: f64,
+    /// Probability a data-dependent branch is taken.
+    pub taken_bias: f64,
+    /// Probability a branch follows its learned (static) direction.
+    pub predictability: f64,
+    /// Number of distinct static branch sites.
+    pub pc_diversity: u64,
+}
+
+/// Kernel-visible event rates of one phase.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OsPattern {
+    /// Context switches per millisecond.
+    pub context_switch_rate: f64,
+    /// Minor page faults per millisecond.
+    pub minor_fault_rate: f64,
+    /// Major page faults per millisecond.
+    pub major_fault_rate: f64,
+    /// CPU migrations per millisecond.
+    pub migration_rate: f64,
+}
+
+/// One behavioural phase of a workload.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase name for traces.
+    pub name: &'static str,
+    /// Relative share of execution time spent in this phase.
+    pub weight: f64,
+    /// Memory behaviour.
+    pub mem: MemoryPattern,
+    /// Branch behaviour.
+    pub branch: BranchPattern,
+    /// OS-event behaviour.
+    pub os: OsPattern,
+    /// Ideal instructions per cycle before stalls.
+    pub ipc_base: f64,
+    /// Fraction of the wall-clock window the task actually executes (CPU
+    /// duty cycle) — interactive and beaconing workloads are mostly
+    /// blocked, bulk workloads saturate the core.
+    pub utilization: f64,
+    /// Instruction footprint (bytes of hot code).
+    pub icache_footprint: u64,
+}
+
+/// The complete phase profile of one workload class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// The class this profile describes.
+    pub class: WorkloadClass,
+    /// Phases in execution order (cycled during long runs).
+    pub phases: Vec<Phase>,
+}
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+#[allow(clippy::too_many_arguments)] // phase description is naturally wide
+fn phase(
+    name: &'static str,
+    weight: f64,
+    mem: MemoryPattern,
+    branch: BranchPattern,
+    os: OsPattern,
+    ipc_base: f64,
+    utilization: f64,
+    icache_footprint: u64,
+) -> Phase {
+    Phase { name, weight, mem, branch, os, ipc_base, utilization, icache_footprint }
+}
+
+fn mem(
+    working_set: u64,
+    hot_prob: f64,
+    stream_prob: f64,
+    store_ratio: f64,
+    mem_ratio: f64,
+) -> MemoryPattern {
+    MemoryPattern {
+        working_set,
+        hot_fraction: 0.1,
+        hot_prob,
+        stream_prob,
+        stride: 64,
+        store_ratio,
+        mem_ratio,
+    }
+}
+
+fn br(branch_ratio: f64, predictability: f64) -> BranchPattern {
+    BranchPattern { branch_ratio, taken_bias: 0.6, predictability, pc_diversity: 64 }
+}
+
+fn os(cs: f64, minor: f64, major: f64, mig: f64) -> OsPattern {
+    OsPattern {
+        context_switch_rate: cs,
+        minor_fault_rate: minor,
+        major_fault_rate: major,
+        migration_rate: mig,
+    }
+}
+
+impl WorkloadProfile {
+    /// The canonical (un-jittered) profile of a class.
+    #[must_use]
+    pub fn canonical(class: WorkloadClass) -> Self {
+        let phases = match class {
+            WorkloadClass::TextEditor => vec![
+                phase("idle-poll", 0.7, mem(2 * MIB, 0.9, 0.05, 0.2, 0.15),
+                    br(0.18, 0.95), os(3.0, 0.2, 0.0, 0.02), 1.6, 0.04, 96 * KIB),
+                phase("edit-burst", 0.3, mem(4 * MIB, 0.8, 0.2, 0.3, 0.2),
+                    br(0.2, 0.9), os(2.0, 0.5, 0.0, 0.02), 1.8, 0.15, 128 * KIB),
+            ],
+            WorkloadClass::WebBrowser => vec![
+                phase("layout", 0.4, mem(48 * MIB, 0.75, 0.2, 0.25, 0.3),
+                    br(0.22, 0.85), os(4.0, 1.5, 0.01, 0.05), 1.4, 0.5, 512 * KIB),
+                phase("script", 0.4, mem(24 * MIB, 0.8, 0.1, 0.3, 0.28),
+                    br(0.24, 0.8), os(3.0, 1.0, 0.0, 0.05), 1.2, 0.6, 384 * KIB),
+                phase("paint", 0.2, mem(12 * MIB, 0.5, 0.7, 0.5, 0.35),
+                    br(0.12, 0.95), os(2.0, 0.5, 0.0, 0.03), 1.8, 0.4, 128 * KIB),
+            ],
+            WorkloadClass::Compiler => vec![
+                phase("parse", 0.3, mem(8 * MIB, 0.75, 0.3, 0.2, 0.3),
+                    br(0.26, 0.82), os(1.0, 2.0, 0.01, 0.02), 1.3, 0.75, 640 * KIB),
+                phase("optimize", 0.5, mem(24 * MIB, 0.85, 0.1, 0.25, 0.32),
+                    br(0.24, 0.78), os(0.5, 1.0, 0.0, 0.02), 1.1, 0.8, 768 * KIB),
+                phase("codegen", 0.2, mem(16 * MIB, 0.75, 0.4, 0.45, 0.3),
+                    br(0.2, 0.85), os(0.5, 1.5, 0.0, 0.02), 1.4, 0.75, 512 * KIB),
+            ],
+            WorkloadClass::MediaPlayer => vec![
+                phase("decode", 0.8, mem(12 * MIB, 0.55, 0.75, 0.35, 0.33),
+                    br(0.1, 0.96), os(2.0, 0.3, 0.0, 0.03), 2.2, 0.35, 192 * KIB),
+                phase("buffer-refill", 0.2, mem(32 * MIB, 0.2, 0.9, 0.5, 0.4),
+                    br(0.08, 0.97), os(3.0, 0.8, 0.02, 0.03), 1.9, 0.25, 96 * KIB),
+            ],
+            WorkloadClass::Database => vec![
+                phase("index-lookup", 0.5, mem(64 * MIB, 0.65, 0.05, 0.15, 0.34),
+                    br(0.2, 0.8), os(3.0, 1.0, 0.02, 0.04), 0.9, 0.55, 384 * KIB),
+                phase("scan", 0.3, mem(128 * MIB, 0.3, 0.85, 0.1, 0.38),
+                    br(0.14, 0.93), os(2.0, 0.5, 0.01, 0.03), 1.2, 0.65, 192 * KIB),
+                phase("commit", 0.2, mem(24 * MIB, 0.7, 0.4, 0.6, 0.3),
+                    br(0.18, 0.88), os(4.0, 1.5, 0.02, 0.04), 1.1, 0.5, 256 * KIB),
+            ],
+            WorkloadClass::WebServer => vec![
+                phase("accept", 0.3, mem(16 * MIB, 0.85, 0.1, 0.25, 0.25),
+                    br(0.22, 0.86), os(8.0, 1.0, 0.0, 0.1), 1.3, 0.3, 256 * KIB),
+                phase("serve", 0.7, mem(12 * MIB, 0.75, 0.45, 0.3, 0.3),
+                    br(0.2, 0.88), os(6.0, 1.2, 0.01, 0.08), 1.4, 0.5, 320 * KIB),
+            ],
+            WorkloadClass::FileCompression => vec![
+                phase("compress", 0.9, mem(10 * MIB, 0.6, 0.8, 0.4, 0.36),
+                    br(0.16, 0.9), os(1.0, 1.0, 0.02, 0.02), 1.5, 0.75, 96 * KIB),
+                phase("flush", 0.1, mem(16 * MIB, 0.3, 0.95, 0.7, 0.4),
+                    br(0.1, 0.95), os(2.0, 1.0, 0.05, 0.02), 1.3, 0.65, 64 * KIB),
+            ],
+            WorkloadClass::ScientificCompute => vec![
+                phase("blocked-kernel", 0.8, mem(8 * MIB, 0.85, 0.5, 0.3, 0.38),
+                    br(0.08, 0.97), os(0.3, 0.3, 0.0, 0.01), 2.4, 0.8, 64 * KIB),
+                phase("reduction", 0.2, mem(8 * MIB, 0.5, 0.9, 0.2, 0.4),
+                    br(0.1, 0.95), os(0.3, 0.5, 0.0, 0.01), 1.7, 0.75, 48 * KIB),
+            ],
+            // ---- malware families ----
+            WorkloadClass::Worm => vec![
+                phase("scan-network", 0.5, mem(48 * MIB, 0.3, 0.1, 0.3, 0.3),
+                    br(0.26, 0.7), os(8.0, 1.5, 0.02, 0.1), 0.9, 0.55, 160 * KIB),
+                phase("propagate", 0.3, mem(96 * MIB, 0.2, 0.5, 0.5, 0.34),
+                    br(0.2, 0.75), os(6.0, 2.5, 0.05, 0.08), 1.0, 0.7, 192 * KIB),
+                phase("payload-drop", 0.2, mem(48 * MIB, 0.25, 0.75, 0.6, 0.34),
+                    br(0.16, 0.8), os(6.0, 3.0, 0.08, 0.1), 1.1, 0.6, 128 * KIB),
+            ],
+            WorkloadClass::Virus => vec![
+                phase("find-hosts", 0.4, mem(96 * MIB, 0.3, 0.2, 0.15, 0.3),
+                    br(0.24, 0.72), os(5.0, 2.0, 0.06, 0.06), 0.9, 0.7, 224 * KIB),
+                phase("infect", 0.6, mem(160 * MIB, 0.2, 0.7, 0.55, 0.36),
+                    br(0.18, 0.78), os(4.0, 3.0, 0.1, 0.05), 1.0, 0.9, 192 * KIB),
+            ],
+            WorkloadClass::Botnet => vec![
+                phase("beacon-idle", 0.6, mem(24 * MIB, 0.45, 0.05, 0.2, 0.24),
+                    br(0.2, 0.82), os(7.0, 0.8, 0.01, 0.12), 0.8, 0.05, 96 * KIB),
+                phase("command-burst", 0.4, mem(128 * MIB, 0.2, 0.5, 0.45, 0.36),
+                    br(0.22, 0.7), os(6.0, 2.0, 0.05, 0.1), 1.0, 0.75, 160 * KIB),
+            ],
+            WorkloadClass::Ransomware => vec![
+                phase("dir-scan", 0.3, mem(192 * MIB, 0.2, 0.1, 0.1, 0.32),
+                    br(0.24, 0.68), os(7.0, 3.5, 0.15, 0.08), 0.8, 0.85, 160 * KIB),
+                phase("encrypt", 0.6, mem(512 * MIB, 0.1, 0.9, 0.5, 0.42),
+                    br(0.1, 0.85), os(4.0, 4.0, 0.2, 0.05), 1.0, 0.95, 96 * KIB),
+                phase("exfil-note", 0.1, mem(32 * MIB, 0.4, 0.6, 0.5, 0.3),
+                    br(0.18, 0.8), os(8.0, 2.0, 0.05, 0.1), 1.0, 0.4, 128 * KIB),
+            ],
+            WorkloadClass::Rootkit => vec![
+                phase("hook-install", 0.3, mem(48 * MIB, 0.35, 0.15, 0.4, 0.28),
+                    br(0.3, 0.55), os(6.0, 2.5, 0.05, 0.06), 0.7, 0.6, 1024 * KIB),
+                phase("intercept", 0.7, mem(96 * MIB, 0.3, 0.1, 0.3, 0.3),
+                    br(0.32, 0.6), os(7.0, 1.5, 0.02, 0.08), 0.8, 0.55, 1536 * KIB),
+            ],
+            WorkloadClass::Trojan => vec![
+                phase("disguise", 0.4, mem(64 * MIB, 0.4, 0.2, 0.25, 0.28),
+                    br(0.2, 0.84), os(4.0, 1.0, 0.02, 0.05), 1.3, 0.5, 256 * KIB),
+                phase("stage-payload", 0.4, mem(128 * MIB, 0.25, 0.65, 0.5, 0.34),
+                    br(0.18, 0.72), os(6.0, 2.5, 0.08, 0.08), 1.0, 0.75, 192 * KIB),
+                phase("exfil", 0.2, mem(64 * MIB, 0.3, 0.7, 0.4, 0.3),
+                    br(0.2, 0.75), os(9.0, 2.0, 0.05, 0.12), 0.9, 0.6, 160 * KIB),
+            ],
+            WorkloadClass::Spyware => vec![
+                phase("capture-input", 0.5, mem(48 * MIB, 0.35, 0.1, 0.35, 0.28),
+                    br(0.26, 0.74), os(7.0, 1.2, 0.02, 0.09), 0.8, 0.4, 192 * KIB),
+                phase("screen-scrape", 0.3, mem(96 * MIB, 0.15, 0.85, 0.5, 0.38),
+                    br(0.12, 0.88), os(6.0, 2.5, 0.06, 0.08), 1.1, 0.75, 128 * KIB),
+                phase("upload", 0.2, mem(48 * MIB, 0.3, 0.7, 0.4, 0.3),
+                    br(0.18, 0.78), os(6.0, 1.8, 0.04, 0.08), 0.9, 0.55, 128 * KIB),
+            ],
+            WorkloadClass::CryptoMiner => vec![
+                phase("hash-loop", 0.9, mem(2 * MIB + 2 * MIB, 0.95, 0.3, 0.25, 0.3),
+                    br(0.06, 0.97), os(1.0, 0.2, 0.0, 0.03), 2.6, 0.7, 32 * KIB),
+                phase("share-submit", 0.1, mem(16 * MIB, 0.5, 0.4, 0.4, 0.26),
+                    br(0.2, 0.8), os(8.0, 1.0, 0.02, 0.1), 1.0, 0.3, 96 * KIB),
+            ],
+        };
+        Self { class, phases }
+    }
+
+    /// A per-instance jittered profile: every run of an application gets
+    /// log-normally perturbed working sets, intensities and rates,
+    /// modelling input- and configuration-dependence of real programs.
+    #[must_use]
+    pub fn sample_instance<R: Rng + ?Sized>(class: WorkloadClass, rng: &mut R) -> Self {
+        let mut profile = Self::canonical(class);
+        let ws_jitter = LogNormal::jitter(0.22);
+        // OS-event rates vary wildly between runs of the same program
+        // (scheduler load, file-cache state), far more than cache
+        // behaviour does — heavy jitter keeps software events from
+        // dominating the MI ranking the way cache events do on real
+        // hardware.
+        let rate_jitter = LogNormal::jitter(0.9);
+        let small_jitter = LogNormal::jitter(0.10);
+        for ph in &mut profile.phases {
+            ph.mem.working_set =
+                ((ph.mem.working_set as f64 * ws_jitter.sample(rng)) as u64).max(64 * KIB);
+            ph.mem.mem_ratio = (ph.mem.mem_ratio * small_jitter.sample(rng)).clamp(0.05, 0.6);
+            ph.mem.stream_prob = (ph.mem.stream_prob * small_jitter.sample(rng)).clamp(0.0, 0.98);
+            ph.mem.hot_prob = (ph.mem.hot_prob * small_jitter.sample(rng)).clamp(0.0, 0.98);
+            ph.mem.store_ratio = (ph.mem.store_ratio * small_jitter.sample(rng)).clamp(0.02, 0.8);
+            ph.branch.branch_ratio =
+                (ph.branch.branch_ratio * small_jitter.sample(rng)).clamp(0.02, 0.4);
+            ph.branch.predictability =
+                (ph.branch.predictability * small_jitter.sample(rng)).clamp(0.3, 0.99);
+            ph.os.context_switch_rate *= rate_jitter.sample(rng);
+            ph.os.minor_fault_rate *= rate_jitter.sample(rng);
+            ph.os.major_fault_rate *= rate_jitter.sample(rng);
+            ph.os.migration_rate *= rate_jitter.sample(rng);
+            ph.ipc_base = (ph.ipc_base * small_jitter.sample(rng)).clamp(0.4, 3.5);
+            ph.utilization =
+                (ph.utilization * LogNormal::jitter(0.3).sample(rng)).clamp(0.02, 0.99);
+            ph.icache_footprint =
+                ((ph.icache_footprint as f64 * small_jitter.sample(rng)) as u64).max(16 * KIB);
+        }
+        profile
+    }
+
+    /// Picks a phase index according to the phase weights.
+    #[must_use]
+    pub fn pick_phase<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.phases.iter().map(|p| p.weight).sum();
+        let mut draw = rng.random::<f64>() * total;
+        for (i, p) in self.phases.iter().enumerate() {
+            draw -= p.weight;
+            if draw <= 0.0 {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_classes_partition() {
+        assert_eq!(WorkloadClass::BENIGN.len() + WorkloadClass::MALWARE.len(), 16);
+        for c in WorkloadClass::BENIGN {
+            assert!(!c.is_malware());
+        }
+        for c in WorkloadClass::MALWARE {
+            assert!(c.is_malware());
+        }
+    }
+
+    #[test]
+    fn every_class_has_valid_phases() {
+        for c in WorkloadClass::BENIGN.into_iter().chain(WorkloadClass::MALWARE) {
+            let p = WorkloadProfile::canonical(c);
+            assert!(!p.phases.is_empty(), "{c} has no phases");
+            let total: f64 = p.phases.iter().map(|ph| ph.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{c} weights sum to {total}");
+            for ph in &p.phases {
+                assert!(ph.mem.working_set > 0);
+                assert!((0.0..=1.0).contains(&ph.mem.hot_prob));
+                assert!((0.0..=1.0).contains(&ph.mem.stream_prob));
+                assert!(ph.mem.mem_ratio > 0.0 && ph.mem.mem_ratio < 1.0);
+                assert!(ph.branch.branch_ratio > 0.0 && ph.branch.branch_ratio < 0.5);
+                assert!(ph.ipc_base > 0.0);
+                assert!(ph.utilization > 0.0 && ph.utilization <= 1.0, "{c} utilization");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_instances_differ_but_stay_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = WorkloadProfile::sample_instance(WorkloadClass::Ransomware, &mut rng);
+        let b = WorkloadProfile::sample_instance(WorkloadClass::Ransomware, &mut rng);
+        assert_ne!(a, b);
+        for ph in a.phases.iter().chain(&b.phases) {
+            assert!(ph.mem.working_set >= 64 * KIB);
+            assert!((0.0..=0.98).contains(&ph.mem.stream_prob));
+            assert!((0.3..=0.99).contains(&ph.branch.predictability));
+        }
+    }
+
+    #[test]
+    fn ransomware_encrypt_dominates_memory_traffic() {
+        let p = WorkloadProfile::canonical(WorkloadClass::Ransomware);
+        let encrypt = p.phases.iter().find(|ph| ph.name == "encrypt").unwrap();
+        let editor = WorkloadProfile::canonical(WorkloadClass::TextEditor);
+        let idle = &editor.phases[0];
+        assert!(encrypt.mem.working_set > 50 * idle.mem.working_set);
+        assert!(encrypt.mem.stream_prob > 0.8);
+    }
+
+    #[test]
+    fn pick_phase_respects_weights() {
+        let p = WorkloadProfile::canonical(WorkloadClass::MediaPlayer);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; p.phases.len()];
+        for _ in 0..10_000 {
+            counts[p.pick_phase(&mut rng)] += 1;
+        }
+        // decode has weight .8
+        let frac = counts[0] as f64 / 10_000.0;
+        assert!((frac - 0.8).abs() < 0.03, "decode fraction {frac}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Plain-text CSV persistence for datasets — lets an expensive corpus
+//! campaign be collected once and reused across experiment runs, and
+//! makes the data inspectable with standard tooling.
+//!
+//! Format: a header row of feature names plus a final `label` column;
+//! one data row per sample; labels spelled `benign` / `malware` /
+//! `adversarial`. Feature names containing commas or quotes are quoted
+//! with doubled-quote escaping.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Class, Dataset, TabularError};
+
+/// Errors produced by CSV (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the CSV content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Dataset-level failure while assembling rows.
+    Tabular(TabularError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Parse { line, reason } => write!(f, "csv parse error at line {line}: {reason}"),
+            Self::Tabular(e) => write!(f, "tabular error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Tabular(e) => Some(e),
+            Self::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<TabularError> for CsvError {
+    fn from(e: TabularError) -> Self {
+        Self::Tabular(e)
+    }
+}
+
+fn quote_field(name: &str) -> String {
+    if name.contains(',') || name.contains('"') || name.contains('\n') {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    } else {
+        name.to_owned()
+    }
+}
+
+/// Splits one CSV line honoring quoted fields.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => quoted = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if quoted {
+        return Err(CsvError::Parse { line: line_no, reason: "unterminated quote".into() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn label_name(class: Class) -> &'static str {
+    match class {
+        Class::Benign => "benign",
+        Class::Malware => "malware",
+        Class::Adversarial => "adversarial",
+    }
+}
+
+fn parse_label(s: &str, line: usize) -> Result<Class, CsvError> {
+    match s {
+        "benign" => Ok(Class::Benign),
+        "malware" => Ok(Class::Malware),
+        "adversarial" => Ok(Class::Adversarial),
+        other => Err(CsvError::Parse { line, reason: format!("unknown label {other:?}") }),
+    }
+}
+
+/// Writes `data` as CSV. A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+///
+/// # Example
+///
+/// ```
+/// use hmd_tabular::csv::{read_csv, write_csv};
+/// use hmd_tabular::{Class, Dataset};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = Dataset::new(vec!["llc-misses".into()])?;
+/// d.push(&[42.0], Class::Malware)?;
+/// let mut buffer = Vec::new();
+/// write_csv(&d, &mut buffer)?;
+/// let restored = read_csv(buffer.as_slice())?;
+/// assert_eq!(restored, d);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_csv<W: Write>(data: &Dataset, mut writer: W) -> Result<(), CsvError> {
+    let header: Vec<String> = data
+        .feature_names()
+        .iter()
+        .map(|n| quote_field(n))
+        .chain(std::iter::once("label".to_owned()))
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for (row, label) in data {
+        let mut line = String::new();
+        for v in row {
+            // RFC-style shortest roundtrip formatting via Rust's default
+            line.push_str(&format!("{v}"));
+            line.push(',');
+        }
+        line.push_str(label_name(label));
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset previously written by [`write_csv`]. A `&mut`
+/// reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns parse errors with line numbers, and propagates I/O failures.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err(CsvError::Parse { line: 1, reason: "empty input".into() });
+    };
+    let header = split_line(&header?, 1)?;
+    if header.len() < 2 || header.last().map(String::as_str) != Some("label") {
+        return Err(CsvError::Parse {
+            line: 1,
+            reason: "header must end with a `label` column".into(),
+        });
+    }
+    let feature_names: Vec<String> = header[..header.len() - 1].to_vec();
+    let n_features = feature_names.len();
+    let mut data = Dataset::new(feature_names)?;
+    let mut buf = vec![0.0; n_features];
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, line_no)?;
+        if fields.len() != n_features + 1 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                reason: format!("expected {} fields, found {}", n_features + 1, fields.len()),
+            });
+        }
+        for (dst, field) in buf.iter_mut().zip(&fields) {
+            *dst = field.parse().map_err(|e| CsvError::Parse {
+                line: line_no,
+                reason: format!("bad number {field:?}: {e}"),
+            })?;
+        }
+        let label = parse_label(&fields[n_features], line_no)?;
+        data.push(&buf, label)?;
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "weird,name".into()]).unwrap();
+        d.push(&[1.5, -2.25], Class::Benign).unwrap();
+        d.push(&[0.0, 1e-9], Class::Malware).unwrap();
+        d.push(&[123_456.75, 3.0], Class::Adversarial).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let restored = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(restored, d);
+    }
+
+    #[test]
+    fn commas_in_names_are_quoted() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("a,\"weird,name\",label"));
+    }
+
+    #[test]
+    fn rejects_missing_label_column() {
+        let err = read_csv("a,b\n1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_line_numbers() {
+        let err = read_csv("a,label\n1.0,benign\nxyz,malware\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("xyz"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_labels() {
+        let err = read_csv("a,label\n1.0,suspicious\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_field_count_mismatch() {
+        let err = read_csv("a,b,label\n1.0,benign\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let d = read_csv("a,label\n1.0,benign\n\n2.0,malware\n".as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn quoted_names_roundtrip_with_escapes() {
+        let mut d = Dataset::new(vec!["say \"hi\"".into()]).unwrap();
+        d.push(&[1.0], Class::Benign).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let restored = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(restored.feature_names(), d.feature_names());
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tabular-data operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TabularError {
+    /// A row had a different number of features than the dataset expects.
+    DimensionMismatch {
+        /// Number of features the dataset was created with.
+        expected: usize,
+        /// Number of features in the offending row.
+        actual: usize,
+    },
+    /// The operation requires a non-empty dataset.
+    EmptyDataset,
+    /// A dataset was created with no feature columns.
+    NoFeatures,
+    /// A feature index was out of range.
+    FeatureIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of features available.
+        n_features: usize,
+    },
+    /// A sample index was out of range.
+    SampleIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of samples available.
+        n_samples: usize,
+    },
+    /// A fraction parameter was outside the open interval (0, 1).
+    InvalidFraction(f64),
+    /// A split would leave one side without samples of some class.
+    DegenerateSplit,
+    /// Two datasets with incompatible schemas were combined.
+    SchemaMismatch,
+    /// A scaler or selector was applied before being fitted, or to data of
+    /// the wrong width.
+    NotFitted,
+    /// A numeric argument was invalid (e.g. zero histogram bins).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "row has {actual} features, dataset expects {expected}")
+            }
+            Self::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            Self::NoFeatures => write!(f, "dataset must have at least one feature column"),
+            Self::FeatureIndexOutOfRange { index, n_features } => {
+                write!(f, "feature index {index} out of range for {n_features} features")
+            }
+            Self::SampleIndexOutOfRange { index, n_samples } => {
+                write!(f, "sample index {index} out of range for {n_samples} samples")
+            }
+            Self::InvalidFraction(v) => {
+                write!(f, "fraction {v} must lie strictly between 0 and 1")
+            }
+            Self::DegenerateSplit => {
+                write!(f, "split would leave a side without samples of some class")
+            }
+            Self::SchemaMismatch => write!(f, "datasets have incompatible feature schemas"),
+            Self::NotFitted => write!(f, "transformer used before fitting or on wrong width"),
+            Self::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for TabularError {}

@@ -1,0 +1,289 @@
+//! Feature scaling and clipping transformers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+use crate::{Dataset, TabularError};
+
+/// Per-feature standardization: `x' = (x - mean) / std`.
+///
+/// Mirrors the "standard scaling" step of the paper's feature engineering
+/// (§2.1). Features with zero variance pass through unchanged (divisor 1).
+///
+/// # Example
+///
+/// ```
+/// use hmd_tabular::{Class, Dataset, StandardScaler};
+///
+/// # fn main() -> Result<(), hmd_tabular::TabularError> {
+/// let mut d = Dataset::new(vec!["e".into()])?;
+/// d.push(&[10.0], Class::Benign)?;
+/// d.push(&[20.0], Class::Malware)?;
+/// let scaler = StandardScaler::fit(&d)?;
+/// let t = scaler.transform(&d)?;
+/// assert!((t.row(0)?[0] + 1.0).abs() < 1e-12);
+/// assert!((t.row(1)?[0] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::EmptyDataset`] when `data` has no rows.
+    pub fn fit(data: &Dataset) -> Result<Self, TabularError> {
+        if data.is_empty() {
+            return Err(TabularError::EmptyDataset);
+        }
+        let mut means = Vec::with_capacity(data.n_features());
+        let mut stds = Vec::with_capacity(data.n_features());
+        for f in 0..data.n_features() {
+            let col = data.column(f)?;
+            means.push(stats::mean(&col));
+            let s = stats::std_dev(&col);
+            stds.push(if s <= f64::EPSILON { 1.0 } else { s });
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Number of features this scaler was fitted on.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::NotFitted`] if `row` has the wrong width.
+    pub fn transform_row(&self, row: &mut [f64]) -> Result<(), TabularError> {
+        if row.len() != self.means.len() {
+            return Err(TabularError::NotFitted);
+        }
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+        Ok(())
+    }
+
+    /// Undoes [`Self::transform_row`] on one row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::NotFitted`] if `row` has the wrong width.
+    pub fn inverse_transform_row(&self, row: &mut [f64]) -> Result<(), TabularError> {
+        if row.len() != self.means.len() {
+            return Err(TabularError::NotFitted);
+        }
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = *x * s + m;
+        }
+        Ok(())
+    }
+
+    /// Returns a standardized copy of a whole dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::NotFitted`] on a feature-width mismatch.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset, TabularError> {
+        if data.n_features() != self.means.len() {
+            return Err(TabularError::NotFitted);
+        }
+        let mut out = Dataset::new(data.feature_names().to_vec())?;
+        let mut buf = vec![0.0; data.n_features()];
+        for (row, label) in data {
+            buf.copy_from_slice(row);
+            self.transform_row(&mut buf)?;
+            out.push(&buf, label)?;
+        }
+        Ok(out)
+    }
+
+    /// Fitted per-feature means.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-feature standard deviations (zero-variance features are
+    /// reported as `1.0`).
+    #[must_use]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Per-feature min/max clipping.
+///
+/// Algorithm 1 of the paper clips perturbed HPC vectors to the observed
+/// min/max of the legitimate malware data, keeping adversarial samples
+/// inside the physically plausible range of counter readings.
+///
+/// # Example
+///
+/// ```
+/// use hmd_tabular::{Class, Dataset, MinMaxClipper};
+///
+/// # fn main() -> Result<(), hmd_tabular::TabularError> {
+/// let mut d = Dataset::new(vec!["e".into()])?;
+/// d.push(&[1.0], Class::Malware)?;
+/// d.push(&[5.0], Class::Malware)?;
+/// let clipper = MinMaxClipper::fit(&d)?;
+/// let mut row = [9.0];
+/// clipper.clip_row(&mut row)?;
+/// assert_eq!(row, [5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxClipper {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxClipper {
+    /// Fits per-feature bounds on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::EmptyDataset`] when `data` has no rows.
+    pub fn fit(data: &Dataset) -> Result<Self, TabularError> {
+        if data.is_empty() {
+            return Err(TabularError::EmptyDataset);
+        }
+        let mut mins = Vec::with_capacity(data.n_features());
+        let mut maxs = Vec::with_capacity(data.n_features());
+        for f in 0..data.n_features() {
+            let col = data.column(f)?;
+            let (lo, hi) = stats::min_max(&col).ok_or(TabularError::EmptyDataset)?;
+            mins.push(lo);
+            maxs.push(hi);
+        }
+        Ok(Self { mins, maxs })
+    }
+
+    /// Builds a clipper from explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::InvalidArgument`] if lengths differ, are
+    /// empty, or any `min > max`.
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>) -> Result<Self, TabularError> {
+        if mins.is_empty() || mins.len() != maxs.len() {
+            return Err(TabularError::InvalidArgument("bounds must be equal-length, non-empty"));
+        }
+        if mins.iter().zip(&maxs).any(|(lo, hi)| lo > hi) {
+            return Err(TabularError::InvalidArgument("min bound exceeds max bound"));
+        }
+        Ok(Self { mins, maxs })
+    }
+
+    /// Clips one row in place to the fitted bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabularError::NotFitted`] if `row` has the wrong width.
+    pub fn clip_row(&self, row: &mut [f64]) -> Result<(), TabularError> {
+        if row.len() != self.mins.len() {
+            return Err(TabularError::NotFitted);
+        }
+        for ((x, &lo), &hi) in row.iter_mut().zip(&self.mins).zip(&self.maxs) {
+            *x = x.clamp(lo, hi);
+        }
+        Ok(())
+    }
+
+    /// Fitted per-feature minima.
+    #[must_use]
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Fitted per-feature maxima.
+    #[must_use]
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Class;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        d.push(&[0.0, 5.0], Class::Benign).unwrap();
+        d.push(&[10.0, 5.0], Class::Malware).unwrap();
+        d.push(&[20.0, 5.0], Class::Malware).unwrap();
+        d
+    }
+
+    #[test]
+    fn scaler_centers_and_scales() {
+        let d = data();
+        let s = StandardScaler::fit(&d).unwrap();
+        let t = s.transform(&d).unwrap();
+        let col = t.column(0).unwrap();
+        assert!(stats::mean(&col).abs() < 1e-12);
+        assert!((stats::std_dev(&col) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaler_constant_feature_passthrough() {
+        let d = data();
+        let s = StandardScaler::fit(&d).unwrap();
+        let t = s.transform(&d).unwrap();
+        // feature "b" is constant 5.0 → centered to 0, not divided by 0
+        assert!(t.column(1).unwrap().iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn scaler_roundtrip() {
+        let d = data();
+        let s = StandardScaler::fit(&d).unwrap();
+        let mut row = [10.0, 5.0];
+        s.transform_row(&mut row).unwrap();
+        s.inverse_transform_row(&mut row).unwrap();
+        assert!((row[0] - 10.0).abs() < 1e-12);
+        assert!((row[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaler_rejects_empty() {
+        let d = Dataset::new(vec!["a".into()]).unwrap();
+        assert_eq!(StandardScaler::fit(&d).unwrap_err(), TabularError::EmptyDataset);
+    }
+
+    #[test]
+    fn scaler_rejects_wrong_width() {
+        let s = StandardScaler::fit(&data()).unwrap();
+        let mut row = [1.0];
+        assert_eq!(s.transform_row(&mut row).unwrap_err(), TabularError::NotFitted);
+    }
+
+    #[test]
+    fn clipper_clamps_rows() {
+        let c = MinMaxClipper::fit(&data()).unwrap();
+        let mut row = [-5.0, 100.0];
+        c.clip_row(&mut row).unwrap();
+        assert_eq!(row, [0.0, 5.0]);
+    }
+
+    #[test]
+    fn clipper_from_bounds_validates() {
+        assert!(MinMaxClipper::from_bounds(vec![0.0], vec![1.0]).is_ok());
+        assert!(MinMaxClipper::from_bounds(vec![2.0], vec![1.0]).is_err());
+        assert!(MinMaxClipper::from_bounds(vec![], vec![]).is_err());
+        assert!(MinMaxClipper::from_bounds(vec![0.0], vec![1.0, 2.0]).is_err());
+    }
+}

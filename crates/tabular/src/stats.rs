@@ -1,0 +1,177 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(hmd_tabular::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+#[must_use]
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Minimum and maximum of a slice, ignoring NaNs.
+///
+/// Returns `None` for an empty slice or a slice of only NaNs.
+#[must_use]
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let mut it = values.iter().copied().filter(|v| !v.is_nan());
+    let first = it.next()?;
+    let (mut lo, mut hi) = (first, first);
+    for v in it {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Used by LowProFool-style attacks as the per-feature importance vector
+/// `v` (correlation of each feature with the target label). Returns `0.0`
+/// when either slice is constant or the slices are empty/mismatched.
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((hmd_tabular::stats::pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.is_empty() {
+        return 0.0;
+    }
+    let (mx, my) = (mean(x), mean(y));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Shannon entropy (nats) of a discrete distribution given by counts.
+///
+/// Zero-count cells contribute nothing.
+#[must_use]
+pub fn entropy_from_counts(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+/// statistics. Returns `None` for empty input.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let v = [3.0, f64::NAN, -1.0, 8.0];
+        assert_eq!(min_max(&v), Some((-1.0, 8.0)));
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_mismatched_lengths_is_zero() {
+        assert_eq!(pearson(&[1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_two_cells() {
+        let h = entropy_from_counts(&[5, 5]);
+        assert!((h - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_degenerate_is_zero() {
+        assert_eq!(entropy_from_counts(&[10, 0, 0]), 0.0);
+        assert_eq!(entropy_from_counts(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_median() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+        assert_eq!(quantile(&[1.0, 2.0], 0.5), Some(1.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run the complete adversarial-resilient HMD pipeline on a
+//! small simulated corpus and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hmd::core::{Framework, FrameworkConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small corpus so the example finishes in seconds; use
+    // `FrameworkConfig::paper(seed)` for the full 3,000-application run.
+    let mut config = FrameworkConfig::quick(42);
+    config.corpus.benign_apps = 120;
+    config.corpus.malware_apps = 120;
+
+    println!("running the multi-phased framework (corpus → attack → defense)...");
+    let report = Framework::new(config).run()?;
+
+    println!("\nselected HPC features: {:?}", report.selected_features);
+    println!(
+        "LowProFool attack success rate: {:.0}%",
+        report.attack_success_rate * 100.0
+    );
+
+    println!("\nF1 per scenario:");
+    println!("{:<10} {:>9} {:>9} {:>9}", "model", "baseline", "attacked", "defended");
+    for row in &report.baseline {
+        let attacked = report
+            .attacked
+            .iter()
+            .find(|r| r.model == row.model)
+            .map_or(0.0, |r| r.metrics.f1);
+        let defended = report
+            .defended
+            .iter()
+            .find(|r| r.model == row.model)
+            .map_or(0.0, |r| r.metrics.f1);
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>9.2}",
+            row.model, row.metrics.f1, attacked, defended
+        );
+    }
+
+    println!(
+        "\nadversarial predictor: accuracy {:.2}, precision {:.2}, recall {:.2}",
+        report.predictor.accuracy, report.predictor.precision, report.predictor.recall
+    );
+    for c in &report.controllers {
+        println!(
+            "{}: routes to {} (F1 {:.2}, {:.4} ms, {} bytes)",
+            c.agent, c.selected_model, c.metrics.f1, c.latency_ms, c.size_bytes
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Facade crate for the adversarial-resilient hardware malware detection
+//! framework (DAC 2024 reproduction).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`sim`] — synthetic processor + HPC sampling substrate;
+//! * [`tabular`] — datasets, scaling, MI feature selection;
+//! * [`nn`] — neural-network building blocks;
+//! * [`ml`] — classical ML detectors and metrics;
+//! * [`adversarial`] — LowProFool and baseline attacks;
+//! * [`rl`] — A2C adversarial predictor and UCB constraint controller;
+//! * [`integrity`] — SHA-256 model integrity validation;
+//! * [`core`] — the multi-phased framework tying it all together.
+//!
+//! See the [`core`] crate for the top-level entry point
+//! (`core::Framework`).
+
+pub use hmd_adversarial as adversarial;
+pub use hmd_core as core;
+pub use hmd_integrity as integrity;
+pub use hmd_ml as ml;
+pub use hmd_nn as nn;
+pub use hmd_rl as rl;
+pub use hmd_sim as sim;
+pub use hmd_tabular as tabular;

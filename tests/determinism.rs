@@ -1,0 +1,50 @@
+//! Reproducibility: every experiment must regenerate identically from
+//! its seed, across the whole stack.
+
+use hmd::adversarial::{Attack, LowProFool};
+use hmd::core::{Framework, FrameworkConfig};
+use hmd::sim::{build_corpus, CorpusConfig};
+use hmd::tabular::Class;
+
+#[test]
+fn corpus_is_seed_deterministic() {
+    let a = build_corpus(&CorpusConfig::quick(77));
+    let b = build_corpus(&CorpusConfig::quick(77));
+    assert_eq!(a.dataset, b.dataset);
+    assert_eq!(a.row_classes, b.row_classes);
+    let c = build_corpus(&CorpusConfig::quick(78));
+    assert_ne!(a.dataset, c.dataset);
+}
+
+#[test]
+fn framework_report_is_seed_deterministic() {
+    let run = |seed| {
+        let mut config = FrameworkConfig::quick(seed);
+        config.corpus.benign_apps = 64;
+        config.corpus.malware_apps = 64;
+        config.predictor.episodes = 1500;
+        Framework::new(config).run().expect("run")
+    };
+    let a = run(3);
+    let b = run(3);
+    assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.attacked, b.attacked);
+    assert_eq!(a.defended, b.defended);
+    assert_eq!(a.predictor, b.predictor);
+    assert_eq!(a.attack_success_rate, b.attack_success_rate);
+
+    let c = run(4);
+    assert_ne!(a.baseline, c.baseline);
+}
+
+#[test]
+fn attack_generation_is_deterministic() {
+    let fw = Framework::new(FrameworkConfig::quick(9));
+    let bundle = fw.prepare_data().expect("prepare");
+    let attack = LowProFool::fit(&bundle.train).expect("fit");
+    let malware = bundle.test.filter(Class::is_attack);
+    let a = attack.generate(&malware, 42).expect("generate");
+    let b = attack.generate(&malware, 42).expect("generate");
+    assert_eq!(a.adversarial, b.adversarial);
+    assert_eq!(a.outcomes, b.outcomes);
+}

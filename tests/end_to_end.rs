@@ -1,0 +1,109 @@
+//! End-to-end integration: the complete framework run on the quick
+//! corpus must reproduce the paper's qualitative results.
+
+use hmd::core::{Framework, FrameworkConfig, FrameworkReport};
+
+fn run_once(seed: u64) -> FrameworkReport {
+    let mut config = FrameworkConfig::quick(seed);
+    config.corpus.benign_apps = 96;
+    config.corpus.malware_apps = 96;
+    Framework::new(config).run().expect("framework run")
+}
+
+#[test]
+fn full_pipeline_reproduces_paper_shapes() {
+    let report = run_once(5);
+
+    // the paper's four features are the pipeline default
+    assert_eq!(
+        report.selected_features,
+        vec![
+            "LLC-load-misses".to_string(),
+            "LLC-loads".to_string(),
+            "cache-misses".to_string(),
+            "cpu/cache-misses/".to_string()
+        ]
+    );
+
+    // six models in all three scenarios
+    for scenario in [&report.baseline, &report.attacked, &report.defended] {
+        assert_eq!(scenario.len(), 6);
+    }
+
+    // LowProFool evades the imperceptibility evaluator (paper: 100%)
+    assert!(
+        report.attack_success_rate > 0.95,
+        "attack success {}",
+        report.attack_success_rate
+    );
+
+    // under attack every model's F1 collapses; adversarial training
+    // recovers above the attacked level for every model
+    for base in &report.baseline {
+        let name = &base.model;
+        let attacked = FrameworkReport::metrics_for(&report.attacked, name).unwrap();
+        let defended = FrameworkReport::metrics_for(&report.defended, name).unwrap();
+        assert!(
+            attacked.f1 < base.metrics.f1,
+            "{name}: attacked F1 {} !< baseline {}",
+            attacked.f1,
+            base.metrics.f1
+        );
+        assert!(
+            defended.f1 > attacked.f1,
+            "{name}: defended F1 {} !> attacked {}",
+            defended.f1,
+            attacked.f1
+        );
+        // attacked FNR skyrockets (malware passes as benign)
+        assert!(
+            attacked.fnr > base.metrics.fnr,
+            "{name}: attacked FNR should exceed baseline"
+        );
+    }
+
+    // predictor separates adversarial from clean rewards
+    assert!(report.predictor.accuracy > 0.7, "predictor acc {}", report.predictor.accuracy);
+    let adv_mean = segment_mean(&report.predictor.reward_trace, true);
+    let clean_mean = segment_mean(&report.predictor.reward_trace, false);
+    assert!(
+        adv_mean > clean_mean + 20.0,
+        "reward separation too small: {adv_mean} vs {clean_mean}"
+    );
+
+    // three controllers; Agent 3 (best detection) F1 at least matches the
+    // cheap agents
+    assert_eq!(report.controllers.len(), 3);
+    let f1 = |i: usize| report.controllers[i].metrics.f1;
+    assert!(f1(2) + 1e-9 >= f1(0).min(f1(1)), "Agent 3 should not be the worst detector");
+    for c in &report.controllers {
+        assert!(c.latency_ms > 0.0);
+        assert!(c.size_bytes > 0);
+    }
+}
+
+fn segment_mean(trace: &[(bool, f64)], adversarial: bool) -> f64 {
+    let values: Vec<f64> = trace
+        .iter()
+        .filter(|(a, _)| *a == adversarial)
+        .map(|(_, r)| *r)
+        .collect();
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+#[test]
+fn metrics_are_well_formed_probabilities() {
+    let report = run_once(6);
+    for scenario in [&report.baseline, &report.attacked, &report.defended] {
+        for row in scenario {
+            let m = &row.metrics;
+            for v in [m.accuracy, m.f1, m.auc, m.tpr, m.fpr, m.fnr, m.tnr, m.precision, m.recall]
+            {
+                assert!((0.0..=1.0).contains(&v), "{}: metric {v} out of range", row.model);
+            }
+            // complementary rates
+            assert!((m.tpr + m.fnr - 1.0).abs() < 1e-9 || m.tpr + m.fnr == 0.0);
+            assert!((m.fpr + m.tnr - 1.0).abs() < 1e-9 || m.fpr + m.tnr == 0.0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests over cross-crate invariants.
+
+use hmd::adversarial::{Attack, LowProFool};
+use hmd::ml::{BinaryMetrics, Classifier, LogisticRegression};
+use hmd::nn::{Dense, Loss, Optimizer, Sequential, Tensor};
+use hmd::tabular::{Class, Dataset, MinMaxClipper, StandardScaler};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// Builds an overlapping two-blob dataset from arbitrary-but-sane
+/// geometry parameters.
+fn blobs(n: usize, gap: f64, spread: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+    for _ in 0..n {
+        let benign = [
+            rng.random_range(-spread..spread * 0.5),
+            rng.random_range(-spread..spread * 0.5),
+        ];
+        let attack = [
+            gap + rng.random_range(-spread * 0.5..spread),
+            gap + rng.random_range(-spread * 0.5..spread),
+        ];
+        d.push(&benign, Class::Benign).unwrap();
+        d.push(&attack, Class::Malware).unwrap();
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// LowProFool output always stays inside the malware clip box and its
+    /// success flag always agrees with the evaluator's verdict.
+    #[test]
+    fn lowprofool_respects_clip_box(
+        gap in 0.3f64..2.0,
+        spread in 0.3f64..1.5,
+        seed in 0u64..1000,
+    ) {
+        let data = blobs(60, gap, spread, seed);
+        let attack = LowProFool::fit(&data).unwrap();
+        let malware = data.filter(Class::is_attack);
+        let clipper = MinMaxClipper::fit(&malware).unwrap();
+        let result = attack.generate(&malware, seed).unwrap();
+        for (i, outcome) in result.outcomes.iter().enumerate() {
+            for (f, &v) in outcome.features.iter().enumerate() {
+                prop_assert!(v >= clipper.mins()[f] - 1e-9, "row {i} feature {f} below min");
+                prop_assert!(v <= clipper.maxs()[f] + 1e-9, "row {i} feature {f} above max");
+            }
+            let p = attack.evaluator().predict_proba_row(&outcome.features).unwrap();
+            prop_assert_eq!(outcome.evades, p < 0.5, "evades flag disagrees with evaluator");
+        }
+    }
+
+    /// Standard scaling is invertible on arbitrary datasets.
+    #[test]
+    fn scaler_roundtrips(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e6f64..1e6, 3),
+            2..40
+        )
+    ) {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let label = if i % 2 == 0 { Class::Benign } else { Class::Malware };
+            d.push(row, label).unwrap();
+        }
+        let scaler = StandardScaler::fit(&d).unwrap();
+        for row in &rows {
+            let mut x = row.clone();
+            scaler.transform_row(&mut x).unwrap();
+            scaler.inverse_transform_row(&mut x).unwrap();
+            for (orig, rec) in row.iter().zip(&x) {
+                prop_assert!((orig - rec).abs() <= 1e-6 * (1.0 + orig.abs()));
+            }
+        }
+    }
+
+    /// Classifier probabilities are probabilities, on arbitrary inputs.
+    #[test]
+    fn probabilities_stay_in_unit_interval(
+        seed in 0u64..500,
+        probe in prop::collection::vec(-1e3f64..1e3, 2),
+    ) {
+        let data = blobs(40, 1.0, 0.8, seed);
+        let targets = data.binary_targets(Class::is_attack);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&data, &targets).unwrap();
+        let p = lr.predict_proba_row(&probe).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// BinaryMetrics stays consistent for arbitrary score/truth vectors.
+    #[test]
+    fn metric_identities_hold(
+        scores in prop::collection::vec(0.0f64..1.0, 4..60),
+        flip in 0usize..7,
+    ) {
+        let truth: Vec<bool> = scores.iter().enumerate()
+            .map(|(i, &s)| (s > 0.5) ^ (i % 7 == flip)).collect();
+        let m = BinaryMetrics::from_scores(&scores, &truth);
+        prop_assert!((0.0..=1.0).contains(&m.accuracy));
+        prop_assert!((0.0..=1.0).contains(&m.auc));
+        // complementarity (when the denominator class exists)
+        if truth.iter().any(|&t| t) {
+            prop_assert!((m.tpr + m.fnr - 1.0).abs() < 1e-9);
+        }
+        if truth.iter().any(|&t| !t) {
+            prop_assert!((m.fpr + m.tnr - 1.0).abs() < 1e-9);
+        }
+        prop_assert!((m.recall - m.tpr).abs() < 1e-12);
+    }
+
+    /// One gradient step on a fixed batch must not increase that batch's
+    /// loss (for a sufficiently small learning rate).
+    #[test]
+    fn gradient_step_decreases_batch_loss(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new()
+            .with(Dense::he(3, 8, &mut rng))
+            .with(hmd::nn::Relu::new())
+            .with(Dense::xavier(8, 1, &mut rng));
+        let x = Tensor::from_fn(16, 3, |_, _| rng.random_range(-1.0..1.0));
+        let y = Tensor::from_fn(16, 1, |r, _| f64::from(r % 2 == 0));
+        let mut opt = Optimizer::sgd(1e-3);
+        let before = {
+            let out = net.infer(&x);
+            Loss::BinaryCrossEntropy.compute(&out, &y).0
+        };
+        net.train_batch(&x, &y, Loss::BinaryCrossEntropy, &mut opt);
+        let after = {
+            let out = net.infer(&x);
+            Loss::BinaryCrossEntropy.compute(&out, &y).0
+        };
+        prop_assert!(after <= before + 1e-9, "loss rose {before} -> {after}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate substrate integration: simulator → tabular → ML, and the
+//! integrity layer guarding fitted models.
+
+use hmd::integrity::{MetricMonitor, ModelRegistry};
+use hmd::ml::{evaluate, Classifier, Mlp, RandomForest};
+use hmd::sim::{build_corpus, CorpusConfig, HpcEvent, IsolationMode, WorkloadClass};
+use hmd::tabular::{rank_features_by_mi, split::stratified_split, Class, StandardScaler};
+use rand::prelude::*;
+
+#[test]
+fn corpus_feeds_detectors_above_chance() {
+    let corpus = build_corpus(&CorpusConfig::quick(31));
+    let mut rng = StdRng::seed_from_u64(1);
+    let (train, test) = stratified_split(&corpus.dataset, 0.25, &mut rng).unwrap();
+    let scaler = StandardScaler::fit(&train).unwrap();
+    let train = scaler.transform(&train).unwrap();
+    let test = scaler.transform(&test).unwrap();
+    let train_targets = train.binary_targets(Class::is_attack);
+    let test_targets = test.binary_targets(Class::is_attack);
+    let mut rf = RandomForest::new();
+    rf.fit(&train, &train_targets).unwrap();
+    let m = evaluate(&rf, &test, &test_targets).unwrap();
+    assert!(m.auc > 0.75, "RF AUC on quick corpus {}", m.auc);
+}
+
+#[test]
+fn mi_ranking_prefers_microarchitectural_events_over_constants() {
+    let corpus = build_corpus(&CorpusConfig::quick(32));
+    let ranked = rank_features_by_mi(&corpus.dataset, 24).unwrap();
+    // the top-ranked feature must be informative; the bottom should be
+    // near-constant events (e.g. major faults on a quick corpus)
+    assert!(ranked[0].1 > ranked[ranked.len() - 1].1);
+    assert!(ranked[0].1 > 0.05, "top MI {}", ranked[0].1);
+}
+
+#[test]
+fn vm_isolation_degrades_detection_quality() {
+    // The LXC-vs-VirtualBox argument of §2.1: emulated counters carry
+    // bias+jitter and should not beat clean LXC counters.
+    let clean = build_corpus(&CorpusConfig::quick(33));
+    let noisy = build_corpus(&CorpusConfig {
+        isolation: IsolationMode::VmEmulated { bias: 0.3, jitter: 0.6 },
+        ..CorpusConfig::quick(33)
+    });
+    let auc_of = |corpus: &hmd::sim::Corpus| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = stratified_split(&corpus.dataset, 0.25, &mut rng).unwrap();
+        let train_targets = train.binary_targets(Class::is_attack);
+        let test_targets = test.binary_targets(Class::is_attack);
+        let mut rf = RandomForest::new();
+        rf.fit(&train, &train_targets).unwrap();
+        evaluate(&rf, &test, &test_targets).unwrap().auc
+    };
+    let clean_auc = auc_of(&clean);
+    let noisy_auc = auc_of(&noisy);
+    assert!(
+        clean_auc >= noisy_auc - 0.02,
+        "VM emulation should not improve detection: clean {clean_auc} vs vm {noisy_auc}"
+    );
+}
+
+#[test]
+fn corpus_contains_every_family_with_plausible_counters() {
+    let corpus = build_corpus(&CorpusConfig::quick(34));
+    for class in WorkloadClass::BENIGN.into_iter().chain(WorkloadClass::MALWARE) {
+        assert!(corpus.row_classes.contains(&class), "{class} missing");
+    }
+    let instr_idx = HpcEvent::Instructions.index();
+    let cyc_idx = HpcEvent::Cycles.index();
+    for i in 0..corpus.dataset.len() {
+        let row = corpus.dataset.row(i).unwrap();
+        assert!(row[instr_idx] > 0.0, "row {i} has zero instructions");
+        assert!(row[cyc_idx] > 0.0, "row {i} has zero cycles");
+        // IPC plausibility on a 4-wide core
+        let ipc = row[instr_idx] / row[cyc_idx];
+        assert!(ipc < 4.0, "row {i} has impossible IPC {ipc}");
+    }
+}
+
+#[test]
+fn integrity_layer_guards_fitted_models() {
+    let corpus = build_corpus(&CorpusConfig::quick(35));
+    let targets = corpus.dataset.binary_targets(Class::is_attack);
+    let mut mlp = Mlp::new();
+    mlp.fit(&corpus.dataset, &targets).unwrap();
+
+    let registry = ModelRegistry::new();
+    let bytes = mlp.params_bytes().unwrap();
+    registry.register("MLP", &bytes, 1_720_000_000);
+    assert!(registry.verify("MLP", &bytes).is_verified());
+
+    // tamper one weight byte → detected
+    let mut tampered = bytes.clone();
+    tampered[0] ^= 0xFF;
+    assert!(!registry.verify("MLP", &tampered).is_verified());
+
+    // metric drift detection
+    let monitor = MetricMonitor::new(0.05);
+    let baseline = evaluate(&mlp, &corpus.dataset, &targets).unwrap();
+    monitor.record_baseline("MLP", baseline);
+    assert!(monitor.assess("MLP", &baseline).is_stable());
+    let degraded = hmd::ml::BinaryMetrics { accuracy: baseline.accuracy - 0.3, ..baseline };
+    assert!(!monitor.assess("MLP", &degraded).is_stable());
+}
