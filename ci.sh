@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Must pass on a machine with NO network
+# access and an EMPTY cargo registry: the workspace is hermetic and
+# depends on nothing outside this repository (see DESIGN.md,
+# "Hermetic-build policy").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --workspace --offline
+
+echo "== clippy (offline, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== hermeticity: dependency tree must be workspace-only =="
+if cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep -q '[a-z]'; then
+    echo "ERROR: non-workspace dependency found:" >&2
+    cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep '[a-z]' >&2
+    exit 1
+fi
+
+echo "ci.sh: all gates passed"

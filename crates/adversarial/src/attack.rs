@@ -1,13 +1,13 @@
 //! The [`Attack`] abstraction and its result types.
 
 use hmd_tabular::{Class, Dataset, TabularError};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::impl_json;
+use hmd_util::rng::prelude::*;
 
 use crate::AdvError;
 
 /// The outcome of perturbing one malware sample.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PerturbedSample {
     /// The adversarial feature vector.
     pub features: Vec<f64>,
@@ -19,8 +19,10 @@ pub struct PerturbedSample {
     pub iterations: usize,
 }
 
+impl_json!(struct PerturbedSample { features, evades, weighted_norm, iterations });
+
 /// The outcome of an attack campaign over a malware dataset.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AttackResult {
     /// The adversarial samples, labeled [`Class::Adversarial`], in input
     /// row order.
@@ -28,6 +30,8 @@ pub struct AttackResult {
     /// Per-sample outcomes aligned with `adversarial` rows.
     pub outcomes: Vec<PerturbedSample>,
 }
+
+impl_json!(struct AttackResult { adversarial, outcomes });
 
 impl AttackResult {
     /// Fraction of samples that evade the imperceptibility evaluator —

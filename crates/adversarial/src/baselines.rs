@@ -3,8 +3,7 @@
 
 use hmd_ml::{Classifier, LogisticRegression};
 use hmd_tabular::{Class, Dataset, MinMaxClipper};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::attack::{Attack, PerturbedSample};
 use crate::AdvError;
@@ -80,7 +79,7 @@ impl Attack for Fgsm {
 
 /// Unguided Gaussian noise — the sanity baseline: perturbs every feature
 /// with `N(0, σ²)` and hopes. Real attacks must beat this.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RandomNoise {
     sigma: f64,
     evaluator: LogisticRegression,

@@ -13,7 +13,7 @@
 
 use hmd_ml::Classifier;
 use hmd_tabular::{Class, Dataset, MinMaxClipper};
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::attack::{Attack, PerturbedSample};
 use crate::AdvError;

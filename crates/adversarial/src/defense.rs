@@ -6,7 +6,7 @@
 
 use hmd_ml::{Classifier, MlError};
 use hmd_tabular::Dataset;
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::AdvError;
 

@@ -3,11 +3,11 @@
 //! Malware Detection under Adversarial Attacks").
 
 use hmd_ml::{BinaryMetrics, Classifier, MlError};
+use hmd_util::impl_json;
 use hmd_tabular::{Class, Dataset};
-use serde::{Deserialize, Serialize};
 
 /// The before/after metric pair for one model under transfer attack.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TransferRecord {
     /// Model name.
     pub model: String,
@@ -17,6 +17,8 @@ pub struct TransferRecord {
     /// adversarial versions.
     pub attacked: BinaryMetrics,
 }
+
+impl_json!(struct TransferRecord { model, clean, attacked });
 
 impl TransferRecord {
     /// Absolute F1 drop caused by the attack.
@@ -89,7 +91,7 @@ pub fn transferability(
 mod tests {
     use super::*;
     use hmd_ml::LogisticRegression;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     fn blobs(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -16,14 +16,14 @@
 use hmd_ml::{Classifier, LogisticRegression};
 use hmd_tabular::stats::pearson;
 use hmd_tabular::{Dataset, MinMaxClipper};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::impl_json;
+use hmd_util::rng::prelude::*;
 
 use crate::attack::{Attack, PerturbedSample};
 use crate::AdvError;
 
 /// Hyper-parameters for [`LowProFool`].
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct LowProFoolConfig {
     /// Weight λ of the imperceptibility regularizer in Eq. 1.
     pub lambda: f64,
@@ -36,6 +36,8 @@ pub struct LowProFoolConfig {
     /// samples robustly benign to the evaluator.
     pub margin: f64,
 }
+
+impl_json!(struct LowProFoolConfig { lambda, alpha, max_iters, margin });
 
 impl Default for LowProFoolConfig {
     fn default() -> Self {

@@ -1,14 +1,14 @@
-//! Criterion benchmarks behind Figure 3: LowProFool per-sample attack
-//! generation cost and the A2C predictor's per-sample step/inference
-//! cost.
+//! Benchmarks behind Figure 3: LowProFool per-sample attack generation
+//! cost and the A2C predictor's per-sample step/inference cost. Emits
+//! `BENCH_figure3.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use hmd_adversarial::{Attack, LowProFool};
 use hmd_rl::{A2cAgent, A2cConfig, Environment, PredictorEnv};
 use hmd_tabular::{Class, Dataset};
-use rand::prelude::*;
+use hmd_util::bench::Harness;
+use hmd_util::rng::prelude::*;
 
 fn merged(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -25,34 +25,30 @@ fn merged(n: usize, seed: u64) -> Dataset {
     d
 }
 
-fn bench_lowprofool(c: &mut Criterion) {
+fn bench_lowprofool(h: &mut Harness) {
     let data = merged(200, 1);
     let attack = LowProFool::fit(&data).unwrap();
     let malware = data.filter(Class::is_attack);
     let row = malware.row(0).unwrap().to_vec();
     let mut rng = StdRng::seed_from_u64(2);
-    c.bench_function("lowprofool_perturb_row", |b| {
-        b.iter(|| black_box(attack.perturb_row(black_box(&row), &mut rng).unwrap()));
+    h.bench("lowprofool_perturb_row", || {
+        black_box(attack.perturb_row(black_box(&row), &mut rng).unwrap())
     });
 }
 
-fn bench_a2c(c: &mut Criterion) {
+fn bench_a2c(h: &mut Harness) {
     let data = merged(100, 3);
     let mut env = PredictorEnv::new(&data, 4).unwrap();
     let mut agent = A2cAgent::new(env.state_dim(), env.n_actions(), A2cConfig::default());
     let mut rng = StdRng::seed_from_u64(5);
-    c.bench_function("a2c_train_episode", |b| {
-        b.iter(|| black_box(agent.train_episode(&mut env, &mut rng, 1)));
-    });
+    h.bench("a2c_train_episode", || black_box(agent.train_episode(&mut env, &mut rng, 1)));
     let row = data.row(0).unwrap().to_vec();
-    c.bench_function("a2c_feedback_reward", |b| {
-        b.iter(|| black_box(agent.value(black_box(&row))));
-    });
+    h.bench("a2c_feedback_reward", || black_box(agent.value(black_box(&row))));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_lowprofool, bench_a2c
+fn main() {
+    let mut h = Harness::new("figure3").sample_size(30);
+    bench_lowprofool(&mut h);
+    bench_a2c(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,33 +1,29 @@
-//! Criterion benchmarks behind Figure 4(a): the UCB controller's
-//! decision and update cost — the "lightweight" property that justifies
-//! choosing UCB for run-time scheduling — compared with one detector
-//! inference.
+//! Benchmarks behind Figure 4(a): the UCB controller's decision and
+//! update cost — the "lightweight" property that justifies choosing UCB
+//! for run-time scheduling — compared with one detector inference.
+//! Emits `BENCH_figure4.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use hmd_ml::{Classifier, LogisticRegression};
 use hmd_rl::Ucb;
 use hmd_tabular::{Class, Dataset};
-use rand::prelude::*;
+use hmd_util::bench::Harness;
+use hmd_util::rng::prelude::*;
 
-fn bench_ucb(c: &mut Criterion) {
+fn bench_ucb(h: &mut Harness) {
     let mut ucb = Ucb::new(5, 0.8);
     for arm in 0..5 {
         ucb.update(arm, 0.5);
     }
-    c.bench_function("ucb_select", |b| {
-        b.iter(|| black_box(ucb.select()));
-    });
-    c.bench_function("ucb_update", |b| {
-        let mut u = ucb.clone();
-        b.iter(|| {
-            u.update(black_box(2), black_box(0.7));
-        });
+    h.bench("ucb_select", || black_box(ucb.select()));
+    let mut u = ucb.clone();
+    h.bench("ucb_update", || {
+        u.update(black_box(2), black_box(0.7));
     });
 }
 
-fn bench_detector_inference(c: &mut Criterion) {
+fn bench_detector_inference(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(1);
     let names: Vec<String> = (0..4).map(|i| format!("e{i}")).collect();
     let mut d = Dataset::new(names).unwrap();
@@ -41,14 +37,12 @@ fn bench_detector_inference(c: &mut Criterion) {
     let mut lr = LogisticRegression::new();
     lr.fit(&d, &targets).unwrap();
     let row = d.row(0).unwrap().to_vec();
-    c.bench_function("lr_infer_row", |b| {
-        b.iter(|| black_box(lr.predict_proba_row(black_box(&row)).unwrap()));
-    });
+    h.bench("lr_infer_row", || black_box(lr.predict_proba_row(black_box(&row)).unwrap()));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_ucb, bench_detector_inference
+fn main() {
+    let mut h = Harness::new("figure4");
+    bench_ucb(&mut h);
+    bench_detector_inference(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,46 +1,44 @@
-//! Criterion benchmarks for the substrate layers: simulator window
-//! throughput, SHA-256 hashing, and tensor/NN primitives.
+//! Benchmarks for the substrate layers: simulator window throughput,
+//! SHA-256 hashing, and tensor/NN primitives. Emits
+//! `BENCH_substrates.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use hmd_integrity::Sha256;
 use hmd_nn::{Dense, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_sim::machine::{Machine, MachineConfig, RunningWorkload};
 use hmd_sim::workload::{WorkloadClass, WorkloadProfile};
-use rand::prelude::*;
+use hmd_util::bench::{Harness, Throughput};
+use hmd_util::rng::prelude::*;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn bench_simulator(h: &mut Harness) {
     let config = MachineConfig { slice_instructions: 20_000, ..MachineConfig::default() };
-    group.throughput(Throughput::Elements(config.slice_instructions));
-    group.bench_function("run_window_20k_instructions", |b| {
-        let mut machine = Machine::new(config);
-        let mut workload =
-            RunningWorkload::new(WorkloadProfile::canonical(WorkloadClass::Ransomware), 1);
-        b.iter(|| black_box(machine.run_window(&mut workload, 10.0)));
-    });
-    group.finish();
+    let mut machine = Machine::new(config);
+    let mut workload =
+        RunningWorkload::new(WorkloadProfile::canonical(WorkloadClass::Ransomware), 1);
+    h.bench_with_throughput(
+        "simulator/run_window_20k_instructions",
+        Throughput::Elements(config.slice_instructions),
+        || black_box(machine.run_window(&mut workload, 10.0)),
+    );
 }
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256(h: &mut Harness) {
     for size in [1_024usize, 65_536] {
         let data = vec![0xABu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("hash_{size}B"), |b| {
-            b.iter(|| {
-                let mut h = Sha256::new();
-                h.update(black_box(&data));
-                black_box(h.finalize())
-            });
-        });
+        h.bench_with_throughput(
+            &format!("sha256/hash_{size}B"),
+            Throughput::Bytes(size as u64),
+            || {
+                let mut hasher = Sha256::new();
+                hasher.update(black_box(&data));
+                black_box(hasher.finalize())
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_nn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nn");
+fn bench_nn(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut net = Sequential::new()
         .with(Dense::he(4, 32, &mut rng))
@@ -50,19 +48,17 @@ fn bench_nn(c: &mut Criterion) {
         .with(Dense::xavier(16, 1, &mut rng));
     let x = Tensor::from_fn(32, 4, |_, _| rng.random_range(-1.0..1.0));
     let y = Tensor::from_fn(32, 1, |r, _| f64::from(r % 2 == 0));
-    group.bench_function("mlp_infer_batch32", |b| {
-        b.iter(|| black_box(net.infer(black_box(&x))));
-    });
+    h.bench("nn/mlp_infer_batch32", || black_box(net.infer(black_box(&x))));
     let mut opt = Optimizer::adam(1e-3);
-    group.bench_function("mlp_train_batch32", |b| {
-        b.iter(|| black_box(net.train_batch(&x, &y, Loss::BinaryCrossEntropy, &mut opt)));
+    h.bench("nn/mlp_train_batch32", || {
+        black_box(net.train_batch(&x, &y, Loss::BinaryCrossEntropy, &mut opt));
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_simulator, bench_sha256, bench_nn
+fn main() {
+    let mut h = Harness::new("substrates").sample_size(20);
+    bench_simulator(&mut h);
+    bench_sha256(&mut h);
+    bench_nn(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion benchmarks behind Table 2's model column: training and
-//! single-sample inference cost of every detector on a fixed synthetic
-//! 4-feature task (the same width the paper's detectors see).
+//! Benchmarks behind Table 2's model column: training and single-sample
+//! inference cost of every detector on a fixed synthetic 4-feature task
+//! (the same width the paper's detectors see). Emits
+//! `BENCH_table2.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use hmd_ml::all_models;
 use hmd_tabular::{Class, Dataset};
-use rand::prelude::*;
+use hmd_util::bench::Harness;
+use hmd_util::rng::prelude::*;
 
 fn training_set(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -23,47 +24,36 @@ fn training_set(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
     (d, t)
 }
 
-fn bench_training(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train");
-    group.sample_size(10);
+fn bench_training(h: &mut Harness) {
     let (data, targets) = training_set(400, 1);
     for template in all_models() {
-        let name = template.name();
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    all_models()
-                        .into_iter()
-                        .find(|m| m.name() == name)
-                        .expect("model present")
-                },
-                |mut model| {
-                    model.fit(black_box(&data), black_box(&targets)).unwrap();
-                    black_box(model)
-                },
-                criterion::BatchSize::LargeInput,
-            );
+        let name = template.name().to_owned();
+        // Fitting mutates the model, so every iteration fits a fresh
+        // instance; construction cost is negligible next to training.
+        h.bench(&format!("train/{name}"), || {
+            let mut model = all_models()
+                .into_iter()
+                .find(|m| m.name() == name)
+                .expect("model present");
+            model.fit(black_box(&data), black_box(&targets)).unwrap();
+            black_box(model)
         });
     }
-    group.finish();
 }
 
-fn bench_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("infer_row");
+fn bench_inference(h: &mut Harness) {
     let (data, targets) = training_set(400, 2);
     let row = data.row(0).unwrap().to_vec();
     for mut model in all_models() {
         model.fit(&data, &targets).unwrap();
-        group.bench_function(model.name(), |b| {
-            b.iter(|| black_box(model.predict_proba_row(black_box(&row)).unwrap()));
-        });
+        let id = format!("infer_row/{}", model.name());
+        h.bench(&id, || black_box(model.predict_proba_row(black_box(&row)).unwrap()));
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_training, bench_inference
+fn main() {
+    let mut h = Harness::new("table2").sample_size(10);
+    bench_training(&mut h);
+    bench_inference(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -17,7 +17,7 @@ use hmd_rl::{
     ModelProfile, ThompsonSampling, Ucb,
 };
 use hmd_tabular::Class;
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 fn main() {
     println!("Ablation studies\n");

@@ -11,7 +11,7 @@ use hmd_bench::{standard_config, EXPERIMENT_SEED};
 use hmd_core::Framework;
 use hmd_ml::{evaluate, Classifier, RandomForest};
 use hmd_tabular::{Class, Dataset};
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 fn main() {
     println!("Figure 4(b) — scalability of adversarial learning\n");

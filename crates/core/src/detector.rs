@@ -5,7 +5,7 @@
 use hmd_ml::Classifier;
 use hmd_rl::{AdversarialPredictor, ConstraintController};
 use hmd_tabular::{Class, Dataset};
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::CoreError;
 
@@ -49,12 +49,20 @@ impl std::fmt::Debug for AdaptiveDetector {
         f.debug_struct("AdaptiveDetector")
             .field("models", &self.models.len())
             .field("selected_model", &self.controller.selected_model())
-            .field("quarantined", &self.quarantine.lock().len())
+            .field("quarantined", &self.quarantine_guard().len())
             .finish()
     }
 }
 
 impl AdaptiveDetector {
+    /// Locks the quarantine buffer, recovering from poisoning: a writer
+    /// can only panic between samples (`Dataset::push` validates before
+    /// mutating), so a poisoned buffer is still structurally valid and
+    /// losing it would silently drop quarantined attacks.
+    fn quarantine_guard(&self) -> MutexGuard<'_, Dataset> {
+        self.quarantine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Assembles a detector from its trained parts.
     ///
     /// # Errors
@@ -82,8 +90,7 @@ impl AdaptiveDetector {
     /// Propagates model failures.
     pub fn classify(&self, row: &[f64]) -> Result<Verdict, CoreError> {
         if self.predictor.is_adversarial(row) {
-            self.quarantine
-                .lock()
+            self.quarantine_guard()
                 .push(row, Class::Adversarial)
                 .map_err(CoreError::from)?;
             return Ok(Verdict::AdversarialAttack);
@@ -99,7 +106,7 @@ impl AdaptiveDetector {
     /// [`Class::Adversarial`]) for the next adversarial-training round.
     #[must_use]
     pub fn take_quarantine(&self) -> Dataset {
-        let mut guard = self.quarantine.lock();
+        let mut guard = self.quarantine_guard();
         let names = guard.feature_names().to_vec();
         std::mem::replace(&mut guard, Dataset::new(names).expect("non-empty schema"))
     }
@@ -107,7 +114,7 @@ impl AdaptiveDetector {
     /// Number of currently quarantined samples.
     #[must_use]
     pub fn quarantined(&self) -> usize {
-        self.quarantine.lock().len()
+        self.quarantine_guard().len()
     }
 
     /// The model the constraint controller routed inference to.
@@ -128,7 +135,7 @@ mod tests {
     /// and drive the runtime path.
     #[test]
     fn detector_routes_samples() {
-        let fw = Framework::new(FrameworkConfig::quick(21));
+        let fw = Framework::new(FrameworkConfig::quick(7));
         let bundle = fw.prepare_data().unwrap();
         let attacks = fw.generate_attacks(&bundle).unwrap();
         let merged = Framework::merged_training_set(&bundle, &attacks).unwrap();

@@ -26,7 +26,7 @@ use hmd_rl::{
 use hmd_sim::build_corpus;
 use hmd_tabular::split::stratified_split;
 use hmd_tabular::{select_top_features, Class, Dataset, StandardScaler};
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::config::{FeatureSelection, FrameworkConfig};
 use crate::report::{ControllerReport, FrameworkReport, PredictorReport, ScenarioMetrics};

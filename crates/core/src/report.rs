@@ -2,10 +2,10 @@
 //! every table and figure of the paper.
 
 use hmd_ml::BinaryMetrics;
-use serde::Serialize;
+use hmd_util::impl_to_json;
 
 /// One model's metric row in one scenario (a row of Table 2).
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioMetrics {
     /// Model name (RF, DT, LR, MLP, LightGBM, NN).
     pub model: String,
@@ -13,9 +13,11 @@ pub struct ScenarioMetrics {
     pub metrics: BinaryMetrics,
 }
 
+impl_to_json!(struct ScenarioMetrics { model, metrics });
+
 /// The adversarial predictor's evaluation (paper §3, "Adversarial
 /// Predictor's Performance" + Figure 3(b)).
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PredictorReport {
     /// Accuracy of the adversarial/non-adversarial decision.
     pub accuracy: f64,
@@ -30,8 +32,10 @@ pub struct PredictorReport {
     pub reward_trace: Vec<(bool, f64)>,
 }
 
+impl_to_json!(struct PredictorReport { accuracy, f1, precision, recall, reward_trace });
+
 /// One constraint agent's row in Figure 4(a).
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ControllerReport {
     /// Agent label.
     pub agent: String,
@@ -44,6 +48,10 @@ pub struct ControllerReport {
     /// Size of the selected model in bytes.
     pub size_bytes: usize,
 }
+
+impl_to_json!(struct ControllerReport {
+    agent, selected_model, metrics, latency_ms, size_bytes
+});
 
 impl ControllerReport {
     /// The paper's "Overhead" proxy: latency × memory.
@@ -66,7 +74,7 @@ impl ControllerReport {
 
 /// The complete output of a framework run — everything Tables 1–2 and
 /// Figures 2–4 need.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FrameworkReport {
     /// Scenario (a): regular malware detection.
     pub baseline: Vec<ScenarioMetrics>,
@@ -85,6 +93,11 @@ pub struct FrameworkReport {
     /// The feature names the pipeline selected.
     pub selected_features: Vec<String>,
 }
+
+impl_to_json!(struct FrameworkReport {
+    baseline, attacked, defended, attack_success_rate, mean_perturbation,
+    predictor, controllers, selected_features
+});
 
 impl FrameworkReport {
     /// Metrics of one model in one scenario, if present.

@@ -8,12 +8,14 @@
 
 use std::collections::HashMap;
 
+use std::sync::{PoisonError, RwLock};
+
 use hmd_ml::BinaryMetrics;
-use parking_lot::RwLock;
-use serde::Serialize;
+use hmd_util::impl_to_json;
+use hmd_util::json::{Json, ToJson};
 
 /// Verdict of one metric assessment.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MetricStatus {
     /// All monitored metrics within tolerance of the baseline.
     Stable,
@@ -25,7 +27,7 @@ pub enum MetricStatus {
 }
 
 /// One out-of-tolerance metric.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MetricDeviation {
     /// Metric name (`"accuracy"`, `"f1"`, `"tpr"`, `"fpr"`, `"tnr"`,
     /// `"fnr"`).
@@ -34,6 +36,25 @@ pub struct MetricDeviation {
     pub baseline: f64,
     /// Currently observed value.
     pub observed: f64,
+}
+
+impl_to_json!(struct MetricDeviation { metric, baseline, observed });
+
+impl ToJson for MetricStatus {
+    fn to_json(&self) -> Json {
+        match self {
+            MetricStatus::Stable => {
+                Json::Obj(vec![("status".to_owned(), Json::Str("stable".to_owned()))])
+            }
+            MetricStatus::Drifted(deviations) => Json::Obj(vec![
+                ("status".to_owned(), Json::Str("drifted".to_owned())),
+                ("deviations".to_owned(), deviations.to_json()),
+            ]),
+            MetricStatus::Unknown => {
+                Json::Obj(vec![("status".to_owned(), Json::Str("unknown".to_owned()))])
+            }
+        }
+    }
 }
 
 /// Thread-safe monitor of per-model baseline metrics.
@@ -76,15 +97,26 @@ impl MetricMonitor {
         Self { baselines: RwLock::new(HashMap::new()), tolerance }
     }
 
+    /// Locks the baselines for reading, recovering from poisoning:
+    /// baseline writes are single `HashMap::insert` calls, never torn.
+    fn baselines_read(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<String, BinaryMetrics>> {
+        self.baselines.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Records (or replaces) a model's baseline metrics.
     pub fn record_baseline(&self, name: &str, metrics: BinaryMetrics) {
-        self.baselines.write().insert(name.to_owned(), metrics);
+        self.baselines
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_owned(), metrics);
     }
 
     /// Compares freshly measured metrics against the stored baseline.
     #[must_use]
     pub fn assess(&self, name: &str, observed: &BinaryMetrics) -> MetricStatus {
-        let baselines = self.baselines.read();
+        let baselines = self.baselines_read();
         let Some(base) = baselines.get(name) else {
             return MetricStatus::Unknown;
         };
@@ -111,7 +143,7 @@ impl MetricMonitor {
     /// The stored baseline for a model, if any.
     #[must_use]
     pub fn baseline(&self, name: &str) -> Option<BinaryMetrics> {
-        self.baselines.read().get(name).copied()
+        self.baselines_read().get(name).copied()
     }
 
     /// The configured tolerance.

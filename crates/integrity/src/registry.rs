@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::sha256::{Digest, Sha256};
 
@@ -58,6 +58,15 @@ impl IntegrityStatus {
     }
 }
 
+impl ModelRegistry {
+    /// Read-locks the records, recovering from poisoning: registry
+    /// writes are single `HashMap::insert` calls, so a poisoned map is
+    /// never torn and refusing verification would fail open.
+    fn records_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, DeploymentRecord>> {
+        self.records.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 fn fingerprint(model_bytes: &[u8], deployed_at: u64) -> Digest {
     // hash(model bytes ‖ timestamp) — the paper combines the model path
     // with its deployment timestamp; we bind the content instead of the
@@ -79,13 +88,16 @@ impl ModelRegistry {
     pub fn register(&self, name: &str, model_bytes: &[u8], deployed_at: u64) {
         let record =
             DeploymentRecord { digest: fingerprint(model_bytes, deployed_at), deployed_at };
-        self.records.write().insert(name.to_owned(), record);
+        self.records
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name.to_owned(), record);
     }
 
     /// Verifies a model's current bytes against its stored record.
     #[must_use]
     pub fn verify(&self, name: &str, model_bytes: &[u8]) -> IntegrityStatus {
-        let records = self.records.read();
+        let records = self.records_read();
         let Some(record) = records.get(name) else {
             return IntegrityStatus::Unknown;
         };
@@ -100,13 +112,13 @@ impl ModelRegistry {
     /// The stored record for a model, if any.
     #[must_use]
     pub fn record(&self, name: &str) -> Option<DeploymentRecord> {
-        self.records.read().get(name).cloned()
+        self.records_read().get(name).cloned()
     }
 
     /// Names of all registered models, sorted.
     #[must_use]
     pub fn model_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.records.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.records_read().keys().cloned().collect();
         names.sort();
         names
     }
@@ -114,13 +126,13 @@ impl ModelRegistry {
     /// Number of registered models.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        self.records_read().len()
     }
 
     /// Whether the registry is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.records_read().is_empty()
     }
 }
 

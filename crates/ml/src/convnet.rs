@@ -10,14 +10,13 @@
 
 use hmd_nn::{Conv1d, Dense, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_tabular::Dataset;
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::model::{validate_training_set, Classifier};
 use crate::MlError;
 
 /// Hyper-parameters for [`ConvNet`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConvNetConfig {
     /// Channels of the first conv layer.
     pub conv1_channels: usize,

@@ -1,15 +1,14 @@
 //! Random forest: bagged CART trees with per-split feature subsampling.
 
 use hmd_tabular::Dataset;
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::model::{validate_training_set, Classifier};
 use crate::tree::{DecisionTree, DecisionTreeConfig};
 use crate::MlError;
 
 /// Hyper-parameters for [`RandomForest`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RandomForestConfig {
     /// Number of trees.
     pub n_trees: usize,
@@ -60,7 +59,7 @@ impl Default for RandomForestConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RandomForest {
     config: RandomForestConfig,
     trees: Vec<DecisionTree>,

@@ -9,7 +9,6 @@
 //! budget is exhausted.
 
 use hmd_tabular::Dataset;
-use serde::{Deserialize, Serialize};
 
 use hmd_nn::sigmoid;
 
@@ -17,7 +16,7 @@ use crate::model::{validate_training_set, Classifier};
 use crate::MlError;
 
 /// Hyper-parameters for [`Gbdt`].
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct GbdtConfig {
     /// Boosting iterations (trees).
     pub n_iters: usize,
@@ -49,13 +48,13 @@ impl Default for GbdtConfig {
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 enum GbNode {
     Leaf { value: f64 },
     Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 struct GbTree {
     nodes: Vec<GbNode>,
 }
@@ -105,7 +104,7 @@ struct GrowingLeaf {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Gbdt {
     config: GbdtConfig,
     trees: Vec<GbTree>,
@@ -365,7 +364,7 @@ mod tests {
     use super::*;
     use crate::model::evaluate;
     use hmd_tabular::Class;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     fn blobs(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

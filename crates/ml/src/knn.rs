@@ -3,13 +3,12 @@
 //! samples because its decision surface hugs the training manifold.
 
 use hmd_tabular::Dataset;
-use serde::{Deserialize, Serialize};
 
 use crate::model::{validate_training_set, Classifier};
 use crate::MlError;
 
 /// Hyper-parameters for [`Knn`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct KnnConfig {
     /// Number of neighbours consulted.
     pub k: usize,
@@ -45,7 +44,7 @@ impl Default for KnnConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Knn {
     config: KnnConfig,
     /// Training rows, flattened row-major.
@@ -148,7 +147,7 @@ mod tests {
     use super::*;
     use crate::model::evaluate;
     use hmd_tabular::Class;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     fn blobs(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

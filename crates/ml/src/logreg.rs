@@ -9,13 +9,12 @@
 
 use hmd_nn::sigmoid;
 use hmd_tabular::Dataset;
-use serde::{Deserialize, Serialize};
 
 use crate::model::{validate_training_set, Classifier};
 use crate::MlError;
 
 /// Hyper-parameters for [`LogisticRegression`].
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct LogisticRegressionConfig {
     /// Gradient-descent learning rate.
     pub learning_rate: f64,
@@ -53,7 +52,7 @@ impl Default for LogisticRegressionConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LogisticRegression {
     config: LogisticRegressionConfig,
     weights: Vec<f64>,
@@ -190,7 +189,7 @@ impl Classifier for LogisticRegression {
 mod tests {
     use super::*;
     use hmd_tabular::Class;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     fn separable(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

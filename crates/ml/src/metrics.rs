@@ -1,10 +1,11 @@
 //! Binary classification metrics: the full suite the paper reports
 //! (ACC, F1, AUC, TPR, FPR, FNR, TNR, precision, recall).
 
-use serde::{Deserialize, Serialize};
+use hmd_util::impl_json;
+
 
 /// A binary confusion matrix (positive = attack).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     /// Attacks flagged as attacks.
     pub tp: usize,
@@ -15,6 +16,8 @@ pub struct ConfusionMatrix {
     /// Attacks passed as benign (missed detections).
     pub fn_: usize,
 }
+
+impl_json!(struct ConfusionMatrix { tp, fp, tn, fn_ });
 
 impl ConfusionMatrix {
     /// Tallies a matrix from parallel prediction/truth slices.
@@ -107,7 +110,7 @@ fn ratio(num: usize, den: usize) -> f64 {
 }
 
 /// The metric row the paper's Table 2 reports for one model and scenario.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct BinaryMetrics {
     /// Accuracy.
     pub accuracy: f64,
@@ -128,6 +131,10 @@ pub struct BinaryMetrics {
     /// Recall.
     pub recall: f64,
 }
+
+impl_json!(struct BinaryMetrics {
+    accuracy, f1, auc, tpr, fpr, fnr, tnr, precision, recall
+});
 
 impl BinaryMetrics {
     /// Computes the full suite from scores (`P(attack)`) and truths,

@@ -3,14 +3,13 @@
 
 use hmd_nn::{Dense, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_tabular::Dataset;
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::model::{validate_training_set, Classifier};
 use crate::MlError;
 
 /// Hyper-parameters for [`Mlp`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MlpConfig {
     /// Hidden-layer widths.
     pub hidden: Vec<usize>,

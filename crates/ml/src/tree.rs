@@ -2,14 +2,13 @@
 //! subsampling so it can double as the random-forest base learner.
 
 use hmd_tabular::Dataset;
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::model::{validate_training_set, Classifier};
 use crate::MlError;
 
 /// Hyper-parameters for [`DecisionTree`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DecisionTreeConfig {
     /// Maximum tree depth.
     pub max_depth: usize,
@@ -28,7 +27,7 @@ impl Default for DecisionTreeConfig {
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 enum Node {
     Leaf {
         proba: f64,
@@ -62,7 +61,7 @@ enum Node {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DecisionTree {
     config: DecisionTreeConfig,
     nodes: Vec<Node>,

@@ -1,6 +1,6 @@
 //! Weight initialization schemes.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::Tensor;
 

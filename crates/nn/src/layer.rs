@@ -1,6 +1,6 @@
 //! Layers with hand-derived backward passes.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::init::{he_uniform, xavier_uniform};
 use crate::Tensor;
@@ -94,7 +94,7 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
 ///
 /// ```
 /// use hmd_nn::{Dense, Layer, Tensor};
-/// use rand::prelude::*;
+/// use hmd_util::rng::prelude::*;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut dense = Dense::xavier(3, 2, &mut rng);
@@ -383,7 +383,7 @@ impl Layer for Softmax {
 ///
 /// ```
 /// use hmd_nn::{Conv1d, Layer, Tensor};
-/// use rand::prelude::*;
+/// use hmd_util::rng::prelude::*;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut conv = Conv1d::new(1, 4, 2, &mut rng); // 1→4 channels, kernel 2

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use hmd_nn::{Dense, Loss, Optimizer, Relu, Sequential, Tensor};
-//! use rand::prelude::*;
+//! use hmd_util::rng::prelude::*;
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mut net = Sequential::new()

@@ -1,6 +1,6 @@
 //! Regularization utilities: inverted dropout and gradient clipping.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::layer::{Layer, ParamBlock};
 use crate::Tensor;

@@ -1,6 +1,6 @@
 //! A feed-forward stack of layers with a mini-batch training loop.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::layer::Layer;
 use crate::loss::Loss;
@@ -13,7 +13,7 @@ use crate::{NnError, Tensor};
 ///
 /// ```
 /// use hmd_nn::{Dense, Loss, Optimizer, Sequential, Tanh, Tensor};
-/// use rand::prelude::*;
+/// use hmd_util::rng::prelude::*;
 ///
 /// let mut rng = StdRng::seed_from_u64(42);
 /// let mut net = Sequential::new()

@@ -1,6 +1,7 @@
 //! A minimal dense 2-D tensor (matrix) with the operations backprop needs.
 
-use serde::{Deserialize, Serialize};
+use hmd_util::impl_json;
+
 
 /// A dense, row-major 2-D tensor of `f64`.
 ///
@@ -18,12 +19,14 @@ use serde::{Deserialize, Serialize};
 /// let c = a.matmul(&b);
 /// assert_eq!(c, a);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
+
+impl_json!(struct Tensor { rows, cols, data });
 
 impl Tensor {
     /// An all-zeros tensor.

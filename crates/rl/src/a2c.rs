@@ -3,13 +3,12 @@
 //! 1e-3, γ = 0.99, softmax policy, MSE critic loss).
 
 use hmd_nn::{softmax_rows, Dense, Loss, Optimizer, Relu, Sequential, Tensor};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::env::Environment;
 
 /// Hyper-parameters for [`A2cAgent`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct A2cConfig {
     /// Hidden widths of both networks (paper: four hidden layers).
     pub hidden: Vec<usize>,

@@ -3,8 +3,7 @@
 //! controller's algorithm choice (the paper picks UCB for its
 //! lightweight footprint) can be ablated.
 
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::ucb::Ucb;
 
@@ -54,7 +53,7 @@ impl BanditPolicy for Ucb {
 
 /// ε-greedy: explore a uniform arm with probability ε, otherwise exploit
 /// the best empirical mean.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpsilonGreedy {
     counts: Vec<u64>,
     means: Vec<f64>,
@@ -117,7 +116,7 @@ impl BanditPolicy for EpsilonGreedy {
 
 /// Thompson sampling with Beta posteriors over Bernoulli-like rewards
 /// (rewards are clamped to [0, 1] and treated as success probabilities).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ThompsonSampling {
     alpha: Vec<f64>,
     beta: Vec<f64>,

@@ -4,14 +4,13 @@
 
 use hmd_ml::Classifier;
 use hmd_tabular::Dataset;
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::ucb::Ucb;
 use crate::RlError;
 
 /// The specialization of a controller agent (paper §2.6.1).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ConstraintKind {
     /// Agent 1: fastest inference while keeping accuracy high.
     FastInference,
@@ -56,7 +55,7 @@ impl ConstraintKind {
 }
 
 /// Per-model measurements recorded by the Metric Monitor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelProfile {
     /// Model name.
     pub name: String,
@@ -67,7 +66,7 @@ pub struct ModelProfile {
 }
 
 /// Controller training configuration.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ControllerConfig {
     /// UCB exploration constant.
     pub exploration: f64,

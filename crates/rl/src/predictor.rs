@@ -11,7 +11,7 @@
 //! value rather than predictions from the DRL agent").
 
 use hmd_tabular::{Class, Dataset};
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::a2c::{A2cAgent, A2cConfig};
 use crate::env::{Environment, Step};

@@ -3,7 +3,6 @@
 //! imposing minimal overhead in terms of parameter size and inference
 //! latency").
 
-use serde::{Deserialize, Serialize};
 
 /// A UCB1 agent over `n` arms.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(ucb.best_arm(), 2);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Ucb {
     counts: Vec<u64>,
     means: Vec<f64>,
@@ -117,7 +116,7 @@ impl Ucb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     #[test]
     fn tries_every_arm_first() {

@@ -126,7 +126,7 @@ impl Gshare {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     #[test]
     fn learns_static_branch() {

@@ -1,6 +1,5 @@
 //! Set-associative cache models with true-LRU replacement.
 
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one cache access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -20,7 +19,7 @@ impl Access {
 }
 
 /// Geometry of one cache level.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: usize,

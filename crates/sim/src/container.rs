@@ -8,7 +8,7 @@
 //! through untouched; `VmEmulated` injects the bias and jitter emulated
 //! counters exhibit.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::dist::Normal;
 use crate::machine::{Machine, MachineConfig, RunningWorkload};

@@ -3,7 +3,7 @@
 
 use std::thread;
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use hmd_tabular::{Class, Dataset};
 
@@ -135,7 +135,7 @@ pub fn build_corpus(config: &CorpusConfig) -> Corpus {
     // are concatenated in job order so the corpus stays deterministic
     // regardless of thread count.
     let chunks: Vec<&[AppJob]> = jobs.chunks(chunk).collect();
-    let results: Vec<Vec<(Vec<f64>, WorkloadClass)>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<(Vec<f64>, WorkloadClass)>> = thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk_jobs| {
@@ -144,7 +144,7 @@ pub fn build_corpus(config: &CorpusConfig) -> Corpus {
                 let isolation = config.isolation;
                 let warmup = config.warmup_windows;
                 let windows = config.windows_per_app;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rows = Vec::new();
                     for job in *chunk_jobs {
                         let mut container =
@@ -160,8 +160,7 @@ pub fn build_corpus(config: &CorpusConfig) -> Corpus {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("corpus worker panicked")).collect()
-    })
-    .expect("corpus scope panicked");
+    });
 
     let mut dataset = Dataset::new(feature_names).expect("perf config has events");
     let mut row_classes = Vec::new();

@@ -1,68 +1,15 @@
-//! Random distributions implemented on top of `rand`.
+//! Random distributions implemented on top of `hmd_util::rng`.
 //!
 //! `rand_distr` is not on the sanctioned dependency list, so the handful
 //! of distributions the workload models need (normal, log-normal,
 //! Poisson, exponential) are implemented here from first principles.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
-/// Gaussian sampler via the Box–Muller transform.
-///
-/// # Example
-///
-/// ```
-/// use hmd_sim::dist::Normal;
-/// use rand::prelude::*;
-///
-/// let normal = Normal::new(10.0, 2.0);
-/// let mut rng = StdRng::seed_from_u64(0);
-/// let x = normal.sample(&mut rng);
-/// assert!(x.is_finite());
-/// ```
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub struct Normal {
-    mean: f64,
-    std_dev: f64,
-}
-
-impl Normal {
-    /// A normal distribution with the given mean and standard deviation.
-    ///
-    /// # Panics
-    ///
-    /// Panics for a negative or non-finite standard deviation.
-    #[must_use]
-    pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(std_dev >= 0.0 && std_dev.is_finite(), "std dev must be finite, non-negative");
-        Self { mean, std_dev }
-    }
-
-    /// Draws one sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Box–Muller: avoid u == 0 so ln() stays finite.
-        let u: f64 = loop {
-            let u: f64 = rng.random();
-            if u > f64::MIN_POSITIVE {
-                break u;
-            }
-        };
-        let v: f64 = rng.random();
-        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
-        self.mean + self.std_dev * z
-    }
-
-    /// Draws one sample clamped to `[lo, hi]` (truncated by rejection with
-    /// a clamp fallback after 64 tries).
-    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
-        for _ in 0..64 {
-            let x = self.sample(rng);
-            if (lo..=hi).contains(&x) {
-                return x;
-            }
-        }
-        self.sample(rng).clamp(lo, hi)
-    }
-}
+// The Gaussian sampler lives beside the PRNG core (Box–Muller needs the
+// raw 53-bit uniform); re-exported here so workload models keep their
+// `crate::dist::Normal` imports.
+pub use hmd_util::rng::Normal;
 
 /// Log-normal sampler: `exp(N(mu, sigma))`.
 ///

@@ -8,10 +8,9 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 /// One hardware performance event the simulated PMU can count.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum HpcEvent {
     /// Retired instructions.
@@ -224,7 +223,7 @@ impl FromStr for HpcEvent {
 }
 
 /// A counter value for every event in [`HpcEvent::ALL`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CounterSet {
     counts: Vec<u64>,
 }

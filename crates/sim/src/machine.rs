@@ -1,6 +1,6 @@
 //! The simulated core: caches + branch predictor + TLBs + cycle model.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::branch::Gshare;
 use crate::cache::{Cache, CacheConfig, Tlb};

@@ -9,15 +9,14 @@
 //! event in different mux groups) report slightly different values in the
 //! paper's dataset.
 
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::dist::Normal;
 use crate::events::{CounterSet, HpcEvent};
 use crate::machine::{Machine, RunningWorkload};
 
 /// Sampler configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PerfConfig {
     /// Sampling period in milliseconds (the paper uses 10 ms).
     pub sample_period_ms: f64,
@@ -41,7 +40,7 @@ impl Default for PerfConfig {
 }
 
 /// One sampling-period observation: a value per configured event.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Sample {
     /// Window start time in milliseconds since profiling began.
     pub time_ms: f64,

@@ -3,7 +3,6 @@
 //! models and for time-series analyses beyond the paper's per-window
 //! classification.
 
-use serde::{Deserialize, Serialize};
 
 use crate::events::HpcEvent;
 use crate::machine::{Machine, MachineConfig, RunningWorkload};
@@ -11,7 +10,7 @@ use crate::workload::{WorkloadClass, WorkloadProfile};
 
 /// One traced sampling window: raw (un-multiplexed) counters plus the
 /// behavioural phase that dominated the window.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceWindow {
     /// Window start in milliseconds.
     pub time_ms: f64,
@@ -30,7 +29,7 @@ impl TraceWindow {
 }
 
 /// A complete execution trace of one application instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionTrace {
     /// The workload class that was traced.
     pub class: WorkloadClass,

@@ -10,13 +10,12 @@
 //! botnets' bursty idling. Per-instance log-normal jitter makes every
 //! sampled application unique.
 
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::rng::prelude::*;
 
 use crate::dist::LogNormal;
 
 /// The application classes the corpus generator can run.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum WorkloadClass {
     /// Interactive text editor (benign).
@@ -115,7 +114,7 @@ impl std::fmt::Display for WorkloadClass {
 }
 
 /// Data-side memory behaviour of one phase.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct MemoryPattern {
     /// Data working-set size in bytes.
     pub working_set: u64,
@@ -134,7 +133,7 @@ pub struct MemoryPattern {
 }
 
 /// Control-flow behaviour of one phase.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct BranchPattern {
     /// Branches per instruction.
     pub branch_ratio: f64,
@@ -147,7 +146,7 @@ pub struct BranchPattern {
 }
 
 /// Kernel-visible event rates of one phase.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct OsPattern {
     /// Context switches per millisecond.
     pub context_switch_rate: f64,

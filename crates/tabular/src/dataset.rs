@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hmd_util::impl_json;
+use hmd_util::rng::prelude::*;
 
 use crate::TabularError;
 
@@ -14,7 +14,7 @@ use crate::TabularError;
 /// legitimate benign applications, legitimate malware, and adversarially
 /// perturbed malware. Adversarial samples only acquire their label once the
 /// adversarial predictor has flagged them.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Class {
     /// A legitimate, benign application.
     Benign,
@@ -24,6 +24,8 @@ pub enum Class {
     /// benign.
     Adversarial,
 }
+
+impl_json!(enum Class { Benign, Malware, Adversarial });
 
 impl Class {
     /// All classes, in stable order.
@@ -84,13 +86,15 @@ impl fmt::Display for Class {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dataset {
     feature_names: Vec<String>,
     data: Vec<f64>,
     labels: Vec<Class>,
     n_features: usize,
 }
+
+impl_json!(struct Dataset { feature_names, data, labels, n_features });
 
 impl Dataset {
     /// Creates an empty dataset with the given feature columns.

@@ -24,7 +24,7 @@
 //! ```
 //! use hmd_tabular::{Class, Dataset, StandardScaler};
 //! use hmd_tabular::split::stratified_split;
-//! use rand::prelude::*;
+//! use hmd_util::rng::prelude::*;
 //!
 //! # fn main() -> Result<(), hmd_tabular::TabularError> {
 //! let mut data = Dataset::new(vec!["llc-load-misses".into(), "llc-loads".into()])?;

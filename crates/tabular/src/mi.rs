@@ -251,7 +251,7 @@ pub fn select_top_features(
 mod tests {
     use super::*;
     use crate::Class;
-    use rand::prelude::*;
+    use hmd_util::rng::prelude::*;
 
     #[test]
     fn digamma_matches_known_values() {

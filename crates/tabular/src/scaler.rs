@@ -1,6 +1,7 @@
 //! Feature scaling and clipping transformers.
 
-use serde::{Deserialize, Serialize};
+use hmd_util::impl_json;
+
 
 use crate::stats;
 use crate::{Dataset, TabularError};
@@ -26,11 +27,13 @@ use crate::{Dataset, TabularError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StandardScaler {
     means: Vec<f64>,
     stds: Vec<f64>,
 }
+
+impl_json!(struct StandardScaler { means, stds });
 
 impl StandardScaler {
     /// Fits per-feature mean and standard deviation on `data`.
@@ -144,11 +147,13 @@ impl StandardScaler {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MinMaxClipper {
     mins: Vec<f64>,
     maxs: Vec<f64>,
 }
+
+impl_json!(struct MinMaxClipper { mins, maxs });
 
 impl MinMaxClipper {
     /// Fits per-feature bounds on `data`.

@@ -1,6 +1,6 @@
 //! Stratified train/test splitting.
 
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 use crate::{Class, Dataset, TabularError};
 
@@ -22,7 +22,7 @@ use crate::{Class, Dataset, TabularError};
 /// ```
 /// use hmd_tabular::{Class, Dataset};
 /// use hmd_tabular::split::stratified_split;
-/// use rand::prelude::*;
+/// use hmd_util::rng::prelude::*;
 ///
 /// # fn main() -> Result<(), hmd_tabular::TabularError> {
 /// let mut d = Dataset::new(vec!["f".into()])?;

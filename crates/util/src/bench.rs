@@ -1,0 +1,370 @@
+//! A micro-benchmark harness: warm-up, iteration calibration,
+//! median/p95 statistics, and machine-readable `BENCH_<name>.json`
+//! emission.
+//!
+//! The replacement for the criterion benches: each `[[bench]]` target
+//! keeps `harness = false` and drives a [`Harness`] from `fn main`.
+//!
+//! ```no_run
+//! use hmd_util::bench::Harness;
+//! use std::hint::black_box;
+//!
+//! let mut h = Harness::new("example");
+//! let xs: Vec<f64> = (0..1024).map(|i| f64::from(i)).collect();
+//! h.bench("sum_1024", || black_box(xs.iter().sum::<f64>()));
+//! h.finish(); // writes BENCH_example.json, prints a summary table
+//! ```
+//!
+//! Knobs (environment):
+//! * `BENCH_OUT_DIR` — where `BENCH_<name>.json` lands (default: cwd);
+//! * `HMD_BENCH_FAST=1` — CI smoke mode: tiny warm-up and sample
+//!   targets so every bench binary finishes in well under a second.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean over samples.
+    pub mean_ns: f64,
+    /// Median (p50) — the headline number; robust to scheduler noise.
+    pub median_ns: f64,
+    /// 95th percentile — the tail the paper's "overhead" rows care
+    /// about.
+    pub p95_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Population standard deviation over samples.
+    pub std_dev_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(samples: &mut [f64]) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        Self {
+            mean_ns: mean,
+            median_ns: percentile(samples, 50.0),
+            p95_ns: percentile(samples, 95.0),
+            min_ns: samples[0],
+            max_ns: samples[n - 1],
+            std_dev_ns: var.sqrt(),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// One completed benchmark.
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    iters_per_sample: u64,
+    samples: usize,
+    stats: Stats,
+    throughput: Option<Throughput>,
+}
+
+/// A named collection of benchmarks; [`Harness::finish`] writes
+/// `BENCH_<name>.json`.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    sample_size: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+    out_dir: Option<PathBuf>,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// A harness whose results land in `BENCH_<name>.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or contains path separators.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        assert!(
+            !name.is_empty() && !name.contains(['/', '\\']),
+            "bench name must be a bare file stem, got {name:?}"
+        );
+        let fast = std::env::var("HMD_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+        Self {
+            name: name.to_owned(),
+            sample_size: if fast { 10 } else { 30 },
+            warmup: if fast { Duration::from_millis(2) } else { Duration::from_millis(60) },
+            target_sample_time: if fast {
+                Duration::from_micros(200)
+            } else {
+                Duration::from_millis(2)
+            },
+            out_dir: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark (default 30, or
+    /// 10 under `HMD_BENCH_FAST`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero sample size.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the output directory (default: `BENCH_OUT_DIR` env
+    /// var, falling back to the current directory).
+    #[must_use]
+    pub fn out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = Some(dir.into());
+        self
+    }
+
+    /// Times `f`, recording per-iteration statistics under `id`.
+    ///
+    /// The closure's return value is passed through
+    /// [`black_box`](std::hint::black_box), so benchmarked expressions
+    /// are not optimized away; inputs should still be `black_box`ed at
+    /// the call site when they are compile-time constants.
+    pub fn bench<T>(&mut self, id: &str, f: impl FnMut() -> T) {
+        self.run(id, None, f);
+    }
+
+    /// Like [`bench`](Harness::bench), with a throughput denominator
+    /// for derived bytes/sec or elements/sec reporting.
+    pub fn bench_with_throughput<T>(
+        &mut self,
+        id: &str,
+        throughput: Throughput,
+        f: impl FnMut() -> T,
+    ) {
+        self.run(id, Some(throughput), f);
+    }
+
+    fn run<T>(&mut self, id: &str, throughput: Option<Throughput>, mut f: impl FnMut() -> T) {
+        // Warm-up doubles as calibration: count how many iterations fit
+        // in the warm-up window to size the timed samples.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup || warmup_iters == 0 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target = self.target_sample_time.as_secs_f64();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let iters_per_sample = ((target / per_iter).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let stats = Stats::from_samples(&mut samples);
+        println!(
+            "{}/{id}: median {} (p95 {}, n={} x {iters_per_sample})",
+            self.name,
+            format_ns(stats.median_ns),
+            format_ns(stats.p95_ns),
+            self.sample_size,
+        );
+        self.records.push(Record {
+            id: id.to_owned(),
+            iters_per_sample,
+            samples: self.sample_size,
+            stats,
+            throughput,
+        });
+    }
+
+    /// Writes `BENCH_<name>.json` and returns its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench run whose results
+    /// vanish silently is worse than a loud failure.
+    pub fn finish(self) -> PathBuf {
+        let dir = self
+            .out_dir
+            .clone()
+            .or_else(|| std::env::var_os("BENCH_OUT_DIR").map(PathBuf::from))
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("creating bench output dir {}: {e}", dir.display()));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let doc = self.to_json();
+        std::fs::write(&path, doc.pretty() + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+        path
+    }
+
+    fn to_json(&self) -> Json {
+        let benches: Vec<Json> = self.records.iter().map(Record::to_json).collect();
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("unit".to_owned(), Json::Str("ns/iter".to_owned())),
+            ("benches".to_owned(), Json::Arr(benches)),
+        ])
+    }
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        let s = &self.stats;
+        let mut fields = vec![
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            ("samples".to_owned(), (self.samples as u64).to_json_u()),
+            ("iters_per_sample".to_owned(), self.iters_per_sample.to_json_u()),
+            ("mean_ns".to_owned(), Json::Float(s.mean_ns)),
+            ("median_ns".to_owned(), Json::Float(s.median_ns)),
+            ("p95_ns".to_owned(), Json::Float(s.p95_ns)),
+            ("min_ns".to_owned(), Json::Float(s.min_ns)),
+            ("max_ns".to_owned(), Json::Float(s.max_ns)),
+            ("std_dev_ns".to_owned(), Json::Float(s.std_dev_ns)),
+        ];
+        if let Some(tp) = self.throughput {
+            let (kind, units) = match tp {
+                Throughput::Bytes(n) => ("bytes", n),
+                Throughput::Elements(n) => ("elements", n),
+            };
+            #[allow(clippy::cast_precision_loss)]
+            let per_sec = if s.median_ns > 0.0 { units as f64 * 1e9 / s.median_ns } else { 0.0 };
+            fields.push(("throughput_kind".to_owned(), Json::Str(kind.to_owned())));
+            fields.push(("throughput_units".to_owned(), units.to_json_u()));
+            fields.push((format!("{kind}_per_sec"), Json::Float(per_sec)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+// Small helper so u64 counters serialize through the same path.
+trait ToJsonU {
+    fn to_json_u(self) -> Json;
+}
+impl ToJsonU for u64 {
+    fn to_json_u(self) -> Json {
+        match i64::try_from(self) {
+            Ok(i) => Json::Int(i),
+            Err(_) => Json::UInt(self),
+        }
+    }
+}
+
+/// Human-readable duration with three significant figures.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Reads a `BENCH_*.json` file back (used by tests and tooling that
+/// compares runs).
+///
+/// # Errors
+///
+/// Returns an error string if the file is unreadable or not valid
+/// JSON.
+pub fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 50.0), 5.0);
+        assert_eq!(percentile(&sorted, 95.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 10.0);
+        assert_eq!(percentile(&sorted, 0.1), 1.0);
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let mut samples = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = Stats::from_samples(&mut samples);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 5.0);
+        assert_eq!(s.median_ns, 3.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns && s.p95_ns <= s.max_ns);
+        assert!((s.mean_ns - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harness_emits_wellformed_json() {
+        let dir = std::env::temp_dir().join(format!("hmd_bench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut h = Harness::new("selftest").sample_size(3).out_dir(&dir);
+        // Keep the workload tiny; correctness of the file is the point.
+        let mut acc = 0u64;
+        h.bench("count", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        h.bench_with_throughput("count_tp", Throughput::Bytes(64), || 0u8);
+        let path = h.finish();
+        let doc = load(&path).expect("parse emitted file");
+        assert_eq!(doc.get("name").unwrap().as_str().unwrap(), "selftest");
+        let benches = doc.get("benches").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 2);
+        for b in benches {
+            assert!(b.get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(b.get("p95_ns").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(b.get("iters_per_sample").unwrap().as_f64().unwrap() >= 1.0);
+        }
+        assert_eq!(
+            benches[1].get("throughput_kind").unwrap().as_str().unwrap(),
+            "bytes"
+        );
+        assert!(benches[1].get("bytes_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "bare file stem")]
+    fn rejects_pathy_names() {
+        let _ = Harness::new("../escape");
+    }
+}

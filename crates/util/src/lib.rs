@@ -1,0 +1,29 @@
+//! Zero-dependency utility substrate for the HMD workspace.
+//!
+//! Every crate in this workspace builds offline, from an empty cargo
+//! registry. This crate owns the four capabilities that previously
+//! pulled external dependencies:
+//!
+//! * [`rng`] — deterministic pseudo-randomness (SplitMix64 seeding, a
+//!   xoshiro256++ core, uniform/normal sampling, Fisher–Yates shuffle)
+//!   behind the same API surface the `rand` prelude offered, so call
+//!   sites migrate with a one-line import swap;
+//! * [`json`] — a minimal JSON value model, serializer and parser, plus
+//!   the derive-free [`impl_json!`](crate::impl_json) /
+//!   [`impl_to_json!`](crate::impl_to_json) macros replacing
+//!   `#[derive(Serialize, Deserialize)]`;
+//! * [`proptest_lite`] — seeded property-based testing with
+//!   shrink-on-failure, replacing `proptest`;
+//! * [`bench`] — a micro-benchmark harness (warm-up, calibration,
+//!   median/p95, `BENCH_<name>.json` emission), replacing `criterion`.
+//!
+//! The sampling pipeline the paper describes (LowProFool attack
+//! generation → A2C adversarial prediction → adversarial retraining) is
+//! seeded end to end; owning the noise source is what makes two
+//! same-seed runs byte-identical regardless of platform, `rand` version
+//! or registry availability.
+
+pub mod bench;
+pub mod json;
+pub mod proptest_lite;
+pub mod rng;

@@ -1,0 +1,506 @@
+//! Seeded property-based testing with shrink-on-failure.
+//!
+//! A deliberately small replacement for `proptest`: strategies are
+//! plain values (ranges, combinators), generation is driven by the
+//! workspace's own [`StdRng`](crate::rng::StdRng) (so a failing case
+//! reproduces from the test name alone), and failures are greedily
+//! shrunk toward the range start before being reported.
+//!
+//! # Example
+//!
+//! ```
+//! use hmd_util::{prop_assert, prop_tests};
+//!
+//! prop_tests! {
+//!     cases = 16;
+//!
+//!     /// Addition never loses mass.
+//!     fn sum_is_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+//!         prop_assert!(a + b >= a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+//!
+//! Set `HMD_PROP_SEED=<u64>` to re-run a suite with a different seed
+//! stream, and `HMD_PROP_CASES=<n>` to scale case counts up (e.g. a
+//! nightly soak) without touching the source.
+
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{Rng, StdRng};
+
+/// A generator of test inputs with an optional shrinker.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draws one input.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing input, simplest first.
+    /// An empty vector ends shrinking for this value.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! range_strategy {
+    (float: $($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v != self.start {
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2.0;
+                    if mid != v && mid != self.start {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (start, v) = (*self.start(), *value);
+                let mut out = Vec::new();
+                if v != start {
+                    out.push(start);
+                    let mid = start + (v - start) / 2.0;
+                    if mid != v && mid != start {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+    (int: $($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start, *value)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start(), *value)
+            }
+        }
+
+        impl ShrinkInt for $t {
+            fn half_toward(self, start: Self) -> Self {
+                start + (self - start) / 2
+            }
+            fn decrement(self) -> Self {
+                self - 1
+            }
+        }
+    )+};
+}
+/// Integer shrink arithmetic shared by the range strategies.
+trait ShrinkInt: Copy + PartialEq {
+    fn half_toward(self, start: Self) -> Self;
+    fn decrement(self) -> Self;
+}
+
+/// Shrink candidates for an integer: the range start, the halfway
+/// point, and the predecessor. The predecessor guarantees greedy
+/// shrinking converges to the *smallest* failing input (the halving
+/// candidates alone can stall above a failure boundary).
+fn shrink_int<T: ShrinkInt>(start: T, value: T) -> Vec<T> {
+    let mut out = Vec::new();
+    if value == start {
+        return out;
+    }
+    out.push(start);
+    let mid = value.half_toward(start);
+    if mid != value && mid != start {
+        out.push(mid);
+    }
+    let prev = value.decrement();
+    if prev != start && prev != mid {
+        out.push(prev);
+    }
+    out
+}
+
+range_strategy!(float: f64, f32);
+range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A fixed value (no generation, no shrinking).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`. `size` accepts a fixed `usize`, `a..b`, or
+    /// `a..=b`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy { element, size }
+    }
+}
+
+/// An inclusive-min, exclusive-max length range for collections.
+#[derive(Copy, Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` (see [`collection::vec`]).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S: Strategy> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 >= self.size.max {
+            self.size.min
+        } else {
+            rng.random_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // 1. Shorter vectors first: halve, then drop one.
+        if value.len() > self.size.min {
+            let half = (value.len() / 2).max(self.size.min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // 2. Then simpler elements, one position at a time (first
+        //    candidate each, to bound the fan-out).
+        for (i, elem) in value.iter().enumerate() {
+            if let Some(simpler) = self.element.shrink(elem).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = simpler;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Deterministic per-test seed: FNV-1a over the test name, overridable
+/// with `HMD_PROP_SEED`.
+#[must_use]
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("HMD_PROP_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Effective case count: the declared count, overridable upward or
+/// downward with `HMD_PROP_CASES`.
+#[must_use]
+pub fn effective_cases(declared: u32) -> u32 {
+    std::env::var("HMD_PROP_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(declared)
+}
+
+/// Maximum shrink candidates evaluated per failure.
+const SHRINK_BUDGET: usize = 512;
+
+/// Runs `test` against `cases` inputs drawn from `strategy`; on
+/// failure, shrinks greedily and panics with the minimized
+/// counterexample.
+///
+/// This is the engine behind [`prop_tests!`](crate::prop_tests);
+/// calling it directly is fine when the macro's surface doesn't fit.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails.
+pub fn run_property<S: Strategy>(name: &str, cases: u32, strategy: &S, test: impl Fn(&S::Value)) {
+    let cases = effective_cases(cases);
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let passes = |input: &S::Value| catch_unwind(AssertUnwindSafe(|| test(input))).is_ok();
+    for case in 0..cases {
+        let input = strategy.sample(&mut rng);
+        if passes(&input) {
+            continue;
+        }
+        // Greedy shrink: accept the first failing candidate each round.
+        let mut minimal = input;
+        let mut budget = SHRINK_BUDGET;
+        'outer: while budget > 0 {
+            for candidate in strategy.shrink(&minimal) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if !passes(&candidate) {
+                    minimal = candidate;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property `{name}` failed on case {case}/{cases}\n\
+             minimized counterexample: {minimal:#?}\n\
+             (re-run deterministically: the suite is seeded from the test name; \
+             HMD_PROP_SEED overrides)"
+        );
+    }
+}
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// running `cases` seeded inputs through the body; assertion macros
+/// ([`prop_assert!`](crate::prop_assert),
+/// [`prop_assert_eq!`](crate::prop_assert_eq) or plain `assert!`)
+/// report failures, which are then shrunk.
+#[macro_export]
+macro_rules! prop_tests {
+    (
+        cases = $cases:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let strategy = ($($strategy,)+);
+                $crate::proptest_lite::run_property(
+                    stringify!($name),
+                    $cases,
+                    &strategy,
+                    |&($(ref $arg,)+)| {
+                        $(let $arg = ::std::clone::Clone::clone($arg);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` under a property-test-flavored name (proptest
+/// compatibility).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under a property-test-flavored name (proptest
+/// compatibility).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under a property-test-flavored name (proptest
+/// compatibility).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let u = (3u64..9).sample(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = collection::vec(0.0f64..1.0, 3);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn ranged_size_vec() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = collection::vec(0u32..10, 2..40);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!((2..40).contains(&v.len()));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 10, "length barely varies: {lens:?}");
+    }
+
+    #[test]
+    fn numeric_shrink_moves_toward_start() {
+        let s = 10u64..100;
+        let candidates = s.shrink(&80);
+        assert!(candidates.contains(&10));
+        assert!(candidates.iter().all(|&c| (10..80).contains(&c)));
+        assert!(s.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_prefers_shorter() {
+        let s = collection::vec(0u64..100, 2..40);
+        let v: Vec<u64> = (0..10).map(|i| i + 50).collect();
+        let candidates = s.shrink(&v);
+        assert!(!candidates.is_empty());
+        assert!(candidates[0].len() < v.len());
+        // never below the minimum length
+        assert!(candidates.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn run_property_passes_good_properties() {
+        run_property("commutativity", 64, &(0.0f64..10.0, 0.0f64..10.0), |&(a, b)| {
+            assert!((a + b - (b + a)).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn failing_property_is_shrunk_to_boundary() {
+        // The property "v < 50" fails for v >= 50; greedy shrinking
+        // should land near the smallest failing input.
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            run_property("shrinks", 200, &(0u64..100), |&v| {
+                assert!(v < 50, "too big");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = failure
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("minimized counterexample"), "{msg}");
+        // The minimal counterexample for v>=50 under halving shrinks is
+        // exactly 50.
+        assert!(msg.contains("50"), "{msg}");
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(seed_for("abc"), seed_for("abc"));
+        assert_ne!(seed_for("abc"), seed_for("abd"));
+    }
+
+    prop_tests! {
+        cases = 32;
+
+        /// The macro itself: multiple args, trailing comma, vec strategy.
+        fn macro_generates_working_tests(
+            scale in 1.0f64..4.0,
+            xs in collection::vec(0.0f64..1.0, 1..8),
+        ) {
+            let sum: f64 = xs.iter().sum();
+            prop_assert!(sum * scale >= 0.0);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}

@@ -14,7 +14,7 @@
 use hmd::ml::{Classifier, Gbdt};
 use hmd::sim::{build_corpus, CorpusConfig, HpcEvent, WorkloadClass};
 use hmd::tabular::{split::stratified_split, Class, StandardScaler};
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = CorpusConfig {

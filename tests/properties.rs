@@ -4,8 +4,9 @@ use hmd::adversarial::{Attack, LowProFool};
 use hmd::ml::{BinaryMetrics, Classifier, LogisticRegression};
 use hmd::nn::{Dense, Loss, Optimizer, Sequential, Tensor};
 use hmd::tabular::{Class, Dataset, MinMaxClipper, StandardScaler};
-use proptest::prelude::*;
-use rand::prelude::*;
+use hmd_util::proptest_lite::collection;
+use hmd_util::rng::prelude::*;
+use hmd_util::{prop_assert, prop_assert_eq, prop_tests};
 
 /// Builds an overlapping two-blob dataset from arbitrary-but-sane
 /// geometry parameters.
@@ -27,12 +28,11 @@ fn blobs(n: usize, gap: f64, spread: f64, seed: u64) -> Dataset {
     d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+prop_tests! {
+    cases = 12;
 
     /// LowProFool output always stays inside the malware clip box and its
     /// success flag always agrees with the evaluator's verdict.
-    #[test]
     fn lowprofool_respects_clip_box(
         gap in 0.3f64..2.0,
         spread in 0.3f64..1.5,
@@ -54,12 +54,8 @@ proptest! {
     }
 
     /// Standard scaling is invertible on arbitrary datasets.
-    #[test]
     fn scaler_roundtrips(
-        rows in prop::collection::vec(
-            prop::collection::vec(-1e6f64..1e6, 3),
-            2..40
-        )
+        rows in collection::vec(collection::vec(-1e6f64..1e6, 3), 2..40),
     ) {
         let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]).unwrap();
         for (i, row) in rows.iter().enumerate() {
@@ -78,10 +74,9 @@ proptest! {
     }
 
     /// Classifier probabilities are probabilities, on arbitrary inputs.
-    #[test]
     fn probabilities_stay_in_unit_interval(
         seed in 0u64..500,
-        probe in prop::collection::vec(-1e3f64..1e3, 2),
+        probe in collection::vec(-1e3f64..1e3, 2),
     ) {
         let data = blobs(40, 1.0, 0.8, seed);
         let targets = data.binary_targets(Class::is_attack);
@@ -92,9 +87,8 @@ proptest! {
     }
 
     /// BinaryMetrics stays consistent for arbitrary score/truth vectors.
-    #[test]
     fn metric_identities_hold(
-        scores in prop::collection::vec(0.0f64..1.0, 4..60),
+        scores in collection::vec(0.0f64..1.0, 4..60),
         flip in 0usize..7,
     ) {
         let truth: Vec<bool> = scores.iter().enumerate()
@@ -114,7 +108,6 @@ proptest! {
 
     /// One gradient step on a fixed batch must not increase that batch's
     /// loss (for a sufficiently small learning rate).
-    #[test]
     fn gradient_step_decreases_batch_loss(seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut net = Sequential::new()

@@ -5,7 +5,7 @@ use hmd::integrity::{MetricMonitor, ModelRegistry};
 use hmd::ml::{evaluate, Classifier, Mlp, RandomForest};
 use hmd::sim::{build_corpus, CorpusConfig, HpcEvent, IsolationMode, WorkloadClass};
 use hmd::tabular::{rank_features_by_mi, split::stratified_split, Class, StandardScaler};
-use rand::prelude::*;
+use hmd_util::rng::prelude::*;
 
 #[test]
 fn corpus_feeds_detectors_above_chance() {
