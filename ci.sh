@@ -15,6 +15,14 @@ cargo test -q --workspace --offline
 echo "== clippy (offline, warnings are errors) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== bench smoke (fast mode) =="
+BENCH_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
+HMD_BENCH_FAST=1 BENCH_OUT_DIR="$BENCH_SMOKE_DIR" \
+    cargo bench -p hmd-bench --bench substrates --offline
+cargo run --release --offline -p hmd-bench --bin bench_check -- \
+    "$BENCH_SMOKE_DIR/BENCH_substrates.json"
+
 echo "== hermeticity: dependency tree must be workspace-only =="
 if cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep -q '[a-z]'; then
     echo "ERROR: non-workspace dependency found:" >&2

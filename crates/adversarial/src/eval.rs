@@ -3,7 +3,7 @@
 //! Malware Detection under Adversarial Attacks").
 
 use hmd_ml::{BinaryMetrics, Classifier, MlError};
-use hmd_util::impl_json;
+use hmd_util::{impl_json, par};
 use hmd_tabular::{Class, Dataset};
 
 /// The before/after metric pair for one model under transfer attack.
@@ -65,6 +65,11 @@ pub fn attacked_test_set(
 
 /// Evaluates every model on the clean and attacked test sets.
 ///
+/// Models are scored in parallel (evaluation never mutates them, and
+/// records come back in `models` order); any batch-level parallelism
+/// inside a model's `predict_proba` runs sequentially on its worker
+/// thanks to the nested-region guard in [`hmd_util::par`].
+///
 /// # Errors
 ///
 /// Propagates prediction errors from the models.
@@ -75,16 +80,15 @@ pub fn transferability(
 ) -> Result<Vec<TransferRecord>, MlError> {
     let clean_targets = clean_test.binary_targets(Class::is_attack);
     let attacked_targets = attacked_test.binary_targets(Class::is_attack);
-    models
-        .iter()
-        .map(|m| {
-            Ok(TransferRecord {
-                model: m.name().to_owned(),
-                clean: hmd_ml::evaluate(m.as_ref(), clean_test, &clean_targets)?,
-                attacked: hmd_ml::evaluate(m.as_ref(), attacked_test, &attacked_targets)?,
-            })
+    par::par_map(models, |m| {
+        Ok(TransferRecord {
+            model: m.name().to_owned(),
+            clean: hmd_ml::evaluate(m.as_ref(), clean_test, &clean_targets)?,
+            attacked: hmd_ml::evaluate(m.as_ref(), attacked_test, &attacked_targets)?,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

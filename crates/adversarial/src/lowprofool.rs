@@ -19,7 +19,9 @@ use hmd_tabular::{Dataset, MinMaxClipper};
 use hmd_util::impl_json;
 use hmd_util::rng::prelude::*;
 
-use crate::attack::{Attack, PerturbedSample};
+use hmd_util::par;
+
+use crate::attack::{Attack, AttackResult, PerturbedSample};
 use crate::AdvError;
 
 /// Hyper-parameters for [`LowProFool`].
@@ -209,6 +211,28 @@ impl Attack for LowProFool {
         let weighted_norm = self.weighted_norm(&r);
         let evades = self.surrogate.predict_proba_row(&last_x)? < 0.5;
         Ok(PerturbedSample { features: last_x, evades, weighted_norm, iterations })
+    }
+
+    /// Corpus-scale attack generation parallelized over samples.
+    ///
+    /// The gradient descent in [`Self::perturb_row`] is deterministic (it
+    /// never draws from the RNG), so each row can be optimized on its own
+    /// worker with a per-row derived RNG and the result is byte-identical
+    /// to the sequential default at any thread count.
+    fn generate(&self, malware: &Dataset, seed: u64) -> Result<AttackResult, AdvError> {
+        let indices: Vec<usize> = (0..malware.len()).collect();
+        let outcomes: Vec<PerturbedSample> = par::par_map(&indices, |&i| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.perturb_row(malware.row(i)?, &mut rng)
+        })
+        .into_iter()
+        .collect::<Result<_, AdvError>>()?;
+        let mut adversarial = Dataset::new(malware.feature_names().to_vec())?;
+        for outcome in &outcomes {
+            adversarial.push(&outcome.features, hmd_tabular::Class::Adversarial)?;
+        }
+        Ok(AttackResult { adversarial, outcomes })
     }
 }
 

@@ -1,14 +1,20 @@
 //! Benchmarks for the substrate layers: simulator window throughput,
-//! SHA-256 hashing, and tensor/NN primitives. Emits
-//! `BENCH_substrates.json`.
+//! SHA-256 hashing, tensor/NN primitives, and the parallel substrate
+//! (`hmd_util::par`) before/after pairs — naive vs blocked matmul, and
+//! 1-thread vs all-thread forest fitting, corpus generation, and batch
+//! prediction. Emits `BENCH_substrates.json`.
 
 use std::hint::black_box;
 
 use hmd_integrity::Sha256;
+use hmd_ml::{Classifier, Knn, RandomForest, RandomForestConfig};
 use hmd_nn::{Dense, Loss, Optimizer, Relu, Sequential, Tensor};
+use hmd_sim::corpus::{build_corpus, CorpusConfig};
 use hmd_sim::machine::{Machine, MachineConfig, RunningWorkload};
 use hmd_sim::workload::{WorkloadClass, WorkloadProfile};
+use hmd_tabular::{Class, Dataset};
 use hmd_util::bench::{Harness, Throughput};
+use hmd_util::par;
 use hmd_util::rng::prelude::*;
 
 fn bench_simulator(h: &mut Harness) {
@@ -55,10 +61,92 @@ fn bench_nn(h: &mut Harness) {
     });
 }
 
+fn bench_matmul(h: &mut Harness) {
+    let mut rng = StdRng::seed_from_u64(11);
+    for size in [64usize, 128, 256] {
+        let a = Tensor::from_fn(size, size, |_, _| rng.random_range(-1.0..1.0));
+        let b = Tensor::from_fn(size, size, |_, _| rng.random_range(-1.0..1.0));
+        let macs = (size * size * size) as u64;
+        h.bench_with_throughput(
+            &format!("tensor/matmul_naive_{size}x{size}"),
+            Throughput::Elements(macs),
+            || black_box(black_box(&a).matmul_naive(black_box(&b))),
+        );
+        h.bench_with_throughput(
+            &format!("tensor/matmul_blocked_{size}x{size}"),
+            Throughput::Elements(macs),
+            || black_box(black_box(&a).matmul(black_box(&b))),
+        );
+    }
+}
+
+/// Synthetic two-blob training data sized for the model benches.
+fn blobs(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into(), "d".into()]).unwrap();
+    for _ in 0..n {
+        let benign: Vec<f64> = (0..4).map(|_| rng.random_range(-1.0..0.5)).collect();
+        let attack: Vec<f64> = (0..4).map(|_| rng.random_range(0.0..1.5)).collect();
+        d.push(&benign, Class::Benign).unwrap();
+        d.push(&attack, Class::Malware).unwrap();
+    }
+    let t = d.binary_targets(Class::is_attack);
+    (d, t)
+}
+
+/// Runs `f` once with the thread override pinned to 1, once unpinned
+/// (all threads), recording `<id>_1thread` / `<id>_allthreads`. The
+/// pair is the speedup table in `BENCH_substrates.json`: on a
+/// multi-core host the second entry's median should be ≥2× smaller.
+fn bench_thread_pair<T>(h: &mut Harness, id: &str, mut f: impl FnMut() -> T) {
+    par::set_thread_override(Some(1));
+    h.bench(&format!("{id}_1thread"), &mut f);
+    par::set_thread_override(None);
+    h.bench(&format!("{id}_allthreads"), &mut f);
+}
+
+fn bench_parallel_models(h: &mut Harness) {
+    let (train, targets) = blobs(150, 21);
+    let forest_config = RandomForestConfig { n_trees: 16, ..RandomForestConfig::default() };
+    bench_thread_pair(h, "par/forest_fit_16trees", || {
+        let mut forest = RandomForest::with_config(forest_config);
+        forest.fit(black_box(&train), black_box(&targets)).unwrap();
+        black_box(forest)
+    });
+
+    let (test, _) = blobs(256, 22);
+    let mut knn = Knn::new();
+    knn.fit(&train, &targets).unwrap();
+    bench_thread_pair(h, "par/knn_batch_predict_512rows", || {
+        black_box(knn.predict_proba(black_box(&test)).unwrap())
+    });
+
+    let mut forest = RandomForest::with_config(forest_config);
+    forest.fit(&train, &targets).unwrap();
+    bench_thread_pair(h, "par/forest_batch_predict_512rows", || {
+        black_box(forest.predict_proba(black_box(&test)).unwrap())
+    });
+}
+
+fn bench_corpus(h: &mut Harness) {
+    // `CorpusConfig::threads` feeds the substrate directly, so the
+    // 1-vs-all pair comes from the config rather than the override.
+    let mut config = CorpusConfig::quick(31);
+    config.threads = 1;
+    h.bench("par/corpus_gen_48apps_1thread", || black_box(build_corpus(black_box(&config))));
+    config.threads = 0;
+    h.bench("par/corpus_gen_48apps_allthreads", || {
+        black_box(build_corpus(black_box(&config)))
+    });
+}
+
 fn main() {
     let mut h = Harness::new("substrates").sample_size(20);
     bench_simulator(&mut h);
     bench_sha256(&mut h);
     bench_nn(&mut h);
+    bench_matmul(&mut h);
+    bench_parallel_models(&mut h);
+    bench_corpus(&mut h);
     h.finish();
 }

@@ -1,0 +1,66 @@
+//! CI gate for bench output: validates that a `BENCH_*.json` file
+//! exists, parses, and carries sane records — so a bench refactor that
+//! silently stops emitting results fails the pipeline instead of
+//! shipping an empty speedup table.
+//!
+//! Usage: `bench_check <path/to/BENCH_name.json> [...]`
+//! Exits non-zero with a diagnostic on the first missing/malformed file.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use hmd_util::bench;
+
+fn check(path: &Path) -> Result<usize, String> {
+    let doc = bench::load(path)?;
+    let name = doc
+        .get("name")
+        .and_then(|n| n.as_str())
+        .ok_or_else(|| format!("{}: missing string field \"name\"", path.display()))?;
+    if name.is_empty() {
+        return Err(format!("{}: empty bench suite name", path.display()));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(|b| b.as_arr())
+        .ok_or_else(|| format!("{}: missing array field \"benches\"", path.display()))?;
+    if benches.is_empty() {
+        return Err(format!("{}: no bench records", path.display()));
+    }
+    for (i, b) in benches.iter().enumerate() {
+        let id = b
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{}: bench #{i} missing \"id\"", path.display()))?;
+        for field in ["median_ns", "p95_ns", "mean_ns", "min_ns", "max_ns"] {
+            let v = b.get(field).and_then(hmd_util::json::Json::as_f64).ok_or_else(|| {
+                format!("{}: bench {id:?} missing numeric {field:?}", path.display())
+            })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "{}: bench {id:?} has non-finite/negative {field}: {v}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(benches.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bench_check <BENCH_name.json> [...]");
+        return ExitCode::FAILURE;
+    }
+    for arg in &args {
+        match check(Path::new(arg)) {
+            Ok(n) => println!("bench_check: {arg}: OK ({n} records)"),
+            Err(e) => {
+                eprintln!("bench_check: FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,7 @@
 //! Random forest: bagged CART trees with per-split feature subsampling.
 
 use hmd_tabular::Dataset;
+use hmd_util::par;
 use hmd_util::rng::prelude::*;
 
 use crate::model::{validate_training_set, Classifier};
@@ -132,20 +133,26 @@ impl Classifier for RandomForest {
         let n = data.len();
         let sqrt_features = (data.n_features() as f64).sqrt().ceil() as usize;
         let max_features = self.config.max_features.unwrap_or(sqrt_features).max(1);
+        // Bootstrap draws stay on the single sequential RNG stream, so
+        // the sampled indices are identical to a sequential fit; only
+        // the (independent, per-tree-seeded) tree growing fans out.
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.trees.clear();
-        for t in 0..self.config.n_trees {
-            // bootstrap sample
-            let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
-            let tree_config = DecisionTreeConfig {
-                max_features: Some(max_features),
-                ..self.config.tree
-            };
+        let bootstraps: Vec<Vec<usize>> = (0..self.config.n_trees)
+            .map(|_| (0..n).map(|_| rng.random_range(0..n)).collect())
+            .collect();
+        let tree_config = DecisionTreeConfig {
+            max_features: Some(max_features),
+            ..self.config.tree
+        };
+        let seed = self.config.seed;
+        self.trees = par::par_map_indexed(&bootstraps, |t, indices| {
             let mut tree = DecisionTree::with_config(tree_config);
-            tree.set_seed(self.config.seed.wrapping_add(t as u64).wrapping_mul(0x9e37));
-            tree.fit_indices(data, targets, &indices)?;
-            self.trees.push(tree);
-        }
+            tree.set_seed(seed.wrapping_add(t as u64).wrapping_mul(0x9e37));
+            tree.fit_indices(data, targets, indices)?;
+            Ok(tree)
+        })
+        .into_iter()
+        .collect::<Result<Vec<DecisionTree>, MlError>>()?;
         self.fitted = true;
         Ok(())
     }
@@ -159,6 +166,34 @@ impl Classifier for RandomForest {
             sum += tree.predict_proba_row(row)?;
         }
         Ok(sum / self.trees.len() as f64)
+    }
+
+    /// Batch voting parallelized over trees: each worker scores the
+    /// whole batch against its trees, and per-row vote sums reduce in
+    /// tree order — the same accumulation order as the sequential row
+    /// path, so results are identical at any thread count.
+    fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        let summed = par::par_map_reduce(
+            &self.trees,
+            |tree| -> Result<Vec<f64>, MlError> {
+                (0..data.len())
+                    .map(|i| tree.predict_proba_row(data.row(i)?))
+                    .collect()
+            },
+            |acc, votes| {
+                let (mut acc, votes) = (acc?, votes?);
+                for (a, v) in acc.iter_mut().zip(votes) {
+                    *a += v;
+                }
+                Ok(acc)
+            },
+        )
+        .expect("fitted forest has at least one tree")?;
+        let n_trees = self.trees.len() as f64;
+        Ok(summed.into_iter().map(|s| s / n_trees).collect())
     }
 
     fn size_bytes(&self) -> usize {

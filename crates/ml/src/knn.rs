@@ -3,14 +3,16 @@
 //! samples because its decision surface hugs the training manifold.
 
 use hmd_tabular::Dataset;
+use hmd_util::par;
 
-use crate::model::{validate_training_set, Classifier};
+use crate::model::{validate_training_set, Classifier, PAR_BATCH_MIN};
 use crate::MlError;
 
 /// Hyper-parameters for [`Knn`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct KnnConfig {
-    /// Number of neighbours consulted.
+    /// Number of neighbours consulted. Clamped to the training-set size
+    /// at fit time; `0` is rejected.
     pub k: usize,
 }
 
@@ -51,6 +53,9 @@ pub struct Knn {
     data: Vec<f64>,
     targets: Vec<f64>,
     n_features: usize,
+    /// `config.k` clamped to the training-set size at fit time, so the
+    /// neighbour selection can never index past the candidate list.
+    effective_k: usize,
     fitted: bool,
 }
 
@@ -70,13 +75,58 @@ impl Knn {
     /// A classifier with an explicit `k`.
     #[must_use]
     pub fn with_config(config: KnnConfig) -> Self {
-        Self { config, data: Vec::new(), targets: Vec::new(), n_features: 0, fitted: false }
+        Self {
+            config,
+            data: Vec::new(),
+            targets: Vec::new(),
+            n_features: 0,
+            effective_k: 0,
+            fitted: false,
+        }
     }
 
     /// The configured neighbour count.
     #[must_use]
     pub fn k(&self) -> usize {
         self.config.k
+    }
+
+    /// The neighbour count actually consulted after fitting:
+    /// `min(k, n_training_rows)`.
+    #[must_use]
+    pub fn effective_k(&self) -> usize {
+        self.effective_k
+    }
+
+    /// Scores one (already width-validated) row, reusing `dists` as the
+    /// distance scratch buffer so batch prediction stops allocating
+    /// O(n) per sample.
+    fn score_row(&self, row: &[f64], dists: &mut Vec<(f64, f64)>) -> f64 {
+        let n = self.targets.len();
+        // (distance², target) for every training row, then partial sort
+        dists.clear();
+        dists.extend((0..n).map(|i| {
+            let base = i * self.n_features;
+            let d2: f64 = row
+                .iter()
+                .zip(&self.data[base..base + self.n_features])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            (d2, self.targets[i])
+        }));
+        let k = self.effective_k;
+        if k < n {
+            dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        }
+        // inverse-distance weighting over the k nearest
+        let mut weight_sum = 0.0;
+        let mut positive = 0.0;
+        for &(d2, t) in &dists[..k] {
+            let w = 1.0 / (d2.sqrt() + 1e-9);
+            weight_sum += w;
+            positive += w * t;
+        }
+        positive / weight_sum
     }
 }
 
@@ -90,9 +140,7 @@ impl Classifier for Knn {
         if self.config.k == 0 {
             return Err(MlError::InvalidHyperparameter("k must be positive"));
         }
-        if self.config.k > data.len() {
-            return Err(MlError::InvalidHyperparameter("k exceeds training size"));
-        }
+        self.effective_k = self.config.k.min(data.len());
         self.n_features = data.n_features();
         self.data = data.raw_data().to_vec();
         self.targets = targets.to_vec();
@@ -110,30 +158,39 @@ impl Classifier for Knn {
                 actual: row.len(),
             });
         }
-        let n = self.targets.len();
-        // (distance², target) for every training row, then partial sort
-        let mut dists: Vec<(f64, f64)> = (0..n)
-            .map(|i| {
-                let base = i * self.n_features;
-                let d2: f64 = row
-                    .iter()
-                    .zip(&self.data[base..base + self.n_features])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                (d2, self.targets[i])
-            })
-            .collect();
-        let k = self.config.k;
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
-        // inverse-distance weighting over the k nearest
-        let mut weight_sum = 0.0;
-        let mut positive = 0.0;
-        for &(d2, t) in &dists[..k] {
-            let w = 1.0 / (d2.sqrt() + 1e-9);
-            weight_sum += w;
-            positive += w * t;
+        let mut dists = Vec::with_capacity(self.targets.len());
+        Ok(self.score_row(row, &mut dists))
+    }
+
+    /// Batch prediction with one distance scratch buffer per worker,
+    /// parallelized over contiguous row chunks (results concatenate in
+    /// row order, so output is identical at any thread count).
+    fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
         }
-        Ok(positive / weight_sum)
+        if data.n_features() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: data.n_features(),
+            });
+        }
+        if data.len() < PAR_BATCH_MIN {
+            let mut dists = Vec::with_capacity(self.targets.len());
+            return (0..data.len())
+                .map(|i| Ok(self.score_row(data.row(i)?, &mut dists)))
+                .collect();
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        par::par_chunk_map(&indices, |_, chunk| {
+            let mut dists = Vec::with_capacity(self.targets.len());
+            chunk
+                .iter()
+                .map(|&i| Ok(self.score_row(data.row(i)?, &mut dists)))
+                .collect()
+        })
+        .into_iter()
+        .collect()
     }
 
     fn size_bytes(&self) -> usize {
@@ -197,8 +254,37 @@ mod tests {
         let (d, t) = blobs(5, 5);
         let mut zero = Knn::with_config(KnnConfig { k: 0 });
         assert!(matches!(zero.fit(&d, &t), Err(MlError::InvalidHyperparameter(_))));
+        // k beyond the training size clamps to n instead of erroring
+        // (and instead of the pre-clamp select_nth panic)
         let mut huge = Knn::with_config(KnnConfig { k: 1000 });
-        assert!(matches!(huge.fit(&d, &t), Err(MlError::InvalidHyperparameter(_))));
+        huge.fit(&d, &t).unwrap();
+        assert_eq!(huge.effective_k(), d.len());
+        let mut all = Knn::with_config(KnnConfig { k: d.len() });
+        all.fit(&d, &t).unwrap();
+        let p_huge = huge.predict_proba_row(&[0.1, 0.1]).unwrap();
+        let p_all = all.predict_proba_row(&[0.1, 0.1]).unwrap();
+        assert_eq!(p_huge, p_all, "clamped k must equal k = n");
+    }
+
+    #[test]
+    fn batch_prediction_matches_row_prediction() {
+        let (train, tt) = blobs(80, 8);
+        let (test, _) = blobs(60, 9);
+        let mut knn = Knn::new();
+        knn.fit(&train, &tt).unwrap();
+        let batch = knn.predict_proba(&test).unwrap();
+        assert_eq!(batch.len(), test.len());
+        for (i, &p) in batch.iter().enumerate() {
+            let row = knn.predict_proba_row(test.row(i).unwrap()).unwrap();
+            assert_eq!(p, row, "row {i}");
+        }
+        // and the batch path validates width up front
+        let mut narrow = Dataset::new(vec!["x".into()]).unwrap();
+        narrow.push(&[0.0], Class::Benign).unwrap();
+        assert!(matches!(
+            knn.predict_proba(&narrow),
+            Err(MlError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -4,9 +4,14 @@
 use std::time::Instant;
 
 use hmd_tabular::Dataset;
+use hmd_util::par;
 
 use crate::metrics::BinaryMetrics;
 use crate::MlError;
+
+/// Batch sizes below this predict sequentially — thread launch would
+/// cost more than the per-row work it distributes.
+pub(crate) const PAR_BATCH_MIN: usize = 64;
 
 /// A binary malware detector (positive class = attack).
 ///
@@ -36,13 +41,26 @@ pub trait Classifier: Send + Sync + std::fmt::Debug {
 
     /// Attack probabilities for a whole dataset.
     ///
+    /// Corpus-scale batches are scored in parallel on
+    /// [`hmd_util::par`] (rows are independent and results are
+    /// order-preserving, so output is identical at any thread count);
+    /// small batches stay sequential.
+    ///
     /// # Errors
     ///
     /// Propagates [`Self::predict_proba_row`] errors.
     fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, MlError> {
-        (0..data.len())
-            .map(|i| self.predict_proba_row(data.row(i)?))
-            .collect()
+        if data.len() < PAR_BATCH_MIN {
+            return (0..data.len())
+                .map(|i| self.predict_proba_row(data.row(i)?))
+                .collect();
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        par::par_map(&indices, |&i| {
+            self.predict_proba_row(data.row(i)?)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Hard decision for one feature vector (threshold 0.5).

@@ -187,10 +187,11 @@ impl Layer for Dense {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
-        let dw = input.transposed().matmul(grad_output);
+        // fused transposed kernels: no materialized transposed() copies
+        let dw = input.tr_matmul(grad_output);
         self.weights.grads = self.weights.grads.add(&dw);
         self.bias.grads = self.bias.grads.add(&grad_output.sum_rows());
-        grad_output.matmul(&self.weights.values.transposed())
+        grad_output.matmul_transposed(&self.weights.values)
     }
 
     fn param_blocks_mut(&mut self) -> Vec<&mut ParamBlock> {

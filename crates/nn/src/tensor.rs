@@ -1,7 +1,18 @@
 //! A minimal dense 2-D tensor (matrix) with the operations backprop needs.
 
-use hmd_util::impl_json;
+use hmd_util::{impl_json, par};
 
+/// Shared-dimension tile size for the blocked matmul: keeps the active
+/// RHS rows and output rows resident in cache across the micro-kernel.
+const BLOCK_K: usize = 128;
+
+/// LHS rows processed together by the micro-kernel; each streamed RHS
+/// row is reused this many times from registers.
+const MICRO_ROWS: usize = 4;
+
+/// Multiply-accumulate count above which matmul outer loops run on the
+/// parallel substrate; below it, thread launch costs more than the work.
+const PAR_MIN_MACS: usize = 1 << 16;
 
 /// A dense, row-major 2-D tensor of `f64`.
 ///
@@ -204,7 +215,13 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, via a cache-blocked kernel: the
+    /// shared dimension is tiled ([`BLOCK_K`]) and a [`MICRO_ROWS`]-row
+    /// micro-kernel reuses each streamed RHS row across several output
+    /// rows. Large products parallelize the outer row loop on
+    /// [`hmd_util::par`]; every output element accumulates in the same
+    /// order at any thread count, so results are byte-identical across
+    /// `HMD_THREADS` settings.
     ///
     /// # Panics
     ///
@@ -217,18 +234,103 @@ impl Tensor {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Tensor::zeros(self.rows, rhs.cols);
+        let (inner, cols) = (self.cols, rhs.cols);
+        if self.rows * inner * cols >= PAR_MIN_MACS {
+            par::par_for_chunks(&mut out.data, cols, |offset, chunk| {
+                matmul_block(&self.data, inner, &rhs.data, cols, offset / cols, chunk);
+            });
+        } else {
+            matmul_block(&self.data, inner, &rhs.data, cols, 0, &mut out.data);
+        }
+        out
+    }
+
+    /// Reference textbook triple loop (row·column dot products). Kept
+    /// for the property suite and the `matmul` benches; use
+    /// [`Tensor::matmul`] everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == rhs.rows()`.
+    #[must_use]
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: ({}x{}) · ({}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+            for j in 0..rhs.cols {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * rhs.data[k * rhs.cols + j];
                 }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
-                    *o += a * b;
+                out.data[i * rhs.cols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Fused product with a transposed right-hand side: `self · rhsᵀ`,
+    /// where `rhs` is passed in its natural (untransposed) layout. Both
+    /// operands are walked along contiguous rows, so this replaces the
+    /// `a.matmul(&b.transposed())` pattern in backprop without
+    /// materializing the transposed copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == rhs.cols()`.
+    #[must_use]
+    pub fn matmul_transposed(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transposed shape mismatch: ({}x{}) · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Tensor::zeros(self.rows, rhs.rows);
+        let (inner, cols) = (self.cols, rhs.rows);
+        let body = |row0: usize, chunk: &mut [f64]| {
+            for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                let a_row = &self.data[(row0 + r) * inner..(row0 + r + 1) * inner];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = dot(a_row, &rhs.data[j * inner..(j + 1) * inner]);
                 }
             }
+        };
+        if self.rows * inner * cols >= PAR_MIN_MACS {
+            par::par_for_chunks(&mut out.data, cols, |offset, chunk| body(offset / cols, chunk));
+        } else {
+            body(0, &mut out.data);
+        }
+        out
+    }
+
+    /// Fused product with a transposed left-hand side: `selfᵀ · rhs`,
+    /// with `self` passed in its natural layout. This replaces the
+    /// `a.transposed().matmul(&b)` pattern in backprop (weight
+    /// gradients) without materializing the transposed copy; the shared
+    /// dimension is the row count of both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.rows() == rhs.rows()`.
+    #[must_use]
+    pub fn tr_matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "tr_matmul shape mismatch: ({}x{})ᵀ · ({}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        let (shared, a_cols, cols) = (self.rows, self.cols, rhs.cols);
+        let body = |row0: usize, chunk: &mut [f64]| {
+            tr_matmul_block(&self.data, a_cols, &rhs.data, cols, shared, row0, chunk);
+        };
+        if shared * a_cols * cols >= PAR_MIN_MACS {
+            par::par_for_chunks(&mut out.data, cols, |offset, chunk| body(offset / cols, chunk));
+        } else {
+            body(0, &mut out.data);
         }
         out
     }
@@ -338,6 +440,142 @@ impl Tensor {
     }
 }
 
+/// Computes `out_rows[row0..] = A[row0..] · B` for one contiguous block
+/// of output rows. `out` holds whole rows (`out.len() % cols == 0`).
+///
+/// Accumulation order per output element is `k` ascending within
+/// ascending [`BLOCK_K`] tiles — independent of how rows are split
+/// across workers, which is what keeps parallel runs byte-identical.
+fn matmul_block(a: &[f64], inner: usize, b: &[f64], cols: usize, row0: usize, out: &mut [f64]) {
+    let nrows = out.len() / cols;
+    for k0 in (0..inner).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(inner);
+        let mut r = 0;
+        while r + MICRO_ROWS <= nrows {
+            let block = &mut out[r * cols..(r + MICRO_ROWS) * cols];
+            let (o0, block) = block.split_at_mut(cols);
+            let (o1, block) = block.split_at_mut(cols);
+            let (o2, o3) = block.split_at_mut(cols);
+            let base = (row0 + r) * inner;
+            for k in k0..k1 {
+                let bk = &b[k * cols..(k + 1) * cols];
+                axpy4(
+                    o0,
+                    o1,
+                    o2,
+                    o3,
+                    bk,
+                    [
+                        a[base + k],
+                        a[base + inner + k],
+                        a[base + 2 * inner + k],
+                        a[base + 3 * inner + k],
+                    ],
+                );
+            }
+            r += MICRO_ROWS;
+        }
+        while r < nrows {
+            let out_row = &mut out[r * cols..(r + 1) * cols];
+            let base = (row0 + r) * inner;
+            for k in k0..k1 {
+                axpy(out_row, &b[k * cols..(k + 1) * cols], a[base + k]);
+            }
+            r += 1;
+        }
+    }
+}
+
+/// Computes one contiguous block of `Aᵀ · B` output rows: output row
+/// `p` accumulates `A[i, p] · B[i, ·]` over samples `i` (ascending, at
+/// any thread count). The four `A` values per micro-step are contiguous
+/// in memory, so the same [`axpy4`] micro-kernel applies.
+fn tr_matmul_block(
+    a: &[f64],
+    a_cols: usize,
+    b: &[f64],
+    cols: usize,
+    shared: usize,
+    row0: usize,
+    out: &mut [f64],
+) {
+    let nrows = out.len() / cols;
+    let mut r = 0;
+    while r + MICRO_ROWS <= nrows {
+        let block = &mut out[r * cols..(r + MICRO_ROWS) * cols];
+        let (o0, block) = block.split_at_mut(cols);
+        let (o1, block) = block.split_at_mut(cols);
+        let (o2, o3) = block.split_at_mut(cols);
+        let p = row0 + r;
+        for i in 0..shared {
+            let base = i * a_cols + p;
+            axpy4(
+                o0,
+                o1,
+                o2,
+                o3,
+                &b[i * cols..(i + 1) * cols],
+                [a[base], a[base + 1], a[base + 2], a[base + 3]],
+            );
+        }
+        r += MICRO_ROWS;
+    }
+    while r < nrows {
+        let out_row = &mut out[r * cols..(r + 1) * cols];
+        let p = row0 + r;
+        for i in 0..shared {
+            axpy(out_row, &b[i * cols..(i + 1) * cols], a[i * a_cols + p]);
+        }
+        r += 1;
+    }
+}
+
+/// `o_m += a_m · b` for four output rows at once, reusing each `b`
+/// element from registers four times.
+#[inline]
+fn axpy4(o0: &mut [f64], o1: &mut [f64], o2: &mut [f64], o3: &mut [f64], b: &[f64], a: [f64; 4]) {
+    let iter = b
+        .iter()
+        .zip(o0.iter_mut())
+        .zip(o1.iter_mut())
+        .zip(o2.iter_mut())
+        .zip(o3.iter_mut());
+    for ((((&bv, x0), x1), x2), x3) in iter {
+        *x0 += a[0] * bv;
+        *x1 += a[1] * bv;
+        *x2 += a[2] * bv;
+        *x3 += a[3] * bv;
+    }
+}
+
+/// `out += a · b` over one row.
+#[inline]
+fn axpy(out: &mut [f64], b: &[f64], a: f64) {
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += a * bv;
+    }
+}
+
+/// Four-accumulator dot product of two contiguous rows. The lane split
+/// and final combine order are fixed, so results are reproducible.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (qa, qb) in (&mut ca).zip(&mut cb) {
+        lanes[0] += qa[0] * qb[0];
+        lanes[1] += qa[1] * qb[1];
+        lanes[2] += qa[2] * qb[2];
+        lanes[3] += qa[3] * qb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +655,79 @@ mod tests {
         let a = Tensor::from_rows(&[&[2.0, -1.0], &[0.5, 3.0]]);
         assert_eq!(a.matmul(&Tensor::eye(2)), a);
         assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    /// Pseudo-random test matrix with entries in (-1, 1).
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        use hmd_util::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_shapes() {
+        // spans the micro-kernel remainder (rows % 4 ≠ 0), k-tiling
+        // (inner > BLOCK_K), and the parallel threshold
+        for (m, k, n, seed) in
+            [(1, 1, 1, 0), (5, 3, 2, 1), (33, 150, 17, 2), (64, 64, 64, 3), (70, 200, 36, 4)]
+        {
+            let a = random_tensor(m, k, seed);
+            let b = random_tensor(k, n, seed + 100);
+            assert_close(&a.matmul(&b), &a.matmul_naive(&b));
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        for (m, k, n, seed) in [(3, 5, 4, 10), (17, 33, 9, 11), (64, 64, 64, 12)] {
+            let a = random_tensor(m, k, seed);
+            let b = random_tensor(n, k, seed + 50);
+            assert_close(&a.matmul_transposed(&b), &a.matmul_naive(&b.transposed()));
+        }
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        for (s, m, n, seed) in [(4, 3, 2, 20), (31, 18, 7, 21), (64, 64, 64, 22)] {
+            let a = random_tensor(s, m, seed);
+            let b = random_tensor(s, n, seed + 50);
+            assert_close(&a.tr_matmul(&b), &a.transposed().matmul_naive(&b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transposed shape mismatch")]
+    fn matmul_transposed_rejects_mismatch() {
+        let _ = Tensor::zeros(2, 3).matmul_transposed(&Tensor::zeros(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "tr_matmul shape mismatch")]
+    fn tr_matmul_rejects_mismatch() {
+        let _ = Tensor::zeros(2, 3).tr_matmul(&Tensor::zeros(3, 2));
+    }
+
+    #[test]
+    fn matmul_is_thread_count_invariant() {
+        let a = random_tensor(67, 130, 30);
+        let b = random_tensor(130, 41, 31);
+        let c = random_tensor(67, 41, 32);
+        hmd_util::par::set_thread_override(Some(1));
+        let one = a.matmul(&b);
+        let one_tr = a.tr_matmul(&c);
+        hmd_util::par::set_thread_override(Some(4));
+        let four = a.matmul(&b);
+        let four_tr = a.tr_matmul(&c);
+        hmd_util::par::set_thread_override(None);
+        // byte-identical, not merely close
+        assert_eq!(one, four);
+        assert_eq!(one_tr, four_tr);
     }
 }

@@ -1,8 +1,7 @@
 //! Corpus generation: run thousands of applications, collect a labeled
 //! HPC dataset.
 
-use std::thread;
-
+use hmd_util::par;
 use hmd_util::rng::prelude::*;
 
 use hmd_tabular::{Class, Dataset};
@@ -121,55 +120,40 @@ pub fn build_corpus(config: &CorpusConfig) -> Corpus {
         });
     }
 
-    let threads = if config.threads == 0 {
-        thread::available_parallelism().map_or(4, std::num::NonZero::get)
-    } else {
-        config.threads
-    };
-    let chunk = jobs.len().div_ceil(threads).max(1);
-
     let feature_names: Vec<String> =
         config.perf.events.iter().map(|e| e.name().to_owned()).collect();
 
-    // Each worker runs its own container over a contiguous chunk; results
-    // are concatenated in job order so the corpus stays deterministic
-    // regardless of thread count.
-    let chunks: Vec<&[AppJob]> = jobs.chunks(chunk).collect();
-    let results: Vec<Vec<(Vec<f64>, WorkloadClass)>> = thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk_jobs| {
-                let machine = config.machine;
-                let perf = config.perf.clone();
-                let isolation = config.isolation;
-                let warmup = config.warmup_windows;
-                let windows = config.windows_per_app;
-                scope.spawn(move || {
-                    let mut rows = Vec::new();
-                    for job in *chunk_jobs {
-                        let mut container =
-                            Container::new(machine, perf.clone(), isolation, job.instance_seed);
-                        let mut rng = StdRng::seed_from_u64(job.instance_seed);
-                        let profile = WorkloadProfile::sample_instance(job.class, &mut rng);
-                        for sample in container.run_app(&profile, warmup, windows) {
-                            rows.push((sample.values, job.class));
-                        }
-                    }
-                    rows
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("corpus worker panicked")).collect()
-    });
+    // Each worker runs its own container over a contiguous job chunk on
+    // the shared parallel substrate; per-job state is derived from
+    // `instance_seed` alone and results concatenate in job order, so
+    // the corpus is byte-identical regardless of thread count
+    // (`config.threads`, or `HMD_THREADS`/available parallelism at 0).
+    let rows: Vec<(Vec<f64>, WorkloadClass)> =
+        par::par_chunk_map_with(config.threads, &jobs, |_, chunk_jobs| {
+            let mut rows = Vec::new();
+            for job in chunk_jobs {
+                let mut container = Container::new(
+                    config.machine,
+                    config.perf.clone(),
+                    config.isolation,
+                    job.instance_seed,
+                );
+                let mut rng = StdRng::seed_from_u64(job.instance_seed);
+                let profile = WorkloadProfile::sample_instance(job.class, &mut rng);
+                for sample in container.run_app(&profile, config.warmup_windows, config.windows_per_app)
+                {
+                    rows.push((sample.values, job.class));
+                }
+            }
+            rows
+        });
 
     let mut dataset = Dataset::new(feature_names).expect("perf config has events");
-    let mut row_classes = Vec::new();
-    for rows in results {
-        for (values, class) in rows {
-            let label = if class.is_malware() { Class::Malware } else { Class::Benign };
-            dataset.push(&values, label).expect("sampler emits fixed-width rows");
-            row_classes.push(class);
-        }
+    let mut row_classes = Vec::with_capacity(rows.len());
+    for (values, class) in rows {
+        let label = if class.is_malware() { Class::Malware } else { Class::Benign };
+        dataset.push(&values, label).expect("sampler emits fixed-width rows");
+        row_classes.push(class);
     }
     Corpus { dataset, row_classes }
 }

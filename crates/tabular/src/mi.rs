@@ -12,6 +12,8 @@
 //!   estimator for continuous features and discrete labels, the estimator
 //!   behind scikit-learn's `mutual_info_classif` which the paper uses.
 
+use hmd_util::par;
+
 use crate::stats::entropy_from_counts;
 use crate::{Dataset, TabularError};
 
@@ -188,6 +190,11 @@ pub fn mutual_information_knn(
 /// Ranks every feature of `data` by histogram MI with the class label,
 /// highest first. Returns `(feature_index, mi)` pairs.
 ///
+/// Per-feature estimates are independent, so they run in parallel on
+/// [`hmd_util::par`] (the paper ranks 30+ hardware events over the full
+/// corpus here); results are collected in feature order before the
+/// final sort, so ranking is identical at any thread count.
+///
 /// # Errors
 ///
 /// Propagates estimator errors ([`TabularError::EmptyDataset`], bad bins).
@@ -199,11 +206,13 @@ pub fn rank_features_by_mi(
         return Err(TabularError::EmptyDataset);
     }
     let labels: Vec<usize> = data.labels().iter().map(|l| l.id()).collect();
-    let mut ranked = Vec::with_capacity(data.n_features());
-    for f in 0..data.n_features() {
+    let features: Vec<usize> = (0..data.n_features()).collect();
+    let mut ranked: Vec<(usize, f64)> = par::par_map(&features, |&f| {
         let col = data.column(f)?;
-        ranked.push((f, mutual_information(&col, &labels, bins)?));
-    }
+        Ok((f, mutual_information(&col, &labels, bins)?))
+    })
+    .into_iter()
+    .collect::<Result<_, TabularError>>()?;
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     Ok(ranked)
 }

@@ -15,7 +15,12 @@
 //! * [`proptest_lite`] — seeded property-based testing with
 //!   shrink-on-failure, replacing `proptest`;
 //! * [`bench`] — a micro-benchmark harness (warm-up, calibration,
-//!   median/p95, `BENCH_<name>.json` emission), replacing `criterion`.
+//!   median/p95, `BENCH_<name>.json` emission), replacing `criterion`;
+//! * [`par`] — scoped, chunked, order-preserving data parallelism over
+//!   [`std::thread::scope`], replacing `rayon`: every hot loop in the
+//!   workspace (forest fitting, batch prediction, attack crafting, MI
+//!   ranking, corpus generation, blocked matmul) shares this substrate
+//!   and stays byte-identical at any `HMD_THREADS` setting.
 //!
 //! The sampling pipeline the paper describes (LowProFool attack
 //! generation → A2C adversarial prediction → adversarial retraining) is
@@ -25,5 +30,6 @@
 
 pub mod bench;
 pub mod json;
+pub mod par;
 pub mod proptest_lite;
 pub mod rng;

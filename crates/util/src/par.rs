@@ -1,0 +1,338 @@
+//! Zero-dependency data-parallel execution over [`std::thread::scope`].
+//!
+//! The workspace is hermetic (no rayon), so every hot loop — per-tree
+//! forest fitting, batch prediction, LowProFool perturbation, MI
+//! ranking, corpus generation, the blocked matmul — shares this one
+//! substrate instead of hand-rolling scopes.
+//!
+//! # Determinism contract
+//!
+//! Every function here is **order-preserving**: results are concatenated
+//! (or reduced) in input order, and work is partitioned into contiguous
+//! chunks whose per-item computation never depends on which chunk it
+//! landed in. A closure that is itself deterministic per item therefore
+//! produces byte-identical output at any thread count — the property the
+//! determinism suite enforces for corpora, forests and attacks.
+//!
+//! # Worker count
+//!
+//! [`max_threads`] resolves, in priority order:
+//!
+//! 1. a process-local override installed via [`set_thread_override`]
+//!    (used by benches and tests to A/B thread counts without touching
+//!    the environment);
+//! 2. the `HMD_THREADS` environment variable (positive integer);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested calls never oversubscribe: a parallel region entered from
+//! inside a worker thread runs sequentially on that worker.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Process-wide worker-count override; `0` means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while executing inside a worker, so nested parallel regions
+    /// degrade to sequential execution instead of oversubscribing.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (or clears, with `None`) a process-wide worker-count
+/// override that takes precedence over `HMD_THREADS`.
+///
+/// Because every `par` entry point is deterministic across thread
+/// counts, flipping the override concurrently with other work changes
+/// scheduling but never results.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count parallel regions will use: override, then
+/// `HMD_THREADS`, then available parallelism (min 1).
+#[must_use]
+pub fn max_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("HMD_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Splits `n` items into at most `threads` contiguous chunks, each a
+/// multiple of `granule` long (except possibly the last).
+fn chunk_len(n: usize, threads: usize, granule: usize) -> usize {
+    let granule = granule.max(1);
+    let granules = n.div_ceil(granule);
+    granules.div_ceil(threads.max(1)).max(1) * granule
+}
+
+/// Runs `f` over contiguous chunks of `items`, in parallel, invoking
+/// `f(chunk_start_index, chunk)` and concatenating the returned vectors
+/// in input order.
+///
+/// This is the primitive the item-level maps are built on; call it
+/// directly when workers benefit from per-chunk state (e.g. a reusable
+/// scratch buffer).
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_chunk_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    par_chunk_map_with(max_threads(), items, f)
+}
+
+/// [`par_chunk_map`] with an explicit worker count, for callers with
+/// their own threading knob (e.g. the corpus builder's `threads`
+/// field). `threads == 0` falls back to [`max_threads`].
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_chunk_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 { max_threads() } else { threads }.min(n);
+    if threads == 1 || IN_WORKER.with(Cell::get) {
+        return f(0, items);
+    }
+    let chunk = chunk_len(n, threads, 1);
+    let mut partials: Vec<Vec<R>> = thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, chunk_items)| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    f(ci * chunk, chunk_items)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
+    for partial in &mut partials {
+        out.append(partial);
+    }
+    out
+}
+
+/// Parallel, order-preserving map: `out[i] = f(&items[i])`.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_chunk_map(items, |_, chunk| chunk.iter().map(&f).collect())
+}
+
+/// Parallel, order-preserving map with the item index: `out[i] =
+/// f(i, &items[i])` — the index is what seeded workloads derive their
+/// per-item RNG streams from.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_chunk_map(items, |start, chunk| {
+        chunk.iter().enumerate().map(|(j, item)| f(start + j, item)).collect()
+    })
+}
+
+/// Parallel map followed by a **sequential, input-order** reduce, so
+/// floating-point reductions stay byte-identical at any thread count.
+/// Returns `None` for empty input.
+///
+/// # Panics
+///
+/// Propagates panics from `map` / `reduce`.
+pub fn par_map_reduce<T, A, M, R>(items: &[T], map: M, reduce: R) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(&T) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    par_map(items, map).into_iter().reduce(reduce)
+}
+
+/// Runs `f(offset, chunk)` over disjoint mutable chunks of `items` in
+/// parallel. Chunk lengths are multiples of `granule` (except possibly
+/// the last), so a flat row-major matrix can be split on row boundaries
+/// by passing its column count.
+///
+/// # Panics
+///
+/// Panics if `granule` is zero; propagates panics from `f`.
+pub fn par_for_chunks<T, F>(items: &mut [T], granule: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(granule > 0, "granule must be positive");
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = max_threads().min(n.div_ceil(granule));
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        f(0, items);
+        return;
+    }
+    let chunk = chunk_len(n, threads, granule);
+    thread::scope(|scope| {
+        let f = &f;
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                f(ci * chunk, chunk_items);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` with a temporary worker-count override, restoring the
+    /// previous override afterwards.
+    fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.swap(threads, Ordering::Relaxed);
+        let out = f();
+        THREAD_OVERRIDE.store(prev, Ordering::Relaxed);
+        out
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let got = with_threads(threads, || par_map(&items, |&v| v * 3 + 1));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_global_indices() {
+        let items = vec![10usize; 257];
+        let got = with_threads(4, || par_map_indexed(&items, |i, &v| i + v));
+        let expect: Vec<usize> = (0..257).map(|i| i + 10).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn chunk_map_offsets_cover_input_exactly_once() {
+        let items: Vec<i32> = (0..100).collect();
+        let got = with_threads(8, || {
+            par_chunk_map(&items, |start, chunk| {
+                chunk.iter().enumerate().map(|(j, &v)| (start + j, v)).collect()
+            })
+        });
+        for (i, (idx, v)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, i as i32);
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_sequential_in_input_order() {
+        let items: Vec<f64> = (0..500).map(|i| f64::from(i) * 0.1).collect();
+        let seq: f64 = items.iter().map(|v| v * v).fold(0.0, |a, b| a + b);
+        for threads in [1, 3, 16] {
+            let par = with_threads(threads, || {
+                par_map_reduce(&items, |v| v * v, |a, b| a + b).unwrap()
+            });
+            // bitwise equality: the reduce order never changes
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
+        }
+        assert_eq!(par_map_reduce(&[] as &[f64], |v| *v, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn for_chunks_respects_granule_boundaries() {
+        let cols = 7;
+        let mut data = vec![0usize; cols * 23];
+        with_threads(4, || {
+            par_for_chunks(&mut data, cols, |offset, chunk| {
+                assert_eq!(offset % cols, 0, "chunk start off row boundary");
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + j;
+                }
+            });
+        });
+        let expect: Vec<usize> = (0..cols * 23).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        assert!(par_map(&[] as &[u8], |&v| v).is_empty());
+        let mut empty: [u8; 0] = [];
+        par_for_chunks(&mut empty, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_regions_run_sequentially() {
+        let outer: Vec<usize> = (0..8).collect();
+        let got = with_threads(4, || {
+            par_map(&outer, |&i| {
+                // nested call inside a worker: must not deadlock or
+                // oversubscribe, and must preserve order
+                let inner: Vec<usize> = (0..10).collect();
+                par_map(&inner, |&j| i * 100 + j).iter().sum::<usize>()
+            })
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..10).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn override_beats_env_and_is_restorable() {
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_len_is_granule_aligned() {
+        assert_eq!(chunk_len(100, 4, 1), 25);
+        assert_eq!(chunk_len(10, 4, 7), 7); // 2 granules over 4 threads → 1 granule each
+        assert_eq!(chunk_len(21, 2, 7), 14);
+        assert!(chunk_len(1, 8, 1) >= 1);
+    }
+}

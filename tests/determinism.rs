@@ -3,9 +3,11 @@
 
 use hmd::adversarial::{Attack, LowProFool};
 use hmd::core::{Framework, FrameworkConfig};
+use hmd::ml::{Classifier, RandomForest, RandomForestConfig};
 use hmd::sim::{build_corpus, CorpusConfig};
 use hmd::tabular::Class;
 use hmd_util::json::{Json, ToJson};
+use hmd_util::par;
 
 #[test]
 fn corpus_is_seed_deterministic() {
@@ -74,6 +76,46 @@ fn scrub_measured_latency(text: &str) -> String {
     let mut doc = Json::parse(text).expect("report is valid JSON");
     scrub(&mut doc);
     doc.to_string()
+}
+
+/// Same-seed outputs must be byte-identical regardless of worker-thread
+/// count: the parallel substrate (`hmd_util::par`) only changes *where*
+/// each independent item is computed, never *what* is computed or in
+/// which order results concatenate and reduce.
+///
+/// The thread override is process-global, but that is harmless here:
+/// every sibling test's output is thread-count-invariant by the very
+/// contract this test enforces.
+#[test]
+fn pipeline_is_thread_count_invariant() {
+    let run_all = || {
+        // corpus generation (threads = 0 defers to the override)
+        let corpus = build_corpus(&CorpusConfig::quick(55));
+        // forest fit + batch predict
+        let targets = corpus.dataset.binary_targets(Class::is_attack);
+        let mut forest = RandomForest::with_config(RandomForestConfig {
+            n_trees: 8,
+            ..RandomForestConfig::default()
+        });
+        forest.fit(&corpus.dataset, &targets).expect("fit");
+        let probs = forest.predict_proba(&corpus.dataset).expect("predict");
+        // LowProFool attack generation, serialized to bytes
+        let attack = LowProFool::fit(&corpus.dataset).expect("fit attack");
+        let malware = corpus.dataset.filter(Class::is_attack);
+        let report = attack.generate(&malware, 99).expect("generate").to_json().to_string();
+        (corpus.dataset, probs, report)
+    };
+
+    par::set_thread_override(Some(1));
+    let (data_1, probs_1, report_1) = run_all();
+    par::set_thread_override(Some(4));
+    let (data_4, probs_4, report_4) = run_all();
+    par::set_thread_override(None);
+
+    assert_eq!(data_1, data_4, "corpus differs across thread counts");
+    // bitwise, not approximate: accumulation order is part of the contract
+    assert_eq!(probs_1, probs_4, "forest probabilities differ across thread counts");
+    assert_eq!(report_1, report_4, "attack report bytes differ across thread counts");
 }
 
 #[test]

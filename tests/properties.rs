@@ -106,6 +106,46 @@ prop_tests! {
         prop_assert!((m.recall - m.tpr).abs() < 1e-12);
     }
 
+    /// The cache-blocked (and possibly parallel) matmul kernel agrees
+    /// with the textbook triple loop on random shapes, and the fused
+    /// transpose kernels agree with explicit transpose copies.
+    fn blocked_matmul_matches_naive(
+        rows in 1usize..70,
+        inner in 1usize..200,
+        cols in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::from_fn(rows, inner, |_, _| rng.random_range(-1.0..1.0));
+        let b = Tensor::from_fn(inner, cols, |_, _| rng.random_range(-1.0..1.0));
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        for (i, (x, y)) in blocked.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            prop_assert!(
+                (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                "matmul[{i}] blocked {x} vs naive {y}"
+            );
+        }
+        // fused A·Bᵀ and Aᵀ·B kill the transpose copies in backprop;
+        // they must match the copy-then-multiply formulation exactly
+        let bt = b.transposed();
+        let fused = a.matmul_transposed(&bt);
+        for (i, (x, y)) in fused.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            prop_assert!(
+                (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                "matmul_transposed[{i}] {x} vs naive {y}"
+            );
+        }
+        let at = a.transposed();
+        let fused_t = at.tr_matmul(&b);
+        for (i, (x, y)) in fused_t.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            prop_assert!(
+                (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                "tr_matmul[{i}] {x} vs naive {y}"
+            );
+        }
+    }
+
     /// One gradient step on a fixed batch must not increase that batch's
     /// loss (for a sufficiently small learning rate).
     fn gradient_step_decreases_batch_loss(seed in 0u64..200) {
