@@ -17,11 +17,36 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== bench smoke (fast mode) =="
 BENCH_SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_SMOKE_DIR" "$TRACE_DIR"' EXIT
 HMD_BENCH_FAST=1 BENCH_OUT_DIR="$BENCH_SMOKE_DIR" \
     cargo bench -p hmd-bench --bench substrates --offline
 cargo run --release --offline -p hmd-bench --bin bench_check -- \
     "$BENCH_SMOKE_DIR/BENCH_substrates.json"
+
+echo "== telemetry gate =="
+# A traced end-to-end run must emit schema-valid artifacts covering the
+# paper's phases, and tracing must not perturb the pipeline: the traced
+# and untraced stdout are identical once measured latencies (the one
+# wall-clock field) are scrubbed.
+HMD_TRACE=1 HMD_TRACE_OUT="$TRACE_DIR" \
+    cargo run --release --offline --example quickstart > "$TRACE_DIR/traced.out"
+cargo run --release --offline --example quickstart > "$TRACE_DIR/untraced.out"
+cargo run --release --offline -p hmd-bench --bin telemetry_check -- \
+    "$TRACE_DIR/TELEMETRY_pipeline.json" \
+    --require-span framework.run \
+    --require-span framework.prepare_data \
+    --require-span sim.build_corpus \
+    --require-span framework.fit_models \
+    --require-span attack.lowprofool.generate \
+    --require-span rl.predictor.train \
+    --require-span framework.train_controllers
+test -s "$TRACE_DIR/TELEMETRY_pipeline.folded" \
+    || { echo "ERROR: collapsed-stack export is empty" >&2; exit 1; }
+sed -E 's/[0-9]+\.[0-9]+ ms/<latency> ms/g' "$TRACE_DIR/traced.out" > "$TRACE_DIR/traced.scrubbed"
+sed -E 's/[0-9]+\.[0-9]+ ms/<latency> ms/g' "$TRACE_DIR/untraced.out" > "$TRACE_DIR/untraced.scrubbed"
+diff -u "$TRACE_DIR/untraced.scrubbed" "$TRACE_DIR/traced.scrubbed" \
+    || { echo "ERROR: tracing perturbed the pipeline output" >&2; exit 1; }
 
 echo "== hermeticity: dependency tree must be workspace-only =="
 if cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep -q '[a-z]'; then

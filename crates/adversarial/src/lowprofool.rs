@@ -220,6 +220,7 @@ impl Attack for LowProFool {
     /// worker with a per-row derived RNG and the result is byte-identical
     /// to the sequential default at any thread count.
     fn generate(&self, malware: &Dataset, seed: u64) -> Result<AttackResult, AdvError> {
+        let _span = hmd_telemetry::span("attack.lowprofool.generate");
         let indices: Vec<usize> = (0..malware.len()).collect();
         let outcomes: Vec<PerturbedSample> = par::par_map(&indices, |&i| {
             let mut rng =
@@ -228,6 +229,20 @@ impl Attack for LowProFool {
         })
         .into_iter()
         .collect::<Result<_, AdvError>>()?;
+        if hmd_telemetry::enabled() {
+            let samples = hmd_telemetry::metrics::counter("attack.lowprofool.samples");
+            let evasions = hmd_telemetry::metrics::counter("attack.lowprofool.evasions");
+            let iterations = hmd_telemetry::metrics::counter("attack.lowprofool.iterations");
+            let norms = hmd_telemetry::metrics::histogram("attack.lowprofool.norm_micro");
+            for outcome in &outcomes {
+                samples.inc();
+                if outcome.evades {
+                    evasions.inc();
+                }
+                iterations.add(outcome.iterations as u64);
+                norms.record_scaled(outcome.weighted_norm, 1e6);
+            }
+        }
         let mut adversarial = Dataset::new(malware.feature_names().to_vec())?;
         for outcome in &outcomes {
             adversarial.push(&outcome.features, hmd_tabular::Class::Adversarial)?;

@@ -128,6 +128,23 @@ fn bench_parallel_models(h: &mut Harness) {
     });
 }
 
+fn bench_telemetry(h: &mut Harness) {
+    use hmd_telemetry as tel;
+    // Disabled vs enabled pairs quantify the observer cost: disabled
+    // must be near-free (one relaxed atomic load), enabled must stay
+    // cheap enough for hot loops.
+    tel::set_enabled_override(Some(false));
+    let c = tel::metrics::counter("bench.telemetry.counter");
+    h.bench("telemetry/counter_add_disabled", || black_box(c).add(1));
+    h.bench("telemetry/span_disabled", || black_box(tel::span("bench.telemetry.span")));
+    tel::set_enabled_override(Some(true));
+    h.bench("telemetry/counter_add_enabled", || black_box(c).add(1));
+    h.bench("telemetry/span_enabled", || black_box(tel::span("bench.telemetry.span")));
+    tel::set_enabled_override(None);
+    // the enabled span bench accumulated records — drop them
+    tel::reset();
+}
+
 fn bench_corpus(h: &mut Harness) {
     // `CorpusConfig::threads` feeds the substrate directly, so the
     // 1-vs-all pair comes from the config rather than the override.
@@ -147,6 +164,7 @@ fn main() {
     bench_nn(&mut h);
     bench_matmul(&mut h);
     bench_parallel_models(&mut h);
+    bench_telemetry(&mut h);
     bench_corpus(&mut h);
     h.finish();
 }

@@ -1,0 +1,185 @@
+//! CI gate for telemetry artifacts: validates that a traced run's
+//! `TELEMETRY_*.json` parses against the `hmd-telemetry-v1` schema and
+//! carries a structurally sound trace — unique span ids, resolvable
+//! parents, monotonic times, consistent histograms, ordered events —
+//! so an instrumentation refactor that silently breaks the trace fails
+//! the pipeline instead of shipping an unreadable artifact.
+//!
+//! Usage:
+//!   `telemetry_check <TELEMETRY_name.json> [--require-span NAME]...`
+//! Exits non-zero with a diagnostic on the first violation.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use hmd_util::json::Json;
+
+const SCHEMA: &str = "hmd-telemetry-v1";
+
+fn num(v: &Json, ctx: &str, field: &str) -> Result<f64, String> {
+    v.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric {field:?}"))
+}
+
+fn check(path: &Path, required_spans: &[String]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc =
+        Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let ctx = path.display().to_string();
+
+    let schema = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or_else(|| format!("{ctx}: missing string field \"schema\""))?;
+    if schema != SCHEMA {
+        return Err(format!("{ctx}: schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    if doc.get("name").and_then(|s| s.as_str()).is_none_or(str::is_empty) {
+        return Err(format!("{ctx}: missing/empty \"name\""));
+    }
+    if doc.get("clock_unit").and_then(|s| s.as_str()) != Some("ns") {
+        return Err(format!("{ctx}: clock_unit must be \"ns\""));
+    }
+
+    // Spans: unique nonzero ids, resolvable parents, monotonic times,
+    // sorted by start, children within their parent's start.
+    let spans = doc
+        .get("spans")
+        .and_then(|s| s.as_arr())
+        .ok_or_else(|| format!("{ctx}: missing array field \"spans\""))?;
+    let mut starts: HashMap<i64, f64> = HashMap::new();
+    let mut prev_start = f64::NEG_INFINITY;
+    for (i, s) in spans.iter().enumerate() {
+        let sctx = format!("{ctx}: span #{i}");
+        let id = num(s, &sctx, "id")? as i64;
+        if id <= 0 {
+            return Err(format!("{sctx}: id must be positive, got {id}"));
+        }
+        let start = num(s, &sctx, "start_ns")?;
+        let end = num(s, &sctx, "end_ns")?;
+        if end < start {
+            return Err(format!("{sctx}: end_ns {end} < start_ns {start}"));
+        }
+        if start < prev_start {
+            return Err(format!("{sctx}: spans not sorted by start_ns"));
+        }
+        prev_start = start;
+        if s.get("name").and_then(|n| n.as_str()).is_none_or(str::is_empty) {
+            return Err(format!("{sctx}: missing/empty \"name\""));
+        }
+        if starts.insert(id, start).is_some() {
+            return Err(format!("{sctx}: duplicate span id {id}"));
+        }
+    }
+    for (i, s) in spans.iter().enumerate() {
+        let sctx = format!("{ctx}: span #{i}");
+        let parent = num(s, &sctx, "parent")? as i64;
+        if parent == 0 {
+            continue;
+        }
+        let Some(&parent_start) = starts.get(&parent) else {
+            return Err(format!("{sctx}: parent {parent} not present in the trace"));
+        };
+        let start = num(s, &sctx, "start_ns")?;
+        if start < parent_start {
+            return Err(format!("{sctx}: starts before its parent ({start} < {parent_start})"));
+        }
+    }
+    for required in required_spans {
+        let found = spans
+            .iter()
+            .any(|s| s.get("name").and_then(|n| n.as_str()) == Some(required));
+        if !found {
+            return Err(format!("{ctx}: required span {required:?} missing from the trace"));
+        }
+    }
+
+    // Histograms: count must equal the sum of bucket counts.
+    if let Some(Json::Obj(histograms)) = doc.get("histograms") {
+        for (name, h) in histograms {
+            let hctx = format!("{ctx}: histogram {name:?}");
+            let count = num(h, &hctx, "count")?;
+            let buckets = h
+                .get("buckets")
+                .and_then(|b| b.as_arr())
+                .ok_or_else(|| format!("{hctx}: missing \"buckets\""))?;
+            let mut total = 0.0;
+            for (i, b) in buckets.iter().enumerate() {
+                let bctx = format!("{hctx} bucket #{i}");
+                let lo = num(b, &bctx, "lo")?;
+                let hi = num(b, &bctx, "hi")?;
+                if hi <= lo {
+                    return Err(format!("{bctx}: empty value range [{lo}, {hi})"));
+                }
+                total += num(b, &bctx, "count")?;
+            }
+            if (total - count).abs() > 0.5 {
+                return Err(format!("{hctx}: count {count} != bucket sum {total}"));
+            }
+        }
+    } else {
+        return Err(format!("{ctx}: missing object field \"histograms\""));
+    }
+
+    // Events: sorted by timestamp, each with kind + payload.
+    let events = doc
+        .get("events")
+        .and_then(|e| e.as_arr())
+        .ok_or_else(|| format!("{ctx}: missing array field \"events\""))?;
+    let mut prev_t = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        let ectx = format!("{ctx}: event #{i}");
+        let t = num(e, &ectx, "t_ns")?;
+        if t < prev_t {
+            return Err(format!("{ectx}: events not sorted by t_ns"));
+        }
+        prev_t = t;
+        if e.get("kind").and_then(|k| k.as_str()).is_none_or(str::is_empty) {
+            return Err(format!("{ectx}: missing/empty \"kind\""));
+        }
+        if e.get("payload").is_none() {
+            return Err(format!("{ectx}: missing \"payload\""));
+        }
+    }
+
+    Ok(format!("{} spans, {} events", spans.len(), events.len()))
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut required_spans = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--require-span" {
+            match args.next() {
+                Some(name) => required_spans.push(name),
+                None => {
+                    eprintln!("telemetry_check: --require-span needs a span name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            eprintln!("telemetry_check: unexpected argument {arg:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: telemetry_check <TELEMETRY_name.json> [--require-span NAME]...");
+        return ExitCode::FAILURE;
+    };
+    match check(Path::new(&path), &required_spans) {
+        Ok(summary) => {
+            println!("telemetry_check: {path}: OK ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("telemetry_check: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -39,6 +39,10 @@ pub struct FrameworkConfig {
     pub seed: u64,
     /// Inference repeats when measuring per-model latency.
     pub latency_repeats: usize,
+    /// Absolute metric-drift tolerance of the integrity monitor
+    /// (paper §2.7): scenario-(b)/(c) metrics deviating more than this
+    /// from the scenario-(a) baseline are flagged as drift.
+    pub integrity_tolerance: f64,
 }
 
 impl Default for FrameworkConfig {
@@ -52,6 +56,7 @@ impl Default for FrameworkConfig {
             controller: ControllerConfig::default(),
             seed: 0x4441_4332, // "DAC2"
             latency_repeats: 5,
+            integrity_tolerance: 0.05,
         }
     }
 }

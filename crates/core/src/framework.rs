@@ -23,6 +23,7 @@ use hmd_ml::{
 use hmd_rl::{
     AdversarialPredictor, ConstraintController, ConstraintKind, ModelProfile, PredictorConfig,
 };
+use hmd_integrity::MetricMonitor;
 use hmd_sim::build_corpus;
 use hmd_tabular::split::stratified_split;
 use hmd_tabular::{select_top_features, Class, Dataset, StandardScaler};
@@ -88,6 +89,7 @@ impl Framework {
     ///
     /// Propagates corpus/selection/split errors.
     pub fn prepare_data(&self) -> Result<DataBundle, CoreError> {
+        let _span = hmd_telemetry::span("framework.prepare_data");
         let corpus = build_corpus(&self.config.corpus);
         let selected = match &self.config.features {
             FeatureSelection::PaperTop4 => {
@@ -122,8 +124,10 @@ impl Framework {
         data: &Dataset,
         targets: &[f64],
     ) -> Result<Vec<Box<dyn Classifier>>, CoreError> {
+        let _span = hmd_telemetry::span("framework.fit_models");
         let mut models = all_models();
         for model in &mut models {
+            let _fit = hmd_telemetry::span(&format!("ml.fit.{}", model.name()));
             model.fit(data, targets)?;
         }
         Ok(models)
@@ -139,6 +143,7 @@ impl Framework {
         data: &Dataset,
         targets: &[f64],
     ) -> Result<Vec<ScenarioMetrics>, CoreError> {
+        let _span = hmd_telemetry::span("framework.evaluate_models");
         models
             .iter()
             .map(|m| {
@@ -157,6 +162,7 @@ impl Framework {
     ///
     /// Propagates attack fitting/generation failures.
     pub fn generate_attacks(&self, bundle: &DataBundle) -> Result<AttackArtifacts, CoreError> {
+        let _span = hmd_telemetry::span("framework.generate_attacks");
         let attack =
             LowProFool::fit_with_config(&bundle.train, self.config.attack)?;
         let train_malware = bundle.train.filter(Class::is_attack);
@@ -219,6 +225,7 @@ impl Framework {
         &self,
         merged_train: &Dataset,
     ) -> Result<AdversarialPredictor, CoreError> {
+        let _span = hmd_telemetry::span("framework.train_predictor");
         let config = PredictorConfig { ..self.config.predictor.clone() };
         Ok(AdversarialPredictor::train(merged_train, config)?)
     }
@@ -231,6 +238,7 @@ impl Framework {
         adversarial: &Dataset,
         clean: &Dataset,
     ) -> PredictorReport {
+        let _span = hmd_telemetry::span("framework.evaluate_predictor");
         let mut reward_trace = Vec::with_capacity(adversarial.len() + clean.len());
         let mut tp = 0usize;
         let mut fp = 0usize;
@@ -283,6 +291,7 @@ impl Framework {
         merged_train: &Dataset,
         merged_test: &Dataset,
     ) -> Result<Vec<(ConstraintController, ControllerReport)>, CoreError> {
+        let _span = hmd_telemetry::span("framework.train_controllers");
         let train_targets = merged_train.binary_targets(Class::is_attack);
         let test_targets = merged_test.binary_targets(Class::is_attack);
         let mut models = classical_models();
@@ -332,10 +341,27 @@ impl Framework {
 
     /// Runs every phase and assembles the complete report.
     ///
+    /// The whole run executes under a `framework.run` telemetry span;
+    /// when tracing was requested through `HMD_TRACE`, the artifacts
+    /// `TELEMETRY_pipeline.{json,folded}` are written once the root span
+    /// closes. Telemetry observes but never feeds back: the report is
+    /// byte-identical (modulo measured latencies) with tracing on or off.
+    ///
     /// # Errors
     ///
     /// Propagates failures from any phase.
     pub fn run(&self) -> Result<FrameworkReport, CoreError> {
+        // Inner scope so the root span's guard drops (recording its end
+        // time) before the export below reads the finished spans.
+        let report = {
+            let _root = hmd_telemetry::span("framework.run");
+            self.run_phases()
+        };
+        hmd_telemetry::maybe_export("pipeline");
+        report
+    }
+
+    fn run_phases(&self) -> Result<FrameworkReport, CoreError> {
         let bundle = self.prepare_data()?;
 
         // scenario (a): regular malware detection
@@ -344,12 +370,22 @@ impl Framework {
         let test_targets = bundle.test.binary_targets(Class::is_attack);
         let baseline = Self::evaluate_models(&baseline_models, &bundle.test, &test_targets)?;
 
+        // §2.7 metric monitor: scenario (a) is the recorded baseline the
+        // later scenarios are assessed against.
+        let monitor = MetricMonitor::new(self.config.integrity_tolerance);
+        for row in &baseline {
+            monitor.record_baseline(&row.model, row.metrics);
+        }
+
         // scenario (b): under adversarial attack
         let attacks = self.generate_attacks(&bundle)?;
         let attacked_test = Self::attacked_test(&bundle, &attacks)?;
         let attacked_targets = attacked_test.binary_targets(Class::is_attack);
         let attacked =
             Self::evaluate_models(&baseline_models, &attacked_test, &attacked_targets)?;
+        for row in &attacked {
+            let _ = monitor.assess(&row.model, &row.metrics);
+        }
 
         // phase 4: the predictor learns to flag adversarial inputs
         let merged_train = Self::merged_training_set(&bundle, &attacks)?;
@@ -368,6 +404,9 @@ impl Framework {
         let merged_test_targets = merged_test.binary_targets(Class::is_attack);
         let defended =
             Self::evaluate_models(&defended_models, &merged_test, &merged_test_targets)?;
+        for row in &defended {
+            let _ = monitor.assess(&row.model, &row.metrics);
+        }
 
         // phase 6: constraint-aware controllers
         let controllers = self
@@ -404,6 +443,7 @@ impl Framework {
         training: &mut Dataset,
         quarantine: &Dataset,
     ) -> Result<usize, CoreError> {
+        let _span = hmd_telemetry::span("framework.retraining_round");
         if quarantine.is_empty() {
             return Ok(0);
         }

@@ -26,6 +26,6 @@ pub mod monitor;
 pub mod registry;
 pub mod sha256;
 
-pub use monitor::{MetricDeviation, MetricMonitor, MetricStatus};
+pub use monitor::{DriftEvent, MetricDeviation, MetricMonitor, MetricStatus};
 pub use registry::{DeploymentRecord, IntegrityStatus, ModelRegistry};
 pub use sha256::{sha256 as sha256_digest, Digest, Sha256};

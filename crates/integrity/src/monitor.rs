@@ -57,6 +57,47 @@ impl ToJson for MetricStatus {
     }
 }
 
+/// One full assessment outcome: which model was checked, what the
+/// verdict was, and under which tolerance — the structured record the
+/// monitor also publishes as an `integrity.drift` telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftEvent {
+    /// The assessed model's name.
+    pub model: String,
+    /// Verdict, with per-metric deltas when drifted.
+    pub status: MetricStatus,
+    /// Absolute tolerance the assessment used.
+    pub tolerance: f64,
+}
+
+impl DriftEvent {
+    /// `true` only when the verdict is [`MetricStatus::Stable`].
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.status.is_stable()
+    }
+
+    /// The out-of-tolerance metrics (empty when stable or unknown).
+    #[must_use]
+    pub fn deviations(&self) -> &[MetricDeviation] {
+        match &self.status {
+            MetricStatus::Drifted(devs) => devs,
+            _ => &[],
+        }
+    }
+}
+
+impl ToJson for DriftEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("model".to_owned(), Json::Str(self.model.clone()))];
+        if let Json::Obj(status_fields) = self.status.to_json() {
+            fields.extend(status_fields);
+        }
+        fields.push(("tolerance".to_owned(), Json::Float(self.tolerance)));
+        Json::Obj(fields)
+    }
+}
+
 /// Thread-safe monitor of per-model baseline metrics.
 ///
 /// # Example
@@ -113,31 +154,52 @@ impl MetricMonitor {
             .insert(name.to_owned(), metrics);
     }
 
-    /// Compares freshly measured metrics against the stored baseline.
+    /// Compares freshly measured metrics against the stored baseline,
+    /// producing the full [`DriftEvent`] record. When telemetry is
+    /// enabled the event is also published as a structured
+    /// `integrity.drift` trace event, and per-verdict counters
+    /// (`integrity.assessments`, `integrity.drifts`) are bumped.
     #[must_use]
-    pub fn assess(&self, name: &str, observed: &BinaryMetrics) -> MetricStatus {
-        let baselines = self.baselines_read();
-        let Some(base) = baselines.get(name) else {
-            return MetricStatus::Unknown;
+    pub fn assess(&self, name: &str, observed: &BinaryMetrics) -> DriftEvent {
+        let status = {
+            let baselines = self.baselines_read();
+            match baselines.get(name) {
+                None => MetricStatus::Unknown,
+                Some(base) => {
+                    let pairs: [(&'static str, f64, f64); 6] = [
+                        ("accuracy", base.accuracy, observed.accuracy),
+                        ("f1", base.f1, observed.f1),
+                        ("tpr", base.tpr, observed.tpr),
+                        ("fpr", base.fpr, observed.fpr),
+                        ("tnr", base.tnr, observed.tnr),
+                        ("fnr", base.fnr, observed.fnr),
+                    ];
+                    let deviations: Vec<MetricDeviation> = pairs
+                        .into_iter()
+                        .filter(|(_, b, o)| (b - o).abs() > self.tolerance)
+                        .map(|(metric, baseline, observed)| MetricDeviation {
+                            metric,
+                            baseline,
+                            observed,
+                        })
+                        .collect();
+                    if deviations.is_empty() {
+                        MetricStatus::Stable
+                    } else {
+                        MetricStatus::Drifted(deviations)
+                    }
+                }
+            }
         };
-        let pairs: [(&'static str, f64, f64); 6] = [
-            ("accuracy", base.accuracy, observed.accuracy),
-            ("f1", base.f1, observed.f1),
-            ("tpr", base.tpr, observed.tpr),
-            ("fpr", base.fpr, observed.fpr),
-            ("tnr", base.tnr, observed.tnr),
-            ("fnr", base.fnr, observed.fnr),
-        ];
-        let deviations: Vec<MetricDeviation> = pairs
-            .into_iter()
-            .filter(|(_, b, o)| (b - o).abs() > self.tolerance)
-            .map(|(metric, baseline, observed)| MetricDeviation { metric, baseline, observed })
-            .collect();
-        if deviations.is_empty() {
-            MetricStatus::Stable
-        } else {
-            MetricStatus::Drifted(deviations)
+        let event = DriftEvent { model: name.to_owned(), status, tolerance: self.tolerance };
+        if hmd_telemetry::enabled() {
+            hmd_telemetry::metrics::counter("integrity.assessments").inc();
+            if !event.is_stable() {
+                hmd_telemetry::metrics::counter("integrity.drifts").inc();
+            }
+            hmd_telemetry::event("integrity.drift", event.to_json());
         }
+        event
     }
 
     /// The stored baseline for a model, if any.
@@ -172,7 +234,10 @@ mod tests {
     fn drift_is_reported_per_metric() {
         let m = MetricMonitor::new(0.05);
         m.record_baseline("RF", metrics(0.90, 0.90));
-        match m.assess("RF", &metrics(0.60, 0.89)) {
+        let event = m.assess("RF", &metrics(0.60, 0.89));
+        assert_eq!(event.model, "RF");
+        assert!((event.tolerance - 0.05).abs() < 1e-12);
+        match &event.status {
             MetricStatus::Drifted(devs) => {
                 assert_eq!(devs.len(), 1);
                 assert_eq!(devs[0].metric, "accuracy");
@@ -180,12 +245,17 @@ mod tests {
             }
             other => panic!("expected drift, got {other:?}"),
         }
+        assert_eq!(event.deviations().len(), 1);
     }
 
     #[test]
-    fn unknown_model_reported() {
+    fn missing_baseline_reports_unknown_not_stable() {
         let m = MetricMonitor::new(0.05);
-        assert_eq!(m.assess("ghost", &metrics(0.9, 0.9)), MetricStatus::Unknown);
+        let event = m.assess("ghost", &metrics(0.9, 0.9));
+        assert_eq!(event.status, MetricStatus::Unknown);
+        assert!(!event.is_stable());
+        assert!(event.deviations().is_empty());
+        assert_eq!(event.model, "ghost");
     }
 
     #[test]
@@ -201,10 +271,24 @@ mod tests {
             fnr: 0.7,
             ..Default::default()
         };
-        match m.assess("DT", &observed) {
+        let event = m.assess("DT", &observed);
+        match &event.status {
             MetricStatus::Drifted(devs) => assert_eq!(devs.len(), 6),
             other => panic!("expected drift, got {other:?}"),
         }
+        assert_eq!(event.deviations().len(), 6);
+    }
+
+    #[test]
+    fn drift_event_serializes_with_model_status_and_tolerance() {
+        use hmd_util::json::ToJson;
+        let m = MetricMonitor::new(0.05);
+        m.record_baseline("RF", metrics(0.9, 0.9));
+        let json = m.assess("RF", &metrics(0.6, 0.9)).to_json().to_string();
+        assert!(json.contains("\"model\":\"RF\""), "{json}");
+        assert!(json.contains("\"status\":\"drifted\""), "{json}");
+        assert!(json.contains("\"tolerance\":"), "{json}");
+        assert!(json.contains("\"deviations\":"), "{json}");
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The [`Classifier`] trait every detector implements, plus evaluation
 //! and latency/footprint measurement helpers.
 
-use std::time::Instant;
-
 use hmd_tabular::Dataset;
+use hmd_telemetry::clock;
+use hmd_telemetry::metrics::Histogram;
 use hmd_util::par;
 
 use crate::metrics::BinaryMetrics;
@@ -118,6 +118,13 @@ pub fn evaluate(
 /// Measures mean single-row inference latency in milliseconds — the
 /// latency axis of the constraint controller.
 ///
+/// Each call is timed on the telemetry clock and recorded into a local
+/// [`Histogram`], whose exact mean is the return value; the same
+/// observations also feed the shared `ml.latency_ns.<model>` registry
+/// histogram, so an `HMD_TRACE` export reports the very numbers the
+/// controller's [`crate::BinaryMetrics`]-adjacent `ModelProfile` saw —
+/// one measurement path, two consumers.
+///
 /// # Errors
 ///
 /// Propagates prediction errors.
@@ -134,15 +141,22 @@ pub fn measure_latency_ms(
     assert!(repeats > 0, "need at least one repeat");
     // warmup
     let _ = model.predict_proba_row(data.row(0)?)?;
-    let start = Instant::now();
-    let mut calls = 0usize;
+    let local = Histogram::standalone();
+    let shared = hmd_telemetry::enabled()
+        .then(|| hmd_telemetry::metrics::histogram(&format!("ml.latency_ns.{}", model.name())));
     for _ in 0..repeats {
         for i in 0..data.len() {
-            let _ = model.predict_proba_row(data.row(i)?)?;
-            calls += 1;
+            let row = data.row(i)?;
+            let start = clock::now_ns();
+            let _ = model.predict_proba_row(row)?;
+            let elapsed = clock::now_ns().saturating_sub(start);
+            local.record(elapsed);
+            if let Some(shared) = shared {
+                shared.record(elapsed);
+            }
         }
     }
-    Ok(start.elapsed().as_secs_f64() * 1e3 / calls as f64)
+    Ok(local.merged().mean() / 1e6)
 }
 
 #[cfg(test)]

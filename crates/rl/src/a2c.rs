@@ -180,6 +180,12 @@ impl A2cAgent {
         let target = reward + self.config.gamma * v_next;
         let advantage = target - v_s;
 
+        if hmd_telemetry::enabled() {
+            // the critic's squared TD error — its per-update MSE loss
+            hmd_telemetry::metrics::gauge("rl.a2c.critic_loss").set(advantage * advantage);
+            hmd_telemetry::metrics::counter("rl.a2c.updates").inc();
+        }
+
         // critic: MSE toward the TD target
         let x = Tensor::row_vector(state);
         let y = Tensor::from_rows(&[&[target]]);

@@ -38,6 +38,17 @@ impl ConstraintKind {
         }
     }
 
+    /// A machine-friendly identifier (telemetry metric names, file
+    /// stems): no spaces, lowercase.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            ConstraintKind::FastInference => "fast_inference",
+            ConstraintKind::SmallFootprint => "small_footprint",
+            ConstraintKind::BestDetection => "best_detection",
+        }
+    }
+
     /// Shapes the reward for one decision (the "Metric Monitor" values
     /// feed this, paper §2.6.1): a correct prediction earns a base
     /// reward, discounted by the constrained resource.
@@ -136,6 +147,25 @@ impl ConstraintController {
         let norm_size = normalize(
             &profiles.iter().map(|p| p.size_bytes as f64).collect::<Vec<_>>(),
         );
+        let _span = hmd_telemetry::span(&format!("rl.controller.train.{}", kind.key()));
+        // Arm-selection counters and the constraint-violation counter,
+        // hoisted out of the decision loop (registry lookups are
+        // name-hashed; one lookup per metric, not per decision).
+        let trace = hmd_telemetry::enabled().then(|| {
+            let pulls: Vec<&'static hmd_telemetry::metrics::Counter> = (0..models.len())
+                .map(|arm| {
+                    hmd_telemetry::metrics::counter(&format!(
+                        "rl.ucb.{}.arm{arm}.pulls",
+                        kind.key()
+                    ))
+                })
+                .collect();
+            let violations = hmd_telemetry::metrics::counter(&format!(
+                "rl.ucb.{}.violations",
+                kind.key()
+            ));
+            (pulls, violations)
+        });
         let mut ucb = Ucb::new(models.len(), config.exploration);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -148,6 +178,12 @@ impl ConstraintController {
                     .predict_row(row)
                     .map_err(|e| RlError::Model(e.to_string()))?;
                 let correct = predicted == (targets[i] == 1.0);
+                if let Some((pulls, violations)) = &trace {
+                    pulls[arm].inc();
+                    if !correct {
+                        violations.inc();
+                    }
+                }
                 ucb.update(arm, kind.reward(correct, norm_latency[arm], norm_size[arm]));
             }
         }

@@ -169,11 +169,28 @@ impl AdversarialPredictor {
         if !data.labels().contains(&Class::Adversarial) {
             return Err(RlError::MissingClass("no labeled adversarial samples"));
         }
+        let _span = hmd_telemetry::span("rl.predictor.train");
         let mut env = PredictorEnv::new(data, config.seed)?;
         let mut agent = A2cAgent::new(env.state_dim(), env.n_actions(), config.a2c);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA2C);
-        for _ in 0..config.episodes {
-            agent.train_episode(&mut env, &mut rng, 1);
+        let traced = hmd_telemetry::enabled();
+        let mut reward_ma = 0.0;
+        for episode in 0..config.episodes {
+            let reward = agent.train_episode(&mut env, &mut rng, 1);
+            if traced {
+                // exponential moving average of the episode reward — the
+                // convergence signal Figure 3(a) plots
+                reward_ma = if episode == 0 {
+                    reward
+                } else {
+                    0.99 * reward_ma + 0.01 * reward
+                };
+            }
+        }
+        if traced {
+            hmd_telemetry::metrics::counter("rl.predictor.episodes")
+                .add(config.episodes as u64);
+            hmd_telemetry::metrics::gauge("rl.predictor.reward_ma").set(reward_ma);
         }
         let threshold = match config.reward_threshold {
             Some(t) => t,

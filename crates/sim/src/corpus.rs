@@ -98,6 +98,7 @@ struct AppJob {
 /// an invalid machine/perf configuration.
 #[must_use]
 pub fn build_corpus(config: &CorpusConfig) -> Corpus {
+    let _span = hmd_telemetry::span("sim.build_corpus");
     assert!(
         config.benign_apps + config.malware_apps > 0,
         "corpus needs at least one application"
@@ -154,6 +155,10 @@ pub fn build_corpus(config: &CorpusConfig) -> Corpus {
         let label = if class.is_malware() { Class::Malware } else { Class::Benign };
         dataset.push(&values, label).expect("sampler emits fixed-width rows");
         row_classes.push(class);
+    }
+    if hmd_telemetry::enabled() {
+        hmd_telemetry::metrics::counter("sim.apps").add(jobs.len() as u64);
+        hmd_telemetry::metrics::counter("sim.windows").add(dataset.len() as u64);
     }
     Corpus { dataset, row_classes }
 }

@@ -1,0 +1,30 @@
+//! The telemetry clock: a monotonic nanosecond counter anchored at the
+//! first use in the process, shared by spans, latency measurement
+//! ([`hmd_ml`]'s `measure_latency_ms`) and events so every recorded
+//! timestamp lives on one axis.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process-local anchor.
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,59 @@
+//! Timestamped structured events.
+//!
+//! An event is a named JSON payload stamped with the telemetry clock —
+//! the integrity monitor emits its drift assessments this way so a
+//! trace shows *what* the monitor concluded, not just how long it took.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use hmd_util::json::Json;
+
+use crate::clock;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Timestamp on the telemetry clock.
+    pub t_ns: u64,
+    /// Process-wide sequence number (total order even within one
+    /// clock tick).
+    pub seq: u64,
+    /// Event kind, e.g. `integrity.drift`.
+    pub kind: String,
+    /// Structured payload.
+    pub payload: Json,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+/// Records a structured event. A no-op (one atomic load, no payload
+/// evaluation cost beyond what the caller already built) when telemetry
+/// is disabled — callers with expensive payloads should gate on
+/// [`crate::enabled`] themselves.
+pub fn event(kind: &str, payload: Json) {
+    if !crate::enabled() {
+        return;
+    }
+    let record = EventRecord {
+        t_ns: clock::now_ns(),
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        kind: kind.to_owned(),
+        payload,
+    };
+    EVENTS.lock().unwrap_or_else(PoisonError::into_inner).push(record);
+}
+
+/// A copy of all recorded events, sorted by `(t_ns, seq)`.
+#[must_use]
+pub fn snapshot() -> Vec<EventRecord> {
+    let mut events = EVENTS.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    events.sort_by_key(|e| (e.t_ns, e.seq));
+    events
+}
+
+/// Discards all recorded events.
+pub(crate) fn reset() {
+    EVENTS.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}

@@ -1,0 +1,256 @@
+//! Exporters: the `TELEMETRY_<name>.json` artifact, a human-readable
+//! span tree, and a flamegraph-compatible collapsed-stack rendering.
+//!
+//! The JSON schema (`hmd-telemetry-v1`) is what the `telemetry_check`
+//! CI gate validates:
+//!
+//! ```json
+//! {
+//!   "name": "pipeline",
+//!   "schema": "hmd-telemetry-v1",
+//!   "clock_unit": "ns",
+//!   "spans":      [{"id", "parent", "name", "start_ns", "end_ns"}, ...],
+//!   "counters":   {"attack.lowprofool.iterations": 123, ...},
+//!   "gauges":     {"rl.predictor.reward_ma": {"value", "sets"}, ...},
+//!   "histograms": {"ml.latency_ns.RF": {"count", "sum", "mean",
+//!                  "buckets": [{"lo", "hi", "count"}, ...]}, ...},
+//!   "events":     [{"t_ns", "seq", "kind", "payload"}, ...]
+//! }
+//! ```
+//!
+//! Spans are sorted by start time, events by `(t_ns, seq)`, metric maps
+//! by name — the artifact's *shape* is deterministic even though its
+//! timings are wall-clock.
+
+use std::io;
+use std::path::PathBuf;
+
+use hmd_util::json::Json;
+
+use crate::metrics::{bucket_bounds, HistogramSnapshot};
+use crate::span::SpanRecord;
+use crate::{events, metrics, span};
+
+/// Schema identifier embedded in every artifact.
+pub const SCHEMA: &str = "hmd-telemetry-v1";
+
+fn json_u64(v: u64) -> Json {
+    match i64::try_from(v) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::UInt(v),
+    }
+}
+
+fn span_json(s: &SpanRecord) -> Json {
+    Json::Obj(vec![
+        ("id".to_owned(), json_u64(s.id)),
+        ("parent".to_owned(), json_u64(s.parent)),
+        ("name".to_owned(), Json::Str(s.name.clone())),
+        ("start_ns".to_owned(), json_u64(s.start_ns)),
+        ("end_ns".to_owned(), json_u64(s.end_ns)),
+    ])
+}
+
+fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
+    let buckets: Vec<Json> = snapshot
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(b, &count)| {
+            let (lo, hi) = bucket_bounds(b);
+            Json::Obj(vec![
+                ("lo".to_owned(), json_u64(lo)),
+                ("hi".to_owned(), json_u64(hi)),
+                ("count".to_owned(), json_u64(count)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("count".to_owned(), json_u64(snapshot.count)),
+        ("sum".to_owned(), json_u64(snapshot.sum)),
+        ("mean".to_owned(), Json::Float(snapshot.mean())),
+        ("buckets".to_owned(), Json::Arr(buckets)),
+    ])
+}
+
+/// A point-in-time JSON document of everything recorded so far.
+#[must_use]
+pub fn snapshot_json(name: &str) -> Json {
+    let spans: Vec<Json> = span::snapshot().iter().map(span_json).collect();
+    let counters: Vec<(String, Json)> = metrics::counters_snapshot()
+        .into_iter()
+        .map(|(k, v)| (k, json_u64(v)))
+        .collect();
+    let gauges: Vec<(String, Json)> = metrics::gauges_snapshot()
+        .into_iter()
+        .map(|(k, value, sets)| {
+            (
+                k,
+                Json::Obj(vec![
+                    ("value".to_owned(), Json::Float(value)),
+                    ("sets".to_owned(), json_u64(sets)),
+                ]),
+            )
+        })
+        .collect();
+    let histograms: Vec<(String, Json)> = metrics::histograms_snapshot()
+        .iter()
+        .map(|(k, s)| (k.clone(), histogram_json(s)))
+        .collect();
+    let events: Vec<Json> = events::snapshot()
+        .into_iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("t_ns".to_owned(), json_u64(e.t_ns)),
+                ("seq".to_owned(), json_u64(e.seq)),
+                ("kind".to_owned(), Json::Str(e.kind)),
+                ("payload".to_owned(), e.payload),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".to_owned(), Json::Str(name.to_owned())),
+        ("schema".to_owned(), Json::Str(SCHEMA.to_owned())),
+        ("clock_unit".to_owned(), Json::Str("ns".to_owned())),
+        ("spans".to_owned(), Json::Arr(spans)),
+        ("counters".to_owned(), Json::Obj(counters)),
+        ("gauges".to_owned(), Json::Obj(gauges)),
+        ("histograms".to_owned(), Json::Obj(histograms)),
+        ("events".to_owned(), Json::Arr(events)),
+    ])
+}
+
+/// Children of each span, in start order, plus the roots.
+fn span_tree(spans: &[SpanRecord]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let index_of: std::collections::HashMap<u64, usize> =
+        spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match index_of.get(&s.parent) {
+            Some(&p) if s.parent != 0 => children[p].push(i),
+            // parent id 0 or a parent still open at snapshot time
+            _ => roots.push(i),
+        }
+    }
+    (roots, children)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn format_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+/// Renders the finished spans as an indented tree with durations —
+/// the quick, human-readable view of where a pipeline run spent its
+/// time.
+#[must_use]
+pub fn render_tree() -> String {
+    let spans = span::snapshot();
+    let (roots, children) = span_tree(&spans);
+    let mut out = String::new();
+    fn walk(
+        out: &mut String,
+        spans: &[SpanRecord],
+        children: &[Vec<usize>],
+        i: usize,
+        depth: usize,
+    ) {
+        let s = &spans[i];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{} {}\n", s.name, format_ms(s.duration_ns())));
+        for &c in &children[i] {
+            walk(out, spans, children, c, depth + 1);
+        }
+    }
+    for &r in &roots {
+        walk(&mut out, &spans, &children, r, 0);
+    }
+    out
+}
+
+/// Renders the finished spans in the collapsed-stack format flamegraph
+/// tools consume: one `path;to;span <self_ns>` line per unique stack,
+/// where self-time is the span's duration minus its children's. Lines
+/// are sorted lexically so the rendering is stable.
+#[must_use]
+pub fn collapsed_stacks() -> String {
+    let spans = span::snapshot();
+    let (roots, children) = span_tree(&spans);
+    let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    fn walk(
+        folded: &mut std::collections::BTreeMap<String, u64>,
+        spans: &[SpanRecord],
+        children: &[Vec<usize>],
+        i: usize,
+        prefix: &str,
+    ) {
+        let s = &spans[i];
+        let path =
+            if prefix.is_empty() { s.name.clone() } else { format!("{prefix};{}", s.name) };
+        let child_ns: u64 =
+            children[i].iter().map(|&c| spans[c].duration_ns()).sum();
+        let self_ns = s.duration_ns().saturating_sub(child_ns);
+        *folded.entry(path.clone()).or_insert(0) += self_ns;
+        for &c in &children[i] {
+            walk(folded, spans, children, c, &path);
+        }
+    }
+    for &r in &roots {
+        walk(&mut folded, &spans, &children, r, "");
+    }
+    let mut out = String::new();
+    for (path, ns) in folded {
+        out.push_str(&format!("{path} {ns}\n"));
+    }
+    out
+}
+
+/// The artifact directory: `HMD_TRACE_OUT`, falling back to the
+/// current directory.
+fn out_dir() -> PathBuf {
+    std::env::var_os("HMD_TRACE_OUT").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Writes `TELEMETRY_<name>.json` and `TELEMETRY_<name>.folded` into
+/// the [`out_dir`], returning both paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+///
+/// # Panics
+///
+/// Panics when `name` is not a bare file stem.
+pub fn export(name: &str) -> io::Result<(PathBuf, PathBuf)> {
+    assert!(
+        !name.is_empty() && !name.contains(['/', '\\']),
+        "telemetry artifact name must be a bare file stem, got {name:?}"
+    );
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)?;
+    let json_path = dir.join(format!("TELEMETRY_{name}.json"));
+    std::fs::write(&json_path, snapshot_json(name).pretty() + "\n")?;
+    let folded_path = dir.join(format!("TELEMETRY_{name}.folded"));
+    std::fs::write(&folded_path, collapsed_stacks())?;
+    Ok((json_path, folded_path))
+}
+
+/// [`export`]s only when tracing is enabled *and* was requested through
+/// the `HMD_TRACE` environment variable — a test-installed override
+/// alone never writes files. Failures are reported on stderr rather
+/// than propagated: telemetry must never fail the pipeline it observes.
+pub fn maybe_export(name: &str) -> Option<PathBuf> {
+    if !(crate::enabled() && std::env::var("HMD_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"))
+    {
+        return None;
+    }
+    match export(name) {
+        Ok((json_path, _)) => Some(json_path),
+        Err(e) => {
+            eprintln!("hmd-telemetry: export {name:?} failed: {e}");
+            None
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Zero-dependency observability substrate for the HMD workspace.
+//!
+//! The paper's later phases (the UCB constraint controller, the
+//! SHA-256 + metric-drift integrity monitor) are run-time monitoring
+//! components; this crate gives the whole pipeline the matching
+//! run-time *observability*: where the wall-clock goes, how hot loops
+//! behave, and what the integrity monitor concluded — without adding a
+//! single external dependency (hermetic-build policy, see DESIGN.md).
+//!
+//! Three layers:
+//!
+//! * [`span`] — hierarchical RAII timing spans. [`span()`] returns a
+//!   guard; dropping it (including during a panic unwind) records the
+//!   span. Each thread keeps its own current-span cell, and the
+//!   substrate registers a context hook with [`hmd_util::par`] so spans
+//!   opened inside parallel workers attribute to the span that spawned
+//!   the region.
+//! * [`metrics`] — atomic counters, gauges and fixed-bucket log₂
+//!   histograms, sharded per worker thread and merged on read. Cheap
+//!   enough to leave in hot loops: a disabled metric is one relaxed
+//!   atomic load.
+//! * [`event`](event()) — timestamped structured payloads
+//!   ([`hmd_util::json::Json`]), used by the integrity monitor to emit
+//!   drift assessments.
+//!
+//! [`export::export`] renders everything to a `TELEMETRY_<name>.json`
+//! artifact plus a flamegraph-compatible collapsed-stack text file.
+//!
+//! # Enabling
+//!
+//! Telemetry is off by default. It turns on when the `HMD_TRACE`
+//! environment variable is set to anything but `0`/empty, or when a
+//! test/bench installs [`set_enabled_override`]. Artifacts are written
+//! to `HMD_TRACE_OUT` (default: the current directory), but only when
+//! `HMD_TRACE` itself is set — an override alone never touches the
+//! filesystem, so tests can trace without littering.
+//!
+//! # Determinism contract
+//!
+//! Telemetry is provably non-perturbing: it never draws from any RNG
+//! and never feeds a value back into the computation it observes, so
+//! same-seed pipeline outputs are byte-identical with tracing on, off,
+//! and at any thread count (`tests/determinism.rs` pins this).
+
+use std::sync::atomic::{AtomicI8, Ordering};
+use std::sync::OnceLock;
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+mod events;
+
+pub use events::{event, EventRecord};
+pub use export::{collapsed_stacks, maybe_export, render_tree, snapshot_json};
+pub use span::{span, SpanGuard, SpanRecord};
+
+/// Process-wide enablement override: `-1` = none (consult the
+/// environment), `0` = forced off, `1` = forced on.
+static ENABLED_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+
+/// Whether `HMD_TRACE` enables tracing, parsed once per process.
+fn env_enabled() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("HMD_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Whether telemetry is currently recording. One relaxed atomic load on
+/// the fast path — the cost a disabled span or metric pays.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => env_enabled(),
+    }
+}
+
+/// Installs (or clears, with `None`) a process-wide enablement override
+/// that takes precedence over `HMD_TRACE`. Used by tests and benches to
+/// A/B tracing without touching the environment; flipping it never
+/// changes computed results (see the determinism contract above).
+pub fn set_enabled_override(enabled: Option<bool>) {
+    let v = match enabled {
+        None => -1,
+        Some(false) => 0,
+        Some(true) => 1,
+    };
+    ENABLED_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans, metric values and events (registered
+/// metric names survive with zeroed values). For tests and benches that
+/// need a clean slate; the span-id counter and clock anchor are *not*
+/// reset, so ids stay unique across resets.
+pub fn reset() {
+    span::reset();
+    metrics::reset();
+    events::reset();
+}
+
+/// Registers the span-context propagation hook with [`hmd_util::par`]
+/// exactly once, so parallel regions attribute to their spawning span.
+pub(crate) fn ensure_par_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        hmd_util::par::set_context_hook(span::current_id, span::install_id);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_flips_enablement() {
+        set_enabled_override(Some(true));
+        assert!(enabled());
+        set_enabled_override(Some(false));
+        assert!(!enabled());
+        set_enabled_override(None);
+    }
+}

@@ -1,0 +1,423 @@
+//! Counters, gauges and log₂ histograms, sharded per worker thread.
+//!
+//! Hot loops (per-row prediction, per-sample attack optimization, A2C
+//! updates) record into a per-thread shard — no cross-core cache-line
+//! bouncing — and readers merge shards on demand. A *gated* metric
+//! (anything obtained from the registry functions [`counter`],
+//! [`gauge`], [`histogram`]) is a no-op while telemetry is disabled;
+//! an *ungated* one (the `standalone` constructors) always records, so
+//! plain measurement code (e.g. `hmd_ml::measure_latency_ms`) can use
+//! the same data structures for its own arithmetic.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Number of shards; worker threads hash onto these round-robin.
+const SHARDS: usize = 16;
+
+/// Histogram bucket count: bucket 0 holds zeros, bucket `b ≥ 1` holds
+/// values in `[2^(b−1), 2^b)`, and the last bucket absorbs everything
+/// from `2^62` up.
+pub const BUCKETS: usize = 64;
+
+/// One cache line per shard so concurrent writers do not false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PadCell(AtomicU64);
+
+/// The calling thread's shard index, assigned round-robin on first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// A monotonically increasing sum, sharded per worker.
+#[derive(Debug)]
+pub struct Counter {
+    gated: bool,
+    shards: [PadCell; SHARDS],
+}
+
+impl Counter {
+    fn with_gate(gated: bool) -> Self {
+        Self { gated, shards: std::array::from_fn(|_| PadCell::default()) }
+    }
+
+    /// An ungated counter that records regardless of the telemetry
+    /// switch — a plain data structure, not registered for export.
+    #[must_use]
+    pub fn standalone() -> Self {
+        Self::with_gate(false)
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.gated && !crate::enabled() {
+            return;
+        }
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The merged value across all shards.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value-wins instantaneous measurement (reward moving average,
+/// critic loss, …) plus a count of how many times it was set.
+#[derive(Debug)]
+pub struct Gauge {
+    gated: bool,
+    bits: AtomicU64,
+    sets: AtomicU64,
+}
+
+impl Gauge {
+    fn with_gate(gated: bool) -> Self {
+        Self { gated, bits: AtomicU64::new(0.0f64.to_bits()), sets: AtomicU64::new(0) }
+    }
+
+    /// An ungated gauge (always records, not registered for export).
+    #[must_use]
+    pub fn standalone() -> Self {
+        Self::with_gate(false)
+    }
+
+    /// Stores `v` as the gauge's current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if self.gated && !crate::enabled() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.sets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The last stored value (`0.0` before any set).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// How many times the gauge was set.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.sets.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.sets.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One shard of a histogram: the bucket counts plus the raw sum, so
+/// the merged view recovers the exact mean.
+#[derive(Debug)]
+struct HistShard {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// A fixed-bucket log₂ histogram of `u64` observations (typically
+/// nanoseconds), sharded per worker.
+#[derive(Debug)]
+pub struct Histogram {
+    gated: bool,
+    shards: Box<[HistShard]>,
+}
+
+/// The bucket a value lands in: 0 for zero, else `floor(log2(v)) + 1`,
+/// saturating at the last bucket.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The half-open value range `[lo, hi)` covered by bucket `b` (the last
+/// bucket's `hi` is `u64::MAX`).
+///
+/// # Panics
+///
+/// Panics when `b >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < BUCKETS, "bucket out of range");
+    match b {
+        0 => (0, 1),
+        _ if b == BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+        _ => (1u64 << (b - 1), 1u64 << b),
+    }
+}
+
+/// A merged, point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Merged per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total observation count.
+    pub count: u64,
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded values (`0.0` when empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Histogram {
+    fn with_gate(gated: bool) -> Self {
+        let shards: Vec<HistShard> = (0..SHARDS).map(|_| HistShard::default()).collect();
+        Self { gated, shards: shards.into_boxed_slice() }
+    }
+
+    /// An ungated histogram (always records, not registered for
+    /// export) — usable as a plain statistics accumulator.
+    #[must_use]
+    pub fn standalone() -> Self {
+        Self::with_gate(false)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.gated && !crate::enabled() {
+            return;
+        }
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a non-negative float scaled by `scale` (e.g. a
+    /// perturbation norm at `scale = 1e6` → micro-units), saturating at
+    /// the bucket range edges.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn record_scaled(&self, v: f64, scale: f64) {
+        let scaled = (v * scale).max(0.0);
+        self.record(if scaled.is_finite() { scaled as u64 } else { u64::MAX });
+    }
+
+    /// Merges all shards into a snapshot.
+    #[must_use]
+    pub fn merged(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in &*self.shards {
+            for (b, a) in buckets.iter_mut().zip(&shard.buckets) {
+                *b += a.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot { buckets, count, sum }
+    }
+
+    fn reset(&self) {
+        for shard in &*self.shards {
+            for a in &shard.buckets {
+                a.store(0, Ordering::Relaxed);
+            }
+            shard.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The global metric registry. Handles are leaked (`&'static`) so hot
+/// call sites pay the name lookup once, outside their loops; names are
+/// bounded (per model / per agent), so the leak is bounded too.
+/// `BTreeMap` keeps export order deterministic.
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// The registered (gated) counter named `name`, created on first use.
+pub fn counter(name: &str) -> &'static Counter {
+    with_registry(|r| {
+        *r.counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Box::leak(Box::new(Counter::with_gate(true))))
+    })
+}
+
+/// The registered (gated) gauge named `name`, created on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    with_registry(|r| {
+        *r.gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| Box::leak(Box::new(Gauge::with_gate(true))))
+    })
+}
+
+/// The registered (gated) histogram named `name`, created on first use.
+pub fn histogram(name: &str) -> &'static Histogram {
+    with_registry(|r| {
+        *r.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Box::leak(Box::new(Histogram::with_gate(true))))
+    })
+}
+
+/// All registered counters with merged values, in name order.
+#[must_use]
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    with_registry(|r| r.counters.iter().map(|(k, c)| (k.clone(), c.value())).collect())
+}
+
+/// All registered gauges as `(name, value, sets)`, in name order.
+#[must_use]
+pub fn gauges_snapshot() -> Vec<(String, f64, u64)> {
+    with_registry(|r| {
+        r.gauges.iter().map(|(k, g)| (k.clone(), g.value(), g.sets())).collect()
+    })
+}
+
+/// All registered histograms with merged snapshots, in name order.
+#[must_use]
+pub fn histograms_snapshot() -> Vec<(String, HistogramSnapshot)> {
+    with_registry(|r| r.histograms.iter().map(|(k, h)| (k.clone(), h.merged())).collect())
+}
+
+/// Zeroes every registered metric, keeping the names registered.
+pub(crate) fn reset() {
+    with_registry(|r| {
+        r.counters.values().for_each(|c| c.reset());
+        r.gauges.values().for_each(|g| g.reset());
+        r.histograms.values().for_each(|h| h.reset());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_counter_sums_across_shards() {
+        let c = Counter::standalone();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.value(), 4);
+    }
+
+    #[test]
+    fn gauge_keeps_last_value_and_set_count() {
+        let g = Gauge::standalone();
+        assert_eq!(g.value(), 0.0);
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.value(), -2.25);
+        assert_eq!(g.sets(), 2);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // every bucket's bounds round-trip through bucket_index
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_index(lo), b, "lo bound of bucket {b}");
+            assert_eq!(bucket_index(hi - 1), b, "hi bound of bucket {b}");
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let h = Histogram::standalone();
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        let s = h.merged();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert!((s.mean() - 206.0).abs() < 1e-12);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn record_scaled_clamps_negatives_and_infinities() {
+        let h = Histogram::standalone();
+        h.record_scaled(-1.0, 1e6); // clamps to 0
+        h.record_scaled(2.5, 1e6); // 2_500_000
+        h.record_scaled(f64::INFINITY, 1e6); // saturates
+        let s = h.merged();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[bucket_index(2_500_000)], 1);
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn registry_reuses_handles_by_name() {
+        let a = counter("test.registry.reuse");
+        let b = counter("test.registry.reuse");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,129 @@
+//! Hierarchical timing spans with RAII guards.
+//!
+//! [`span`] opens a span on the calling thread; dropping the returned
+//! guard closes it. Guards close in reverse opening order (they are
+//! values on the Rust stack), giving proper nesting per thread, and a
+//! guard dropped during a panic unwind still records its span — no
+//! timing hole when a stage aborts.
+//!
+//! Parallel regions compose: the crate registers a context hook with
+//! [`hmd_util::par`] so a worker thread inherits the spawning thread's
+//! current span as its parent. A span opened inside `par_map` therefore
+//! attributes to the span that launched the region, not to a detached
+//! root.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::clock;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, never zero).
+    pub id: u64,
+    /// Parent span id; zero for a root span.
+    pub parent: u64,
+    /// Span name, e.g. `framework.prepare_data`.
+    pub name: String,
+    /// Start on the telemetry clock ([`clock::now_ns`]).
+    pub start_ns: u64,
+    /// End on the telemetry clock; always `>= start_ns`.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Wall-clock duration of the span in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Next span id; zero is reserved for "no span".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Finished spans, appended on guard drop. Spans are stage-granular
+/// (per pipeline phase, per model, per training run), so one shared
+/// mutex is cheap; per-item hot-loop measurement belongs in
+/// [`crate::metrics`] instead.
+static FINISHED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// The innermost open span on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's innermost open span id (0 = none). Registered
+/// as the *capture* half of the [`hmd_util::par`] context hook.
+#[must_use]
+pub fn current_id() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Installs `id` as the calling thread's current span. Registered as
+/// the *install* half of the [`hmd_util::par`] context hook; worker
+/// threads call it before running their chunk.
+pub fn install_id(id: u64) {
+    CURRENT.with(|c| c.set(id));
+}
+
+/// An open span; dropping it records the span. Inert (and free beyond
+/// one atomic load) when telemetry is disabled.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    state: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: String,
+    start_ns: u64,
+}
+
+/// Opens a span named `name` on the calling thread. When telemetry is
+/// disabled this allocates nothing and records nothing.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { state: None };
+    }
+    crate::ensure_par_hook();
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    SpanGuard {
+        state: Some(OpenSpan { id, parent, name: name.to_owned(), start_ns: clock::now_ns() }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.state.take() else { return };
+        let end_ns = clock::now_ns();
+        CURRENT.with(|c| c.set(open.parent));
+        FINISHED.lock().unwrap_or_else(PoisonError::into_inner).push(SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start_ns: open.start_ns,
+            end_ns,
+        });
+    }
+}
+
+/// A copy of all finished spans, sorted by `(start_ns, id)` so export
+/// order does not depend on which thread finished first.
+#[must_use]
+pub fn snapshot() -> Vec<SpanRecord> {
+    let mut spans = FINISHED.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    spans
+}
+
+/// Discards all finished spans.
+pub(crate) fn reset() {
+    FINISHED.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}

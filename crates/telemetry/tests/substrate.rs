@@ -1,0 +1,176 @@
+//! Integration tests of the telemetry substrate: sharded merging under
+//! the parallel substrate, span nesting (including across panics and
+//! into `par` workers), disabled-mode no-ops, and export validity.
+//!
+//! Telemetry state is process-global, so every test takes `GUARD` and
+//! starts from `reset()` with an explicit enablement override.
+
+use std::sync::{Mutex, PoisonError};
+
+use hmd_telemetry as tel;
+use hmd_util::par;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn sharded_counter_merges_across_par_workers() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(true));
+    tel::reset();
+    let items: Vec<u64> = (0..1000).collect();
+    for threads in [1, 2, 8] {
+        par::set_thread_override(Some(threads));
+        let c = tel::metrics::counter("test.par.merge");
+        let before = c.value();
+        let _: Vec<u64> = par::par_map(&items, |&i| {
+            c.add(i);
+            i
+        });
+        assert_eq!(c.value() - before, items.iter().sum::<u64>(), "threads={threads}");
+    }
+    par::set_thread_override(None);
+    tel::set_enabled_override(None);
+}
+
+#[test]
+fn sharded_histogram_merges_across_par_workers() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(true));
+    tel::reset();
+    par::set_thread_override(Some(4));
+    let h = tel::metrics::histogram("test.par.hist");
+    let items: Vec<u64> = (0..500).collect();
+    let _: Vec<()> = par::par_map(&items, |&i| h.record(i));
+    let merged = h.merged();
+    assert_eq!(merged.count, 500);
+    assert_eq!(merged.sum, items.iter().sum::<u64>());
+    par::set_thread_override(None);
+    tel::set_enabled_override(None);
+}
+
+#[test]
+fn spans_nest_and_unwind_across_panics() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(true));
+    tel::reset();
+    let result = std::panic::catch_unwind(|| {
+        let _outer = tel::span("test.panic.outer");
+        let _inner = tel::span("test.panic.inner");
+        panic!("boom");
+    });
+    assert!(result.is_err());
+    let spans = tel::span::snapshot();
+    let outer = spans.iter().find(|s| s.name == "test.panic.outer").expect("outer recorded");
+    let inner = spans.iter().find(|s| s.name == "test.panic.inner").expect("inner recorded");
+    // both guards ran their Drop during unwind, inner parented to outer
+    assert_eq!(inner.parent, outer.id);
+    assert!(inner.end_ns >= inner.start_ns);
+    // the unwind restored the thread's current span to "none"
+    assert_eq!(tel::span::current_id(), 0);
+    tel::set_enabled_override(None);
+}
+
+#[test]
+fn par_workers_attribute_spans_to_the_spawning_span() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(true));
+    tel::reset();
+    par::set_thread_override(Some(4));
+    let outer_id = {
+        let _outer = tel::span("test.attr.outer");
+        let outer_id = tel::span::current_id();
+        let items: Vec<usize> = (0..256).collect();
+        let _: Vec<()> = par::par_map(&items, |_| {
+            let _worker = tel::span("test.attr.worker");
+        });
+        outer_id
+    };
+    let spans = tel::span::snapshot();
+    let workers: Vec<_> = spans.iter().filter(|s| s.name == "test.attr.worker").collect();
+    assert!(!workers.is_empty());
+    assert!(
+        workers.iter().all(|s| s.parent == outer_id),
+        "worker spans must parent to the spawning span"
+    );
+    par::set_thread_override(None);
+    tel::set_enabled_override(None);
+}
+
+#[test]
+fn disabled_mode_records_nothing() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(false));
+    tel::reset();
+    {
+        let _s = tel::span("test.disabled.span");
+        let c = tel::metrics::counter("test.disabled.counter");
+        c.add(7);
+        let g = tel::metrics::gauge("test.disabled.gauge");
+        g.set(1.5);
+        let h = tel::metrics::histogram("test.disabled.hist");
+        h.record(42);
+        tel::event("test.disabled.event", hmd_util::json::Json::Null);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.sets(), 0);
+        assert_eq!(h.merged().count, 0);
+    }
+    assert!(tel::span::snapshot().iter().all(|s| s.name != "test.disabled.span"));
+    let doc = tel::snapshot_json("disabled");
+    let events = doc.get("events").and_then(|e| e.as_arr()).unwrap();
+    assert!(events.is_empty());
+    tel::set_enabled_override(None);
+}
+
+#[test]
+fn export_writes_schema_valid_artifacts() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(true));
+    tel::reset();
+    {
+        let _a = tel::span("test.export.root");
+        let _b = tel::span("test.export.child");
+        tel::metrics::counter("test.export.counter").add(3);
+    }
+    let dir = std::env::temp_dir().join(format!("hmd_tel_test_{}", std::process::id()));
+    std::env::set_var("HMD_TRACE_OUT", &dir);
+    let (json_path, folded_path) = tel::export::export("unittest").expect("export succeeds");
+    std::env::remove_var("HMD_TRACE_OUT");
+
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let doc = hmd_util::json::Json::parse(&text).unwrap();
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some(tel::export::SCHEMA));
+    assert_eq!(doc.get("name").and_then(|s| s.as_str()), Some("unittest"));
+    let spans = doc.get("spans").and_then(|s| s.as_arr()).unwrap();
+    assert!(spans.len() >= 2);
+    for s in spans {
+        let start = s.get("start_ns").and_then(hmd_util::json::Json::as_f64).unwrap();
+        let end = s.get("end_ns").and_then(hmd_util::json::Json::as_f64).unwrap();
+        assert!(end >= start, "span times must be monotonic");
+    }
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    assert!(
+        folded.contains("test.export.root;test.export.child "),
+        "collapsed stack has the nested path: {folded}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    tel::set_enabled_override(None);
+}
+
+#[test]
+fn render_tree_indents_children() {
+    let _lock = locked();
+    tel::set_enabled_override(Some(true));
+    tel::reset();
+    {
+        let _a = tel::span("test.tree.root");
+        let _b = tel::span("test.tree.leaf");
+    }
+    let tree = tel::render_tree();
+    assert!(tree.contains("test.tree.root"));
+    assert!(tree.contains("  test.tree.leaf"), "child is indented under root:\n{tree}");
+    tel::set_enabled_override(None);
+}

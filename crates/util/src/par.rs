@@ -29,10 +29,46 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 
 /// Process-wide worker-count override; `0` means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// An optional `(capture, install)` pair propagating a caller-defined
+/// thread-context token (e.g. a telemetry span id) into workers: the
+/// spawning thread's `capture()` result is handed to `install(token)`
+/// on every worker before it runs its chunk. Workers are fresh scoped
+/// threads, so without this hook any thread-local context is lost at
+/// the region boundary.
+///
+/// The token is observational only — it must not influence the work —
+/// so installing a hook never affects results or determinism.
+static CONTEXT_HOOK: OnceLock<ContextHook> = OnceLock::new();
+
+/// A `(capture, install)` context-propagation pair (see [`set_context_hook`]).
+type ContextHook = (fn() -> u64, fn(u64));
+
+/// Registers the context-propagation hook. The first registration wins;
+/// later calls are ignored (the hook is installed once per process by
+/// the observability layer).
+pub fn set_context_hook(capture: fn() -> u64, install: fn(u64)) {
+    let _ = CONTEXT_HOOK.set((capture, install));
+}
+
+/// The spawning thread's context token (0 when no hook is installed).
+fn capture_context() -> u64 {
+    CONTEXT_HOOK.get().map_or(0, |(capture, _)| capture())
+}
+
+/// Installs a captured token on a worker thread.
+fn install_context(token: u64) {
+    if token != 0 {
+        if let Some((_, install)) = CONTEXT_HOOK.get() {
+            install(token);
+        }
+    }
+}
 
 thread_local! {
     /// Set while executing inside a worker, so nested parallel regions
@@ -118,6 +154,7 @@ where
         return f(0, items);
     }
     let chunk = chunk_len(n, threads, 1);
+    let context = capture_context();
     let mut partials: Vec<Vec<R>> = thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
@@ -125,6 +162,7 @@ where
             .enumerate()
             .map(|(ci, chunk_items)| {
                 scope.spawn(move || {
+                    install_context(context);
                     IN_WORKER.with(|w| w.set(true));
                     f(ci * chunk, chunk_items)
                 })
@@ -212,10 +250,12 @@ where
         return;
     }
     let chunk = chunk_len(n, threads, granule);
+    let context = capture_context();
     thread::scope(|scope| {
         let f = &f;
         for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
+                install_context(context);
                 IN_WORKER.with(|w| w.set(true));
                 f(ci * chunk, chunk_items);
             });

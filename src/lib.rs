@@ -11,6 +11,7 @@
 //! * [`adversarial`] — LowProFool and baseline attacks;
 //! * [`rl`] — A2C adversarial predictor and UCB constraint controller;
 //! * [`integrity`] — SHA-256 model integrity validation;
+//! * [`telemetry`] — spans, metrics and trace export (`HMD_TRACE=1`);
 //! * [`core`] — the multi-phased framework tying it all together.
 //!
 //! See the [`core`] crate for the top-level entry point
@@ -24,3 +25,4 @@ pub use hmd_nn as nn;
 pub use hmd_rl as rl;
 pub use hmd_sim as sim;
 pub use hmd_tabular as tabular;
+pub use hmd_telemetry as telemetry;

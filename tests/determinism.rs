@@ -118,6 +118,27 @@ fn pipeline_is_thread_count_invariant() {
     assert_eq!(report_1, report_4, "attack report bytes differ across thread counts");
 }
 
+/// Telemetry's determinism contract: it observes, it never perturbs.
+/// The same-seed report must serialize to identical bytes (measured
+/// latencies scrubbed, as above) with tracing forced off and forced on.
+#[test]
+fn tracing_does_not_perturb_the_report() {
+    let run = || {
+        let config = FrameworkConfig::quick(21);
+        Framework::new(config).run().expect("run").to_json().to_string()
+    };
+    hmd::telemetry::set_enabled_override(Some(false));
+    let untraced = scrub_measured_latency(&run());
+    hmd::telemetry::set_enabled_override(Some(true));
+    let traced = scrub_measured_latency(&run());
+    // tracing actually happened in the second run
+    let recorded = hmd::telemetry::span::snapshot();
+    hmd::telemetry::set_enabled_override(None);
+    hmd::telemetry::reset();
+    assert!(recorded.iter().any(|s| s.name == "framework.run"), "no spans recorded");
+    assert_eq!(untraced, traced, "tracing changed the pipeline's output");
+}
+
 #[test]
 fn attack_generation_is_deterministic() {
     let fw = Framework::new(FrameworkConfig::quick(9));

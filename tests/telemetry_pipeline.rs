@@ -1,0 +1,109 @@
+//! End-to-end telemetry coverage: one traced quick-config framework run
+//! must produce spans for every paper phase, hot-loop metrics from the
+//! attack and RL layers, and structured integrity events.
+//!
+//! Lives in its own integration-test binary (own process) so the
+//! process-global enablement override and recorded state are not shared
+//! with unrelated tests.
+
+use hmd::core::{Framework, FrameworkConfig};
+use hmd::telemetry as tel;
+
+#[test]
+fn traced_run_covers_every_pipeline_phase() {
+    tel::set_enabled_override(Some(true));
+    let report = Framework::new(FrameworkConfig::quick(17)).run().expect("run");
+    tel::set_enabled_override(None);
+
+    // Phase spans: corpus → detectors → attack → predictor → controllers.
+    let spans = tel::span::snapshot();
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "framework.run",
+        "framework.prepare_data",
+        "sim.build_corpus",
+        "framework.fit_models",
+        "framework.evaluate_models",
+        "framework.generate_attacks",
+        "attack.lowprofool.generate",
+        "framework.train_predictor",
+        "rl.predictor.train",
+        "framework.evaluate_predictor",
+        "framework.train_controllers",
+        "rl.controller.train.fast_inference",
+        "rl.controller.train.small_footprint",
+        "rl.controller.train.best_detection",
+    ] {
+        assert!(names.contains(&expected), "missing span {expected:?}; got {names:?}");
+    }
+
+    // Nesting: every phase parents under framework.run, and
+    // sim.build_corpus under prepare_data.
+    let root = spans.iter().find(|s| s.name == "framework.run").unwrap();
+    let prepare = spans.iter().find(|s| s.name == "framework.prepare_data").unwrap();
+    assert_eq!(prepare.parent, root.id);
+    let corpus = spans.iter().find(|s| s.name == "sim.build_corpus").unwrap();
+    assert_eq!(corpus.parent, prepare.id);
+
+    // Hot-loop metrics recorded real work.
+    let counters = tel::metrics::counters_snapshot();
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("counter {name} not registered"))
+            .1
+    };
+    assert!(counter("sim.apps") > 0);
+    assert!(counter("sim.windows") > 0);
+    assert!(counter("attack.lowprofool.samples") > 0);
+    assert!(counter("attack.lowprofool.iterations") > counter("attack.lowprofool.samples"));
+    assert!(counter("rl.predictor.episodes") > 0);
+    assert!(counter("rl.a2c.updates") >= counter("rl.predictor.episodes"));
+    let ucb_pulls: u64 = counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("rl.ucb.") && k.ends_with(".pulls"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(ucb_pulls > 0, "UCB arm selections were not counted");
+
+    // Latency histograms carry the same numbers the controller profiles saw.
+    let histograms = tel::metrics::histograms_snapshot();
+    for controller in &report.controllers {
+        let hist_name = format!("ml.latency_ns.{}", controller.selected_model);
+        let (_, snap) = histograms
+            .iter()
+            .find(|(k, _)| *k == hist_name)
+            .unwrap_or_else(|| panic!("histogram {hist_name} not recorded"));
+        assert!(snap.count > 0);
+        let hist_ms = snap.mean() / 1e6;
+        assert!(
+            controller.latency_ms > 0.0 && hist_ms > 0.0,
+            "latency measured through the telemetry clock"
+        );
+    }
+
+    // The integrity monitor published structured drift events for the
+    // attacked and defended scenarios.
+    let doc = tel::snapshot_json("pipeline");
+    let events = doc.get("events").and_then(|e| e.as_arr()).expect("events array");
+    let drift_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("integrity.drift"))
+        .collect();
+    assert!(!drift_events.is_empty(), "no integrity.drift events recorded");
+    for e in &drift_events {
+        let payload = e.get("payload").expect("payload");
+        assert!(payload.get("model").and_then(|m| m.as_str()).is_some());
+        assert!(payload.get("status").and_then(|s| s.as_str()).is_some());
+        assert!(payload.get("tolerance").and_then(hmd_util::json::Json::as_f64).is_some());
+    }
+
+    // Renderers produce non-empty, well-formed views.
+    let tree = tel::render_tree();
+    assert!(tree.contains("framework.run"));
+    let folded = tel::collapsed_stacks();
+    assert!(folded.contains("framework.run;framework.prepare_data;sim.build_corpus "));
+
+    tel::reset();
+}
