@@ -18,11 +18,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== bench smoke (fast mode) =="
 BENCH_SMOKE_DIR="$(mktemp -d)"
 TRACE_DIR="$(mktemp -d)"
-trap 'rm -rf "$BENCH_SMOKE_DIR" "$TRACE_DIR"' EXIT
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$BENCH_SMOKE_DIR" "$TRACE_DIR"' EXIT
 HMD_BENCH_FAST=1 BENCH_OUT_DIR="$BENCH_SMOKE_DIR" \
     cargo bench -p hmd-bench --bench substrates --offline
 cargo run --release --offline -p hmd-bench --bin bench_check -- \
     "$BENCH_SMOKE_DIR/BENCH_substrates.json"
+# Regression gate: the fresh (fast-mode) run against the committed
+# baseline. The tolerance is deliberately generous — it exists to catch
+# order-of-magnitude cliffs, not machine-to-machine scatter.
+cargo run --release --offline -p hmd-bench --bin bench_check -- \
+    --baseline BENCH_substrates.json "$BENCH_SMOKE_DIR/BENCH_substrates.json"
 
 echo "== telemetry gate =="
 # A traced end-to-end run must emit schema-valid artifacts covering the
@@ -47,6 +53,27 @@ sed -E 's/[0-9]+\.[0-9]+ ms/<latency> ms/g' "$TRACE_DIR/traced.out" > "$TRACE_DI
 sed -E 's/[0-9]+\.[0-9]+ ms/<latency> ms/g' "$TRACE_DIR/untraced.out" > "$TRACE_DIR/untraced.scrubbed"
 diff -u "$TRACE_DIR/untraced.scrubbed" "$TRACE_DIR/traced.scrubbed" \
     || { echo "ERROR: tracing perturbed the pipeline output" >&2; exit 1; }
+
+echo "== serving observability gate =="
+# A full serving session on an ephemeral port: train, stream the seeded
+# lull/burst/recovery traffic, then scrape and validate every endpoint.
+# The burst must have produced alert fire+resolve transitions, and the
+# exposition must be well-formed with all serving series present.
+./target/release/serve --samples 600 --seed 7 --linger-secs 300 \
+    > "$TRACE_DIR/serve.out" 2> "$TRACE_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 300); do
+    grep -q '^SERVE_ADDR ' "$TRACE_DIR/serve.out" 2>/dev/null && break
+    kill -0 "$SERVE_PID" 2>/dev/null \
+        || { echo "ERROR: serve exited early:" >&2; cat "$TRACE_DIR/serve.err" >&2; exit 1; }
+    sleep 1
+done
+SERVE_ADDR="$(sed -n 's/^SERVE_ADDR //p' "$TRACE_DIR/serve.out")"
+[ -n "$SERVE_ADDR" ] || { echo "ERROR: serve never printed SERVE_ADDR" >&2; exit 1; }
+cargo run --release --offline -p hmd-bench --bin obs_check -- \
+    "$SERVE_ADDR" --wait-samples 600 --expect-transitions 4 --quit
+wait "$SERVE_PID"
+SERVE_PID=""
 
 echo "== hermeticity: dependency tree must be workspace-only =="
 if cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep -q '[a-z]'; then

@@ -145,6 +145,36 @@ fn bench_telemetry(h: &mut Harness) {
     tel::reset();
 }
 
+fn bench_obs(h: &mut Harness) {
+    use hmd_obs::{SampleRecord, ServingMonitor, WindowConfig, WindowedCounter, WindowedHistogram};
+    // Per-sample monitoring cost: serving records every classified
+    // window, so these are hot-path numbers like the telemetry pair.
+    let cfg = WindowConfig::new(8, 250_000_000);
+    let counter = WindowedCounter::new(cfg);
+    let histogram = WindowedHistogram::new(cfg);
+    let monitor = ServingMonitor::new(cfg);
+    let mut t = 0u64;
+    h.bench("obs/windowed_counter_record", || {
+        t = t.wrapping_add(10_000_000);
+        counter.record_at(black_box(t), 1);
+    });
+    h.bench("obs/windowed_histogram_record", || {
+        t = t.wrapping_add(10_000_000);
+        histogram.record_at(black_box(t), black_box(12_345));
+    });
+    let record = SampleRecord {
+        truth_attack: true,
+        verdict_attack: true,
+        flagged_adversarial: false,
+        latency_ns: 12_345,
+    };
+    h.bench("obs/serving_monitor_record_sample", || {
+        t = t.wrapping_add(10_000_000);
+        monitor.record_at(black_box(t), black_box(record));
+    });
+    h.bench("obs/serving_monitor_snapshot", || black_box(monitor.snapshot_at(black_box(t))));
+}
+
 fn bench_corpus(h: &mut Harness) {
     // `CorpusConfig::threads` feeds the substrate directly, so the
     // 1-vs-all pair comes from the config rather than the override.
@@ -165,6 +195,7 @@ fn main() {
     bench_matmul(&mut h);
     bench_parallel_models(&mut h);
     bench_telemetry(&mut h);
+    bench_obs(&mut h);
     bench_corpus(&mut h);
     h.finish();
 }

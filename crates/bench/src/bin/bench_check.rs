@@ -3,15 +3,35 @@
 //! silently stops emitting results fails the pipeline instead of
 //! shipping an empty speedup table.
 //!
-//! Usage: `bench_check <path/to/BENCH_name.json> [...]`
-//! Exits non-zero with a diagnostic on the first missing/malformed file.
+//! With `--baseline` it additionally diffs a fresh run against a
+//! committed baseline: the delta table is always printed, and a bench
+//! that regresses beyond the noise-aware tolerance fails the gate.
+//!
+//! Usage:
+//!   `bench_check <path/to/BENCH_name.json> [...]`
+//!   `bench_check --baseline <committed.json> <fresh.json>`
+//!
+//! The regression tolerance is a multiple of the committed median
+//! (default 4.0 — CI machines are noisy, the gate is for order-of-
+//! magnitude cliffs, not percent drifts). Override with
+//! `HMD_BENCH_MAX_REGRESSION`. Benches whose committed run was itself
+//! unstable (std dev above half the median) are reported but never
+//! enforced.
+//!
+//! Exits non-zero with a diagnostic on the first failure.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use hmd_util::bench;
+use hmd_util::json::Json;
 
-fn check(path: &Path) -> Result<usize, String> {
+/// Baseline records noisier than this (std dev / median) are excluded
+/// from enforcement: their median carries no signal to regress from.
+const STABILITY_LIMIT: f64 = 0.5;
+const DEFAULT_MAX_REGRESSION: f64 = 4.0;
+
+fn check(path: &Path) -> Result<Json, String> {
     let doc = bench::load(path)?;
     let name = doc
         .get("name")
@@ -33,7 +53,7 @@ fn check(path: &Path) -> Result<usize, String> {
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("{}: bench #{i} missing \"id\"", path.display()))?;
         for field in ["median_ns", "p95_ns", "mean_ns", "min_ns", "max_ns"] {
-            let v = b.get(field).and_then(hmd_util::json::Json::as_f64).ok_or_else(|| {
+            let v = b.get(field).and_then(Json::as_f64).ok_or_else(|| {
                 format!("{}: bench {id:?} missing numeric {field:?}", path.display())
             })?;
             if !v.is_finite() || v < 0.0 {
@@ -44,18 +64,130 @@ fn check(path: &Path) -> Result<usize, String> {
             }
         }
     }
-    Ok(benches.len())
+    Ok(doc)
+}
+
+/// `(id, median_ns, std_dev_ns)` per record, in file order.
+fn records(doc: &Json) -> Vec<(String, f64, f64)> {
+    doc.get("benches")
+        .and_then(Json::as_arr)
+        .map(|benches| {
+            benches
+                .iter()
+                .filter_map(|b| {
+                    Some((
+                        b.get("id")?.as_str()?.to_owned(),
+                        b.get("median_ns").and_then(Json::as_f64)?,
+                        b.get("std_dev_ns").and_then(Json::as_f64).unwrap_or(0.0),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn max_regression() -> Result<f64, String> {
+    match std::env::var("HMD_BENCH_MAX_REGRESSION") {
+        Ok(raw) => {
+            let factor: f64 = raw
+                .parse()
+                .map_err(|_| format!("HMD_BENCH_MAX_REGRESSION is not a number: {raw:?}"))?;
+            if factor <= 1.0 {
+                return Err(format!("HMD_BENCH_MAX_REGRESSION must exceed 1.0, got {factor}"));
+            }
+            Ok(factor)
+        }
+        Err(_) => Ok(DEFAULT_MAX_REGRESSION),
+    }
+}
+
+fn diff(baseline_path: &Path, fresh_path: &Path) -> Result<(), String> {
+    let baseline = check(baseline_path)?;
+    let fresh = check(fresh_path)?;
+    let factor = max_regression()?;
+    let base = records(&baseline);
+    let new: std::collections::HashMap<String, f64> =
+        records(&fresh).into_iter().map(|(id, median, _)| (id, median)).collect();
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict (tolerance {factor:.1}x)",
+        "bench", "base ns", "fresh ns", "delta"
+    );
+    let mut failures = Vec::new();
+    let mut missing = Vec::new();
+    for (id, base_median, base_std) in &base {
+        let Some(&fresh_median) = new.get(id) else {
+            missing.push(id.clone());
+            continue;
+        };
+        let delta_pct = (fresh_median / base_median - 1.0) * 100.0;
+        let unstable = *base_std > STABILITY_LIMIT * base_median;
+        let regressed = fresh_median > base_median * factor;
+        let verdict = if unstable {
+            "noisy-skip"
+        } else if regressed {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{id:<44} {base_median:>12.0} {fresh_median:>12.0} {delta_pct:>+7.1}%  {verdict}");
+        if regressed && !unstable {
+            failures.push(format!(
+                "{id}: median {fresh_median:.0} ns vs baseline {base_median:.0} ns \
+                 (> {factor:.1}x tolerance)"
+            ));
+        }
+    }
+    let mut unbaselined: Vec<&String> =
+        new.keys().filter(|id| !base.iter().any(|(b, _, _)| b == *id)).collect();
+    unbaselined.sort();
+    for id in unbaselined {
+        println!("{id:<44} {:>12} (new — no baseline)", "-");
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{}: benches missing from fresh run: {}",
+            fresh_path.display(),
+            missing.join(", ")
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(format!("performance regression gate:\n  {}", failures.join("\n  ")));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--baseline") {
+        let [_, baseline, fresh] = args.as_slice() else {
+            eprintln!("usage: bench_check --baseline <committed.json> <fresh.json>");
+            return ExitCode::FAILURE;
+        };
+        return match diff(Path::new(baseline), Path::new(fresh)) {
+            Ok(()) => {
+                println!("bench_check: {fresh}: no regressions vs {baseline}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_check: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.is_empty() {
-        eprintln!("usage: bench_check <BENCH_name.json> [...]");
+        eprintln!(
+            "usage: bench_check <BENCH_name.json> [...]\n       \
+             bench_check --baseline <committed.json> <fresh.json>"
+        );
         return ExitCode::FAILURE;
     }
-    for arg in &args {
-        match check(Path::new(arg)) {
-            Ok(n) => println!("bench_check: {arg}: OK ({n} records)"),
+    for arg in args.drain(..) {
+        match check(Path::new(&arg)) {
+            Ok(doc) => {
+                let n = doc.get("benches").and_then(Json::as_arr).map_or(0, |b| b.len());
+                println!("bench_check: {arg}: OK ({n} records)");
+            }
             Err(e) => {
                 eprintln!("bench_check: FAILED: {e}");
                 return ExitCode::FAILURE;

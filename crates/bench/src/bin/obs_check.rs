@@ -1,0 +1,188 @@
+//! CI gate for the serving endpoints: scrapes a running `serve`
+//! process, validates the Prometheus exposition and the health/snapshot
+//! routes, and (optionally) shuts the service down.
+//!
+//! Usage: `obs_check <http://host:port | host:port> [--wait-samples N]
+//! [--expect-transitions N] [--quit]`
+//!
+//! `--wait-samples N` polls `/metrics` until the all-time
+//! `hmd_serving_samples_total` counter reaches `N` (the serve process
+//! streams in the background after printing `SERVE_ADDR`), so the
+//! validation runs against a finished session instead of a cold start.
+//!
+//! Exits non-zero with a diagnostic on the first failure.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use hmd_obs::validate_exposition;
+use hmd_util::json::Json;
+
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+const WAIT_BUDGET: Duration = Duration::from_secs(300);
+
+/// The gauges and counters a serving exposition must carry.
+const REQUIRED_SERIES: &[&str] = &[
+    "hmd_serving_samples_total",
+    "hmd_serving_detection_rate",
+    "hmd_serving_adversarial_flag_rate",
+    "hmd_serving_latency_ns_p50",
+    "hmd_serving_latency_ns_p95",
+    "hmd_serving_latency_ns_p99",
+    "hmd_serving_alert_transitions_total",
+    "hmd_serving_healthy",
+];
+
+struct Args {
+    addr: String,
+    wait_samples: Option<f64>,
+    expect_transitions: u64,
+    quit: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut raw = std::env::args().skip(1);
+    let Some(target) = raw.next() else {
+        return Err(
+            "usage: obs_check <addr> [--wait-samples N] [--expect-transitions N] [--quit]".into()
+        );
+    };
+    let mut args = Args {
+        addr: target.trim_start_matches("http://").trim_end_matches('/').to_owned(),
+        wait_samples: None,
+        expect_transitions: 0,
+        quit: false,
+    };
+    while let Some(flag) = raw.next() {
+        match flag.as_str() {
+            "--wait-samples" => {
+                let v = raw.next().ok_or("--wait-samples needs a value")?;
+                args.wait_samples =
+                    Some(v.parse().map_err(|_| format!("bad --wait-samples: {v:?}"))?);
+            }
+            "--expect-transitions" => {
+                let v = raw.next().ok_or("--expect-transitions needs a value")?;
+                args.expect_transitions =
+                    v.parse().map_err(|_| format!("bad --expect-transitions: {v:?}"))?;
+            }
+            "--quit" => args.quit = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One GET against the service; returns (status, body).
+fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let err = |stage: &str, e: std::io::Error| format!("GET {path}: {stage}: {e}");
+    let mut s = TcpStream::connect(addr).map_err(|e| err("connect", e))?;
+    s.set_read_timeout(Some(SCRAPE_TIMEOUT)).map_err(|e| err("timeout", e))?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: obs-check\r\n\r\n").map_err(|e| err("send", e))?;
+    s.shutdown(Shutdown::Write).map_err(|e| err("half-close", e))?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).map_err(|e| err("read", e))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("GET {path}: malformed status line: {raw:.60?}"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// The value of an unlabeled series on a metrics page.
+fn series_value(page: &str, name: &str) -> Option<f64> {
+    page.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if let Some(target) = args.wait_samples {
+        let deadline = Instant::now() + WAIT_BUDGET;
+        loop {
+            let (status, page) = get(&args.addr, "/metrics")?;
+            if status == 200
+                && series_value(&page, "hmd_serving_samples_total").unwrap_or(0.0) >= target
+            {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(format!("timed out waiting for {target} served samples"));
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    let (status, page) = get(&args.addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}"));
+    }
+    validate_exposition(&page).map_err(|e| format!("/metrics exposition invalid: {e}"))?;
+    for series in REQUIRED_SERIES {
+        if series_value(&page, series).is_none() {
+            return Err(format!("/metrics is missing series {series}"));
+        }
+    }
+    let transitions = series_value(&page, "hmd_serving_alert_transitions_total").unwrap_or(0.0);
+    #[allow(clippy::cast_precision_loss)]
+    if transitions < args.expect_transitions as f64 {
+        return Err(format!(
+            "expected >= {} alert transitions, saw {transitions}",
+            args.expect_transitions
+        ));
+    }
+    println!(
+        "obs_check: /metrics OK ({} lines, {} required series, {transitions} transitions)",
+        page.lines().count(),
+        REQUIRED_SERIES.len()
+    );
+
+    let (status, body) = get(&args.addr, "/healthz")?;
+    if status != 200 && status != 503 {
+        return Err(format!("/healthz returned unexpected {status}: {body:.60}"));
+    }
+    println!("obs_check: /healthz {status} ({})", body.trim());
+
+    let (status, body) = get(&args.addr, "/snapshot.json")?;
+    if status != 200 {
+        return Err(format!("/snapshot.json returned {status}"));
+    }
+    Json::parse(&body).map_err(|e| format!("/snapshot.json is not valid JSON: {e:?}"))?;
+    println!("obs_check: /snapshot.json OK ({} bytes)", body.len());
+
+    let (status, _) = get(&args.addr, "/no-such-route")?;
+    if status != 404 {
+        return Err(format!("unknown route returned {status}, want 404"));
+    }
+
+    if args.quit {
+        let (status, _) = get(&args.addr, "/quit")?;
+        if status != 200 {
+            return Err(format!("/quit returned {status}"));
+        }
+        println!("obs_check: /quit acknowledged");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => {
+                println!("obs_check: PASSED");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs_check: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("obs_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,6 +19,7 @@
 use hmd_adversarial::{attacked_test_set, Attack, AttackResult, LowProFool};
 use hmd_ml::{
     all_models, classical_models, evaluate, measure_latency_ms, BinaryMetrics, Classifier,
+    ConfusionMatrix,
 };
 use hmd_rl::{
     AdversarialPredictor, ConstraintController, ConstraintKind, ModelProfile, PredictorConfig,
@@ -30,6 +31,7 @@ use hmd_tabular::{select_top_features, Class, Dataset, StandardScaler};
 use hmd_util::rng::prelude::*;
 
 use crate::config::{FeatureSelection, FrameworkConfig};
+use crate::detector::AdaptiveDetector;
 use crate::report::{ControllerReport, FrameworkReport, PredictorReport, ScenarioMetrics};
 use crate::CoreError;
 
@@ -428,7 +430,102 @@ impl Framework {
     }
 }
 
+/// Everything a long-running serving process needs, trained once up
+/// front: the engineered-data recipe (selector + scaler), the deployed
+/// [`AdaptiveDetector`], the adversarial pool the traffic generator can
+/// replay attacks from, and a [`MetricMonitor`] whose `"serving"`
+/// baseline records the detector's own composite confusion on the
+/// merged test set.
+#[derive(Debug)]
+pub struct ServingArtifacts {
+    /// The engineered dataset and its scaler/feature recipe.
+    pub bundle: DataBundle,
+    /// The fitted attack and its generated adversarial pools.
+    pub attacks: AttackArtifacts,
+    /// The deployed predictor + controller + model composition.
+    pub detector: AdaptiveDetector,
+    /// Metric monitor with the `"serving"` composite baseline recorded.
+    pub monitor: MetricMonitor,
+    /// The constraint the controller was trained under.
+    pub kind: ConstraintKind,
+}
+
+/// The baseline name [`Framework::prepare_serving`] records the
+/// composite detector under.
+pub const SERVING_BASELINE: &str = "serving";
+
 impl Framework {
+    /// Trains every runtime component and assembles the deployable
+    /// serving artifacts: phases 1–5 as in [`run`](Self::run), then the
+    /// constraint controller for `kind`, an [`AdaptiveDetector`], and a
+    /// metric monitor holding the detector's composite baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any phase.
+    pub fn prepare_serving(&self, kind: ConstraintKind) -> Result<ServingArtifacts, CoreError> {
+        let _span = hmd_telemetry::span("framework.prepare_serving");
+        let bundle = self.prepare_data()?;
+        let attacks = self.generate_attacks(&bundle)?;
+        let merged_train = Self::merged_training_set(&bundle, &attacks)?;
+        let predictor = self.train_predictor(&merged_train)?;
+
+        let train_targets = merged_train.binary_targets(Class::is_attack);
+        let mut models = classical_models();
+        for model in &mut models {
+            model.fit(&merged_train, &train_targets)?;
+        }
+        let probe = merged_train.subset(&(0..merged_train.len().min(64)).collect::<Vec<_>>())?;
+        let profiles: Vec<ModelProfile> = models
+            .iter()
+            .map(|m| {
+                Ok(ModelProfile {
+                    name: m.name().to_owned(),
+                    latency_ms: measure_latency_ms(
+                        m.as_ref(),
+                        &probe,
+                        self.config.latency_repeats,
+                    )?,
+                    size_bytes: m.size_bytes(),
+                })
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let controller = ConstraintController::train(
+            kind,
+            &models,
+            profiles,
+            &merged_train,
+            &train_targets,
+            self.config.controller,
+        )?;
+        let detector =
+            AdaptiveDetector::new(predictor, controller, models, bundle.feature_names.clone())?;
+
+        // Record the composite detector's own confusion as the
+        // integrity baseline, on the *clean* test set — the paper's
+        // monitor records its baseline on legitimate data (scenario a),
+        // and serving-lull traffic is drawn from that distribution. The
+        // serving loop assesses its windowed confusion against exactly
+        // this record, so an adversarial campaign registers as drift.
+        let mut matrix = ConfusionMatrix::default();
+        for (row, class) in &bundle.test {
+            let attack = detector.classify(row)?.is_attack();
+            match (attack, Class::is_attack(class)) {
+                (true, true) => matrix.tp += 1,
+                (true, false) => matrix.fp += 1,
+                (false, true) => matrix.fn_ += 1,
+                (false, false) => matrix.tn += 1,
+            }
+        }
+        // baseline probing quarantined the flagged test rows; discard
+        // them so serving starts with an empty quarantine
+        let _ = detector.take_quarantine();
+        let monitor = MetricMonitor::new(self.config.integrity_tolerance);
+        monitor.record_baseline(SERVING_BASELINE, BinaryMetrics::from_confusion(&matrix));
+
+        Ok(ServingArtifacts { bundle, attacks, detector, monitor, kind })
+    }
+
     /// One round of the run-time feedback loop (Figure 1): merges a
     /// quarantine of predictor-flagged samples (labeled
     /// [`Class::Adversarial`]) into the training database and refits every
@@ -545,6 +642,20 @@ mod tests {
             Framework::retraining_round(&mut models, &mut training, &empty).unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn prepare_serving_records_composite_baseline() {
+        let artifacts = quick().prepare_serving(ConstraintKind::BestDetection).unwrap();
+        let baseline = artifacts.monitor.baseline(SERVING_BASELINE).expect("baseline recorded");
+        assert!((0.0..=1.0).contains(&baseline.accuracy));
+        assert!(baseline.accuracy > 0.5, "composite detector should beat chance");
+        assert_eq!(artifacts.kind, ConstraintKind::BestDetection);
+        // probing must not leave residue in the quarantine
+        assert_eq!(artifacts.detector.quarantined(), 0);
+        // the detector still classifies engineered rows
+        let (row, _) = (&artifacts.bundle.test).into_iter().next().unwrap();
+        let _ = artifacts.detector.classify(row).unwrap();
     }
 
     #[test]

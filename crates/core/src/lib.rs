@@ -40,5 +40,7 @@ mod error;
 pub use config::{FeatureSelection, FrameworkConfig};
 pub use detector::{AdaptiveDetector, Verdict};
 pub use error::CoreError;
-pub use framework::{AttackArtifacts, DataBundle, Framework, PAPER_TOP4};
+pub use framework::{
+    AttackArtifacts, DataBundle, Framework, ServingArtifacts, PAPER_TOP4, SERVING_BASELINE,
+};
 pub use report::{ControllerReport, FrameworkReport, PredictorReport, ScenarioMetrics};

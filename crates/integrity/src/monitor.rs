@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use std::sync::{PoisonError, RwLock};
 
-use hmd_ml::BinaryMetrics;
+use hmd_ml::{BinaryMetrics, ConfusionMatrix};
 use hmd_util::impl_to_json;
 use hmd_util::json::{Json, ToJson};
 
@@ -202,6 +202,15 @@ impl MetricMonitor {
         event
     }
 
+    /// [`assess`](Self::assess) from raw confusion counts — the form an
+    /// online serving window produces. Derives accuracy/F1/rates from
+    /// the matrix; AUC is unavailable without scores and left at `0.0`,
+    /// which the assessment never compares.
+    #[must_use]
+    pub fn assess_confusion(&self, name: &str, matrix: &ConfusionMatrix) -> DriftEvent {
+        self.assess(name, &BinaryMetrics::from_confusion(matrix))
+    }
+
     /// The stored baseline for a model, if any.
     #[must_use]
     pub fn baseline(&self, name: &str) -> Option<BinaryMetrics> {
@@ -289,6 +298,31 @@ mod tests {
         assert!(json.contains("\"status\":\"drifted\""), "{json}");
         assert!(json.contains("\"tolerance\":"), "{json}");
         assert!(json.contains("\"deviations\":"), "{json}");
+    }
+
+    #[test]
+    fn confusion_assessment_matches_derived_metrics() {
+        let m = MetricMonitor::new(0.05);
+        // baseline: perfect detector
+        m.record_baseline(
+            "RF",
+            BinaryMetrics {
+                accuracy: 1.0,
+                f1: 1.0,
+                tpr: 1.0,
+                fpr: 0.0,
+                tnr: 1.0,
+                fnr: 0.0,
+                ..Default::default()
+            },
+        );
+        let perfect = ConfusionMatrix { tp: 10, fp: 0, tn: 10, fn_: 0 };
+        assert!(m.assess_confusion("RF", &perfect).is_stable());
+        // half the attacks slip through: tpr collapses to 0.5
+        let degraded = ConfusionMatrix { tp: 5, fp: 0, tn: 10, fn_: 5 };
+        let event = m.assess_confusion("RF", &degraded);
+        assert!(!event.is_stable());
+        assert!(event.deviations().iter().any(|d| d.metric == "tpr"));
     }
 
     #[test]

@@ -148,10 +148,17 @@ impl BinaryMetrics {
         assert_eq!(scores.len(), actual.len(), "scores/truth length mismatch");
         let predicted: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
         let cm = ConfusionMatrix::from_predictions(&predicted, actual);
+        Self { auc: roc_auc(scores, actual), ..Self::from_confusion(&cm) }
+    }
+
+    /// The suite derivable from a bare confusion matrix. AUC needs
+    /// scores, which a matrix does not carry, and is left at `0.0`.
+    #[must_use]
+    pub fn from_confusion(cm: &ConfusionMatrix) -> Self {
         Self {
             accuracy: cm.accuracy(),
             f1: cm.f1(),
-            auc: roc_auc(scores, actual),
+            auc: 0.0,
             tpr: cm.tpr(),
             fpr: cm.fpr(),
             fnr: cm.fnr(),

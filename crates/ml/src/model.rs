@@ -156,7 +156,16 @@ pub fn measure_latency_ms(
             }
         }
     }
-    Ok(local.merged().mean() / 1e6)
+    let merged = local.merged();
+    if hmd_telemetry::enabled() {
+        // quantile summary of this measurement run, in milliseconds —
+        // the registry histogram above keeps the full distribution
+        for (q, v) in [("p50", merged.p50()), ("p95", merged.p95()), ("p99", merged.p99())] {
+            hmd_telemetry::metrics::gauge(&format!("ml.latency_ms_{q}.{}", model.name()))
+                .set(v / 1e6);
+        }
+    }
+    Ok(merged.mean() / 1e6)
 }
 
 #[cfg(test)]

@@ -1,0 +1,354 @@
+//! The SLO rule engine: declarative ceilings/floors evaluated against a
+//! [`MonitorSnapshot`], with firing/resolved state tracking.
+//!
+//! Rules are evaluated on demand (the serving loop calls
+//! [`AlertEngine::evaluate`] every N samples); each evaluation returns
+//! the *transitions* — rules that just fired or just resolved — so the
+//! caller can log exactly the edges, while [`AlertEngine::firing`]
+//! exposes the level state for `/healthz` and `/metrics`. Nothing here
+//! reads a clock or an RNG: alert behaviour is a pure function of the
+//! snapshot sequence, hence deterministic under stream time.
+
+use std::fmt;
+
+use hmd_util::json::Json;
+
+use crate::monitor::MonitorSnapshot;
+
+/// How bad a breached rule is. `Critical` rules drive `/healthz`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth a look; does not flip health.
+    Warning,
+    /// Service-level failure; `/healthz` reports 503 while firing.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Warning => "warning",
+            Self::Critical => "critical",
+        })
+    }
+}
+
+/// What a rule watches. Thresholds live in the variant.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum SloKind {
+    /// Windowed latency p95 must stay below this many milliseconds.
+    LatencyP95CeilingMs(f64),
+    /// Windowed detection rate must stay at or above this fraction.
+    /// Undefined (no attacks in window) counts as healthy.
+    DetectionRateFloor(f64),
+    /// Windowed adversarial-flag rate must stay at or below this
+    /// fraction — a spike means the predictor sees an attack campaign.
+    FlagRateCeiling(f64),
+    /// At most this many integrity drift events per window.
+    DriftCeiling(u64),
+}
+
+/// One declarative SLO rule.
+#[derive(Clone, Debug)]
+pub struct SloRule {
+    /// Stable identifier; becomes the `rule` label on `/metrics`.
+    pub name: &'static str,
+    /// The watched quantity and its threshold.
+    pub kind: SloKind,
+    /// Firing severity.
+    pub severity: Severity,
+    /// Evaluate only once the window holds at least this many samples —
+    /// keeps a cold window from flapping rate rules.
+    pub min_samples: u64,
+}
+
+impl SloRule {
+    /// Whether the rule is breached by `snap`. `None` means "not
+    /// evaluable yet" (below `min_samples`, or the rate is undefined),
+    /// which never changes the firing state.
+    fn breached(&self, snap: &MonitorSnapshot) -> Option<bool> {
+        if snap.samples < self.min_samples {
+            return None;
+        }
+        match self.kind {
+            SloKind::LatencyP95CeilingMs(ceiling) => {
+                (snap.latency.count > 0).then(|| snap.latency_p95_ms() > ceiling)
+            }
+            SloKind::DetectionRateFloor(floor) => snap.detection_rate().map(|r| r < floor),
+            SloKind::FlagRateCeiling(ceiling) => snap.flag_rate().map(|r| r > ceiling),
+            SloKind::DriftCeiling(max) => Some(snap.drifts > max),
+        }
+    }
+
+    /// The rule's threshold as a number, for exposition.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        match self.kind {
+            SloKind::LatencyP95CeilingMs(v)
+            | SloKind::DetectionRateFloor(v)
+            | SloKind::FlagRateCeiling(v) => v,
+            #[allow(clippy::cast_precision_loss)]
+            SloKind::DriftCeiling(v) => v as f64,
+        }
+    }
+}
+
+/// The paper-motivated default rule set: inference must stay fast
+/// (FastInference constraint), detection must not collapse, and both an
+/// adversarial-flag spike and repeated integrity drift demand attention.
+#[must_use]
+pub fn default_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "latency_p95",
+            kind: SloKind::LatencyP95CeilingMs(10.0),
+            severity: Severity::Warning,
+            min_samples: 20,
+        },
+        SloRule {
+            name: "detection_rate",
+            kind: SloKind::DetectionRateFloor(0.5),
+            severity: Severity::Critical,
+            min_samples: 20,
+        },
+        SloRule {
+            name: "adversarial_flag_rate",
+            kind: SloKind::FlagRateCeiling(0.35),
+            severity: Severity::Critical,
+            min_samples: 20,
+        },
+        SloRule {
+            name: "integrity_drift",
+            kind: SloKind::DriftCeiling(0),
+            severity: Severity::Critical,
+            min_samples: 1,
+        },
+    ]
+}
+
+/// An edge in a rule's firing state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertTransition {
+    /// The rule that transitioned.
+    pub rule: &'static str,
+    /// Its severity.
+    pub severity: Severity,
+    /// `true` = just fired, `false` = just resolved.
+    pub firing: bool,
+    /// Stream time of the evaluation that flipped it.
+    pub t_ns: u64,
+    /// The observed value that drove the flip (rule-dependent units).
+    pub observed: f64,
+}
+
+/// Evaluates a rule set against monitor snapshots and tracks state.
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<SloRule>,
+    firing: Vec<bool>,
+    transitions: u64,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`, all initially resolved.
+    #[must_use]
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let n = rules.len();
+        Self { rules, firing: vec![false; n], transitions: 0 }
+    }
+
+    /// The rule set, in evaluation order.
+    #[must_use]
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule against `snap` and returns only the edges.
+    /// Fire/resolve edges also emit a gated `obs.alert` telemetry event,
+    /// so alert history lands in the exported `TELEMETRY_*.json`.
+    pub fn evaluate(&mut self, snap: &MonitorSnapshot) -> Vec<AlertTransition> {
+        let mut edges = Vec::new();
+        for (rule, firing) in self.rules.iter().zip(self.firing.iter_mut()) {
+            let Some(breached) = rule.breached(snap) else { continue };
+            if breached == *firing {
+                continue;
+            }
+            *firing = breached;
+            self.transitions += 1;
+            let observed = observed_value(rule, snap);
+            if hmd_telemetry::enabled() {
+                hmd_telemetry::event(
+                    "obs.alert",
+                    Json::Obj(vec![
+                        ("rule".into(), Json::Str(rule.name.into())),
+                        ("severity".into(), Json::Str(rule.severity.to_string())),
+                        ("firing".into(), Json::Bool(breached)),
+                        ("observed".into(), Json::Float(observed)),
+                        ("threshold".into(), Json::Float(rule.threshold())),
+                    ]),
+                );
+            }
+            edges.push(AlertTransition {
+                rule: rule.name,
+                severity: rule.severity,
+                firing: breached,
+                t_ns: snap.t_ns,
+                observed,
+            });
+        }
+        edges
+    }
+
+    /// The rules currently firing, paired with their severities.
+    pub fn firing(&self) -> impl Iterator<Item = &SloRule> + '_ {
+        self.rules.iter().zip(&self.firing).filter_map(|(r, &f)| f.then_some(r))
+    }
+
+    /// Whether rule `i` is currently firing (evaluation order).
+    #[must_use]
+    pub fn is_firing(&self, i: usize) -> bool {
+        self.firing.get(i).copied().unwrap_or(false)
+    }
+
+    /// Healthy ⇔ no `Critical` rule is firing.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.firing().all(|r| r.severity < Severity::Critical)
+    }
+
+    /// Total fire+resolve edges since construction.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+/// The snapshot quantity a rule watches, in the rule's own units.
+fn observed_value(rule: &SloRule, snap: &MonitorSnapshot) -> f64 {
+    match rule.kind {
+        SloKind::LatencyP95CeilingMs(_) => snap.latency_p95_ms(),
+        SloKind::DetectionRateFloor(_) => snap.detection_rate().unwrap_or(f64::NAN),
+        SloKind::FlagRateCeiling(_) => snap.flag_rate().unwrap_or(f64::NAN),
+        #[allow(clippy::cast_precision_loss)]
+        SloKind::DriftCeiling(_) => snap.drifts as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{SampleRecord, ServingMonitor};
+    use crate::window::WindowConfig;
+
+    const MS: u64 = 1_000_000;
+
+    fn flag_rule(ceiling: f64, min_samples: u64) -> SloRule {
+        SloRule {
+            name: "flags",
+            kind: SloKind::FlagRateCeiling(ceiling),
+            severity: Severity::Critical,
+            min_samples,
+        }
+    }
+
+    fn feed(m: &ServingMonitor, t: u64, n: usize, flagged: bool) {
+        for _ in 0..n {
+            m.record_at(
+                t,
+                SampleRecord {
+                    truth_attack: flagged,
+                    verdict_attack: flagged,
+                    flagged_adversarial: flagged,
+                    latency_ns: 1000,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn fires_once_then_resolves_once_as_window_slides() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10 * MS));
+        let mut e = AlertEngine::new(vec![flag_rule(0.5, 1)]);
+
+        feed(&m, 0, 10, false);
+        assert!(e.evaluate(&m.snapshot_at(0)).is_empty());
+        assert!(e.healthy());
+
+        // adversarial burst: flag rate → ~1.0 inside the window
+        feed(&m, 10 * MS, 30, true);
+        let edges = e.evaluate(&m.snapshot_at(10 * MS));
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].firing);
+        assert!(!e.healthy());
+
+        // steady state while still breached: no new edge
+        assert!(e.evaluate(&m.snapshot_at(15 * MS)).is_empty());
+        assert!(!e.healthy());
+
+        // burst slides out of the window; benign traffic resumes
+        feed(&m, 60 * MS, 10, false);
+        let edges = e.evaluate(&m.snapshot_at(60 * MS));
+        assert_eq!(edges.len(), 1);
+        assert!(!edges[0].firing);
+        assert!(e.healthy());
+        assert_eq!(e.transitions(), 2);
+    }
+
+    #[test]
+    fn min_samples_gate_prevents_cold_start_flapping() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10 * MS));
+        let mut e = AlertEngine::new(vec![flag_rule(0.5, 20)]);
+        // 5 flagged samples = 100% flag rate, but below min_samples
+        feed(&m, 0, 5, true);
+        assert!(e.evaluate(&m.snapshot_at(0)).is_empty());
+        assert!(e.healthy());
+    }
+
+    #[test]
+    fn undefined_rates_leave_state_untouched() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10 * MS));
+        let mut e = AlertEngine::new(vec![SloRule {
+            name: "det",
+            kind: SloKind::DetectionRateFloor(0.9),
+            severity: Severity::Critical,
+            min_samples: 1,
+        }]);
+        // benign-only traffic: detection rate undefined → no edge either way
+        feed(&m, 0, 50, false);
+        assert!(e.evaluate(&m.snapshot_at(0)).is_empty());
+        assert!(e.healthy());
+    }
+
+    #[test]
+    fn warning_rules_do_not_flip_health() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10 * MS));
+        let mut e = AlertEngine::new(vec![SloRule {
+            name: "lat",
+            kind: SloKind::LatencyP95CeilingMs(0.000_1),
+            severity: Severity::Warning,
+            min_samples: 1,
+        }]);
+        feed(&m, 0, 10, false); // 1000 ns latency > 0.0001 ms ceiling
+        let edges = e.evaluate(&m.snapshot_at(0));
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].firing);
+        assert!(e.healthy(), "warning severity must not flip /healthz");
+    }
+
+    #[test]
+    fn drift_ceiling_fires_on_any_drift_and_resolves() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10 * MS));
+        let mut e = AlertEngine::new(vec![SloRule {
+            name: "drift",
+            kind: SloKind::DriftCeiling(0),
+            severity: Severity::Critical,
+            min_samples: 0,
+        }]);
+        m.record_drift_at(0);
+        assert_eq!(e.evaluate(&m.snapshot_at(0)).len(), 1);
+        assert!(!e.healthy());
+        // window slides; drift event expires
+        assert_eq!(e.evaluate(&m.snapshot_at(60 * MS)).len(), 1);
+        assert!(e.healthy());
+    }
+}

@@ -1,0 +1,206 @@
+//! Composes the `/metrics` page: the process-wide telemetry registry
+//! (via [`hmd_telemetry::prometheus_text`]) plus the serving-specific
+//! windowed series and alert states, all in Prometheus text exposition
+//! format 0.0.4.
+
+use std::fmt::Write as _;
+
+use hmd_telemetry::{prometheus_histogram, prometheus_text};
+
+use crate::alert::AlertEngine;
+use crate::monitor::MonitorSnapshot;
+
+fn gauge(out: &mut String, name: &str, help: &str, v: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, v: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+/// Renders the full `/metrics` page for one monitor snapshot and the
+/// current alert state. Undefined rates (empty window) are exposed as
+/// `NaN`, the Prometheus convention for "no data".
+#[must_use]
+pub fn render_metrics(snap: &MonitorSnapshot, engine: &AlertEngine) -> String {
+    let mut out = String::with_capacity(4096);
+
+    counter(
+        &mut out,
+        "hmd_serving_samples_total",
+        "HPC windows classified since startup.",
+        snap.total_samples,
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_window_samples",
+        "HPC windows classified inside the sliding window.",
+        to_f64(snap.samples),
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_detection_rate",
+        "Windowed detected-attack fraction over ground-truth attacks.",
+        snap.detection_rate().unwrap_or(f64::NAN),
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_adversarial_flag_rate",
+        "Windowed adversarial-predictor flag fraction over samples.",
+        snap.flag_rate().unwrap_or(f64::NAN),
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_accuracy",
+        "Windowed classification accuracy.",
+        snap.accuracy().unwrap_or(f64::NAN),
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_false_positive_rate",
+        "Windowed false-positive fraction over benign samples.",
+        snap.false_positive_rate().unwrap_or(f64::NAN),
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_drift_events_window",
+        "Integrity drift events inside the sliding window.",
+        to_f64(snap.drifts),
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP hmd_serving_latency_ns Windowed inference latency distribution (ns)."
+    );
+    out.push_str(&prometheus_histogram("hmd_serving_latency_ns", &snap.latency));
+
+    let _ = writeln!(out, "# HELP hmd_serving_alert_firing Alert state per SLO rule (1 = firing).");
+    let _ = writeln!(out, "# TYPE hmd_serving_alert_firing gauge");
+    for (i, rule) in engine.rules().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "hmd_serving_alert_firing{{rule=\"{}\",severity=\"{}\"}} {}",
+            rule.name,
+            rule.severity,
+            u8::from(engine.is_firing(i))
+        );
+    }
+    counter(
+        &mut out,
+        "hmd_serving_alert_transitions_total",
+        "Fire and resolve edges across all SLO rules since startup.",
+        engine.transitions(),
+    );
+    gauge(
+        &mut out,
+        "hmd_serving_healthy",
+        "1 while no critical SLO rule is firing.",
+        f64::from(u8::from(engine.healthy())),
+    );
+
+    // the process-wide registry last: detector/predictor/pipeline
+    // counters and the per-model latency histograms live there
+    out.push_str(&prometheus_text());
+    out
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(v: u64) -> f64 {
+    v as f64
+}
+
+/// Validates a text-exposition page the way `obs_check` and the tests
+/// do: every non-comment line must be `name[{labels}] value` with a
+/// legal metric name and a numeric (or `+Inf`/`-Inf`/`NaN`) value.
+///
+/// # Errors
+///
+/// Returns the first malformed line verbatim.
+pub fn validate_exposition(page: &str) -> Result<(), String> {
+    for line in page.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').ok_or_else(|| format!("no value: {line}"))?;
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty() || hmd_telemetry::prometheus_name(name) != name {
+            return Err(format!("bad metric name: {line}"));
+        }
+        if name_end < series.len() && !series.ends_with('}') {
+            return Err(format!("unterminated labels: {line}"));
+        }
+        let numeric = value == "+Inf"
+            || value == "-Inf"
+            || value == "NaN"
+            || value.parse::<f64>().is_ok();
+        if !numeric {
+            return Err(format!("bad sample value: {line}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::default_rules;
+    use crate::monitor::{SampleRecord, ServingMonitor};
+    use crate::window::WindowConfig;
+
+    fn page() -> String {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10_000_000));
+        for i in 0..50 {
+            m.record_at(
+                0,
+                SampleRecord {
+                    truth_attack: i % 2 == 0,
+                    verdict_attack: i % 2 == 0,
+                    flagged_adversarial: i % 10 == 0,
+                    latency_ns: 1000 + i,
+                },
+            );
+        }
+        let engine = AlertEngine::new(default_rules());
+        render_metrics(&m.snapshot_at(0), &engine)
+    }
+
+    #[test]
+    fn page_contains_required_series_and_validates() {
+        let p = page();
+        for needle in [
+            "hmd_serving_detection_rate 1",
+            "hmd_serving_adversarial_flag_rate 0.1",
+            "hmd_serving_latency_ns_bucket{le=\"+Inf\"} 50",
+            "hmd_serving_latency_ns_p95",
+            "hmd_serving_alert_firing{rule=\"detection_rate\",severity=\"critical\"} 0",
+            "hmd_serving_healthy 1",
+            "hmd_serving_samples_total 50",
+        ] {
+            assert!(p.contains(needle), "missing {needle:?} in:\n{p}");
+        }
+        validate_exposition(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_window_rates_render_as_nan() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10_000_000));
+        let engine = AlertEngine::new(default_rules());
+        let p = render_metrics(&m.snapshot_at(0), &engine);
+        assert!(p.contains("hmd_serving_detection_rate NaN"), "{p}");
+        validate_exposition(&p).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("no_value_here").is_err());
+        assert!(validate_exposition("1bad_name 3").is_err());
+        assert!(validate_exposition("x{le=\"1\" 3").is_err());
+        assert!(validate_exposition("x three").is_err());
+        assert!(validate_exposition("x 3\n\n# comment\ny NaN").is_ok());
+    }
+}

@@ -1,0 +1,305 @@
+//! A deliberately small blocking HTTP/1.1 server on `std::net` — just
+//! enough protocol for a scrape endpoint: parse the request line of a
+//! `GET`, dispatch on the path, write one response, close. No keep-alive,
+//! no TLS, no threads-per-connection pool beyond one accept loop thread;
+//! a Prometheus scraper or `curl` is the entire intended client set.
+//!
+//! Robustness over features: bounded request-line size (414 past the
+//! limit), read timeouts so a stalled client cannot wedge the accept
+//! loop, 400 on garbage, 405 on non-GET, 404 on unknown paths.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest accepted request line (method + path + version).
+const MAX_REQUEST_LINE: usize = 4096;
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed request: the method and path of the request line. Headers
+/// are read and discarded; bodies are not supported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/metrics`.
+    pub path: String,
+}
+
+/// A response the handler hands back.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` plain-text response.
+    #[must_use]
+    pub fn ok(body: String) -> Self {
+        Self { status: 200, content_type: "text/plain; version=0.0.4; charset=utf-8", body }
+    }
+
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: String) -> Self {
+        Self { status: 200, content_type: "application/json", body }
+    }
+
+    /// A plain-text response with an explicit status.
+    #[must_use]
+    pub fn status(status: u16, body: &str) -> Self {
+        Self { status, content_type: "text/plain; charset=utf-8", body: body.to_owned() }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        414 => "URI Too Long",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// The request handler. Runs on the accept-loop thread; must be quick.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// The running server: one accept-loop thread plus a shutdown flag.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn start(addr: &str, handler: Arc<Handler>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("hmd-obs-http".into())
+            .spawn(move || accept_loop(&listener, &stop_flag, handler.as_ref()))?;
+        Ok(Self { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // the loop blocks in accept(); a self-connection wakes it up so
+        // it can observe the flag
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handler: &Handler) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // a misbehaving client only costs one bounded connection, never
+        // the accept loop itself
+        let _ = serve_conn(stream, handler);
+    }
+}
+
+/// Reads one request line (bounded), parses it, and writes the
+/// handler's response — or the matching 4xx for protocol violations.
+fn serve_conn(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(&stream);
+
+    let response = match read_request(&mut reader) {
+        Ok(req) if req.method != "GET" => Response::status(405, "only GET is supported\n"),
+        Ok(req) => handler(&req),
+        Err(status) => Response::status(status, "bad request\n"),
+    };
+    write_response(&stream, &response)?;
+    // drain (bounded) whatever the client is still sending before the
+    // socket closes — closing with unread data pending triggers an RST
+    // that can destroy the error response in flight
+    let mut scratch = [0u8; 1024];
+    for _ in 0..64 {
+        match std::io::Read::read(&mut reader, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Parses the request line and drains headers. Returns the HTTP status
+/// to answer with on protocol errors.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, u16> {
+    let line = read_line_bounded(reader, MAX_REQUEST_LINE)?;
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(400),
+    };
+    if !version.starts_with("HTTP/1.") || !path.starts_with('/') {
+        return Err(400);
+    }
+    // drain headers up to a modest total so the socket can be answered
+    for _ in 0..128 {
+        let header = read_line_bounded(reader, MAX_REQUEST_LINE)?;
+        if header.is_empty() {
+            break;
+        }
+    }
+    Ok(Request { method: method.to_owned(), path: path.to_owned() })
+}
+
+/// Reads one CRLF- (or LF-) terminated line of at most `max` bytes.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, u16> {
+    let mut line = Vec::with_capacity(128);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => return Err(400), // peer closed mid-line
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                if line.len() >= max {
+                    return Err(414);
+                }
+                line.push(byte[0]);
+            }
+            Err(_) => return Err(400), // timeout or reset
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| 400)
+}
+
+fn write_response(mut stream: &TcpStream, r: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        reason(r.status),
+        r.content_type,
+        r.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Read;
+
+    use super::*;
+
+    fn start_echo() -> HttpServer {
+        HttpServer::start(
+            "127.0.0.1:0",
+            Arc::new(|req: &Request| match req.path.as_str() {
+                "/hello" => Response::ok("world\n".into()),
+                "/json" => Response::json("{\"ok\":true}".into()),
+                _ => Response::status(404, "not found\n"),
+            }),
+        )
+        .expect("bind")
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw.as_bytes()).expect("write");
+        // half-close so a truncated request reads as EOF, not a stall
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_known_paths_with_content_length() {
+        let server = start_echo();
+        let reply = roundtrip(server.addr(), "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Content-Length: 6\r\n"), "{reply}");
+        assert!(reply.ends_with("world\n"), "{reply}");
+        let reply = roundtrip(server.addr(), "GET /json HTTP/1.0\r\n\r\n");
+        assert!(reply.contains("application/json"), "{reply}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let server = start_echo();
+        let reply = roundtrip(server.addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+        let reply = roundtrip(server.addr(), "POST /hello HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 405"), "{reply}");
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let server = start_echo();
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(2 * MAX_REQUEST_LINE));
+        let reply = roundtrip(server.addr(), &long);
+        assert!(reply.starts_with("HTTP/1.1 414"), "{reply}");
+    }
+
+    #[test]
+    fn partial_and_malformed_requests_get_400() {
+        let server = start_echo();
+        // truncated: client closes before finishing the request line
+        let reply = roundtrip(server.addr(), "GET /hel");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = roundtrip(server.addr(), "NONSENSE\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = roundtrip(server.addr(), "GET nopath HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    #[test]
+    fn shutdown_joins_and_releases_the_port() {
+        let mut server = start_echo();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown(); // idempotent
+        // the port is free again
+        let _rebind = TcpListener::bind(addr).expect("port released");
+    }
+}

@@ -1,0 +1,41 @@
+//! Online-serving observability for the HMD pipeline.
+//!
+//! `hmd-telemetry` answers "where did the wall-clock go" for batch
+//! runs; this crate answers the *operational* questions a long-running
+//! detection service gets asked: what is the detection rate **right
+//! now**, is the adversarial predictor flagging a campaign, is inference
+//! latency inside its SLO, did the integrity monitor see drift — and it
+//! answers them over HTTP so a Prometheus scraper (or `curl`) can watch.
+//!
+//! Four layers, bottom up:
+//!
+//! * [`window`] — fixed-slot ring-buffer aggregators ([`WindowedCounter`],
+//!   [`WindowedHistogram`]) driven by explicit *stream time*, so window
+//!   expiry is deterministic and allocation-free on the record path.
+//! * [`monitor`] — [`ServingMonitor`] bundles the windowed confusion
+//!   counters, flag/drift counters and the latency histogram;
+//!   [`MonitorSnapshot`] is the plain-value view everything reads.
+//! * [`alert`] — [`AlertEngine`] evaluates declarative [`SloRule`]s
+//!   against snapshots and tracks firing/resolved edges;
+//!   [`default_rules`] encodes the paper-motivated SLOs (fast inference,
+//!   detection floor, adversarial-spike ceiling, zero drift).
+//! * [`expo`] + [`http`] — Prometheus text exposition composed from the
+//!   process-wide telemetry registry plus the windowed series, served by
+//!   a zero-dependency blocking [`HttpServer`].
+//!
+//! The same determinism contract as `hmd-telemetry` applies: nothing in
+//! this crate feeds back into the computation it observes, so serving
+//! with monitoring on or off produces byte-identical verdicts
+//! (`tests/determinism.rs` in the workspace root pins this).
+
+pub mod alert;
+pub mod expo;
+pub mod http;
+pub mod monitor;
+pub mod window;
+
+pub use alert::{default_rules, AlertEngine, AlertTransition, Severity, SloKind, SloRule};
+pub use expo::{render_metrics, validate_exposition};
+pub use http::{HttpServer, Request, Response};
+pub use monitor::{MonitorSnapshot, SampleRecord, ServingMonitor};
+pub use window::{WindowConfig, WindowedCounter, WindowedHistogram};

@@ -1,0 +1,243 @@
+//! The serving monitor: one struct owning every windowed aggregate the
+//! online detection service needs — sample/confusion counters, the
+//! adversarial-flag counter, integrity-drift counter, and the latency
+//! histogram — with a plain-value snapshot for the alert engine and the
+//! `/metrics` endpoint.
+
+use hmd_telemetry::metrics::HistogramSnapshot;
+
+use crate::window::{WindowConfig, WindowedCounter, WindowedHistogram};
+
+/// One classified sample, as the hot loop reports it. `Copy` and flat:
+/// building it costs nothing.
+#[derive(Copy, Clone, Debug)]
+pub struct SampleRecord {
+    /// Ground truth: the sample is malicious (malware or adversarial).
+    pub truth_attack: bool,
+    /// The detector's verdict flagged it as an attack (any kind).
+    pub verdict_attack: bool,
+    /// The adversarial predictor specifically flagged it.
+    pub flagged_adversarial: bool,
+    /// Wall-clock inference latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// A point-in-time view of the windowed aggregates. All fields are
+/// plain values ([`HistogramSnapshot`] is a fixed array), so taking a
+/// snapshot allocates nothing.
+#[derive(Clone, Debug)]
+pub struct MonitorSnapshot {
+    /// Stream time the snapshot was taken at.
+    pub t_ns: u64,
+    /// Samples in the window.
+    pub samples: u64,
+    /// True positives in the window (attack, detected).
+    pub tp: u64,
+    /// False negatives in the window (attack, missed).
+    pub fn_: u64,
+    /// False positives in the window (benign, flagged).
+    pub fp: u64,
+    /// True negatives in the window (benign, passed).
+    pub tn: u64,
+    /// Predictor adversarial flags in the window.
+    pub flags: u64,
+    /// Integrity drift events in the window.
+    pub drifts: u64,
+    /// Windowed latency distribution.
+    pub latency: HistogramSnapshot,
+    /// All-time processed samples.
+    pub total_samples: u64,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    (den > 0).then(|| num as f64 / den as f64)
+}
+
+impl MonitorSnapshot {
+    /// Windowed detection rate: detected attacks over ground-truth
+    /// attacks. `None` while the window holds no attacks.
+    #[must_use]
+    pub fn detection_rate(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Windowed adversarial-flag rate: predictor flags over samples.
+    /// `None` while the window is empty.
+    #[must_use]
+    pub fn flag_rate(&self) -> Option<f64> {
+        ratio(self.flags, self.samples)
+    }
+
+    /// Windowed accuracy over the full confusion window. `None` while
+    /// the window is empty.
+    #[must_use]
+    pub fn accuracy(&self) -> Option<f64> {
+        ratio(self.tp + self.tn, self.samples)
+    }
+
+    /// Windowed false-positive rate. `None` without benign samples.
+    #[must_use]
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Windowed latency p95 in milliseconds.
+    #[must_use]
+    pub fn latency_p95_ms(&self) -> f64 {
+        self.latency.p95() / 1e6
+    }
+}
+
+/// The aggregate the serving loop writes into and everything else reads
+/// from. Single writer (the serving loop), concurrent readers (HTTP
+/// scrape threads, the alert evaluator) — see the [`crate::window`]
+/// contract.
+#[derive(Debug)]
+pub struct ServingMonitor {
+    samples: WindowedCounter,
+    tp: WindowedCounter,
+    fn_: WindowedCounter,
+    fp: WindowedCounter,
+    tn: WindowedCounter,
+    flags: WindowedCounter,
+    drifts: WindowedCounter,
+    latency: WindowedHistogram,
+}
+
+impl ServingMonitor {
+    /// A monitor whose windows all share `cfg`.
+    #[must_use]
+    pub fn new(cfg: WindowConfig) -> Self {
+        Self {
+            samples: WindowedCounter::new(cfg),
+            tp: WindowedCounter::new(cfg),
+            fn_: WindowedCounter::new(cfg),
+            fp: WindowedCounter::new(cfg),
+            tn: WindowedCounter::new(cfg),
+            flags: WindowedCounter::new(cfg),
+            drifts: WindowedCounter::new(cfg),
+            latency: WindowedHistogram::new(cfg),
+        }
+    }
+
+    /// The shared window shape.
+    #[must_use]
+    pub fn window(&self) -> WindowConfig {
+        self.samples.config()
+    }
+
+    /// Records one classified sample at stream time `now_ns`. The hot
+    /// path: a fixed number of relaxed atomic operations, no allocation.
+    #[inline]
+    pub fn record_at(&self, now_ns: u64, s: SampleRecord) {
+        self.samples.inc_at(now_ns);
+        match (s.truth_attack, s.verdict_attack) {
+            (true, true) => self.tp.inc_at(now_ns),
+            (true, false) => self.fn_.inc_at(now_ns),
+            (false, true) => self.fp.inc_at(now_ns),
+            (false, false) => self.tn.inc_at(now_ns),
+        }
+        if s.flagged_adversarial {
+            self.flags.inc_at(now_ns);
+        }
+        self.latency.record_at(now_ns, s.latency_ns);
+    }
+
+    /// Records one integrity drift event at stream time `now_ns`.
+    pub fn record_drift_at(&self, now_ns: u64) {
+        self.drifts.inc_at(now_ns);
+    }
+
+    /// The windowed aggregates as seen from stream time `now_ns`.
+    #[must_use]
+    pub fn snapshot_at(&self, now_ns: u64) -> MonitorSnapshot {
+        MonitorSnapshot {
+            t_ns: now_ns,
+            samples: self.samples.sum_at(now_ns),
+            tp: self.tp.sum_at(now_ns),
+            fn_: self.fn_.sum_at(now_ns),
+            fp: self.fp.sum_at(now_ns),
+            tn: self.tn.sum_at(now_ns),
+            flags: self.flags.sum_at(now_ns),
+            drifts: self.drifts.sum_at(now_ns),
+            latency: self.latency.merged_at(now_ns),
+            total_samples: self.samples.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn monitor() -> ServingMonitor {
+        ServingMonitor::new(WindowConfig::new(4, 10 * MS))
+    }
+
+    fn rec(truth: bool, verdict: bool, flagged: bool) -> SampleRecord {
+        SampleRecord {
+            truth_attack: truth,
+            verdict_attack: verdict,
+            flagged_adversarial: flagged,
+            latency_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn rates_track_the_confusion_window() {
+        let m = monitor();
+        let t = 5 * MS;
+        m.record_at(t, rec(true, true, false)); // tp
+        m.record_at(t, rec(true, false, false)); // fn
+        m.record_at(t, rec(false, false, false)); // tn
+        m.record_at(t, rec(false, true, true)); // fp, flagged
+        let s = m.snapshot_at(t);
+        assert_eq!(s.samples, 4);
+        assert_eq!((s.tp, s.fn_, s.fp, s.tn), (1, 1, 1, 1));
+        assert!((s.detection_rate().unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.flag_rate().unwrap() - 0.25).abs() < 1e-12);
+        assert!((s.accuracy().unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.false_positive_rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_rates_are_none_not_zero() {
+        let m = monitor();
+        let s = m.snapshot_at(0);
+        assert_eq!(s.detection_rate(), None);
+        assert_eq!(s.flag_rate(), None);
+        m.record_at(0, rec(false, false, false));
+        // samples but no attacks: flag rate defined, detection rate not
+        let s = m.snapshot_at(0);
+        assert_eq!(s.detection_rate(), None);
+        assert_eq!(s.flag_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn old_phase_slides_out_of_the_rates() {
+        let m = monitor();
+        for _ in 0..10 {
+            m.record_at(0, rec(true, false, false)); // missed attacks
+        }
+        assert_eq!(m.snapshot_at(0).detection_rate(), Some(0.0));
+        for _ in 0..10 {
+            m.record_at(45 * MS, rec(true, true, false));
+        }
+        // epoch 4: the misses at epoch 0 expired
+        let s = m.snapshot_at(45 * MS);
+        assert_eq!(s.detection_rate(), Some(1.0));
+        assert_eq!(s.total_samples, 20);
+    }
+
+    #[test]
+    fn drift_events_are_windowed() {
+        let m = monitor();
+        m.record_drift_at(0);
+        m.record_drift_at(0);
+        assert_eq!(m.snapshot_at(0).drifts, 2);
+        assert_eq!(m.snapshot_at(60 * MS).drifts, 0);
+    }
+}

@@ -219,7 +219,14 @@ impl AdversarialPredictor {
     /// Panics if `row` has the wrong width.
     #[must_use]
     pub fn is_adversarial(&self, row: &[f64]) -> bool {
-        self.feedback_reward(row) > self.threshold
+        let flagged = self.feedback_reward(row) > self.threshold;
+        if hmd_telemetry::enabled() {
+            hmd_telemetry::metrics::counter("rl.predictor.decisions").inc();
+            if flagged {
+                hmd_telemetry::metrics::counter("rl.predictor.flags").inc();
+            }
+        }
+        flagged
     }
 
     /// The decision threshold in use.

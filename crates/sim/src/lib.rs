@@ -44,6 +44,7 @@ pub mod dist;
 pub mod events;
 pub mod machine;
 pub mod perf;
+pub mod stream;
 pub mod trace;
 pub mod workload;
 
@@ -52,5 +53,6 @@ pub use corpus::{build_corpus, Corpus, CorpusConfig};
 pub use events::{CounterSet, HpcEvent};
 pub use machine::{Machine, MachineConfig, RunningWorkload};
 pub use perf::{PerfConfig, PerfSampler, Sample};
+pub use stream::{StreamConfig, StreamedWindow, WindowStream};
 pub use trace::{ExecutionTrace, TraceWindow};
 pub use workload::{WorkloadClass, WorkloadProfile};

@@ -121,6 +121,93 @@ pub fn snapshot_json(name: &str) -> Json {
     ])
 }
 
+/// Maps a dotted metric name onto the Prometheus exposition charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every invalid byte becomes `_`, and a
+/// leading digit gets a `_` prefix.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push(if valid { c } else { '_' });
+        }
+    }
+    out
+}
+
+/// Formats a float the way the exposition format expects (`+Inf`,
+/// `-Inf`, `NaN` spellings for non-finite values).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (version 0.0.4): counters as `<name>_total`, gauges as plain
+/// samples, histograms as cumulative `_bucket{le="…"}` series plus
+/// `_sum`/`_count` and `_p50`/`_p95`/`_p99` quantile-estimate gauges
+/// (log-linear interpolation inside the log₂ buckets, see
+/// [`HistogramSnapshot::quantile`]). Metric order is the registry's
+/// (name-sorted), so the page is deterministic for a given state.
+#[must_use]
+pub fn prometheus_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in metrics::counters_snapshot() {
+        let n = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        let _ = writeln!(out, "{n}_total {value}");
+    }
+    for (name, value, _) in metrics::gauges_snapshot() {
+        let n = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(value));
+    }
+    for (name, snapshot) in metrics::histograms_snapshot() {
+        let n = prometheus_name(&name);
+        out.push_str(&prometheus_histogram(&n, &snapshot));
+    }
+    out
+}
+
+/// The exposition lines of one histogram snapshot under base name `n`
+/// (already sanitized). Shared by the registry page above and by
+/// windowed views that render snapshots of their own.
+#[must_use]
+pub fn prometheus_histogram(n: &str, s: &HistogramSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let mut cum = 0u64;
+    for (b, &count) in s.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        cum += count;
+        let (_, hi) = bucket_bounds(b);
+        let _ = writeln!(out, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", s.count);
+    let _ = writeln!(out, "{n}_sum {}", s.sum);
+    let _ = writeln!(out, "{n}_count {}", s.count);
+    for (q, v) in [("p50", s.p50()), ("p95", s.p95()), ("p99", s.p99())] {
+        let _ = writeln!(out, "# TYPE {n}_{q} gauge");
+        let _ = writeln!(out, "{n}_{q} {}", prom_f64(v));
+    }
+    out
+}
+
 /// Children of each span, in start order, plus the roots.
 fn span_tree(spans: &[SpanRecord]) -> (Vec<usize>, Vec<Vec<usize>>) {
     let index_of: std::collections::HashMap<u64, usize> =
@@ -252,5 +339,58 @@ pub fn maybe_export(name: &str) -> Option<PathBuf> {
             eprintln!("hmd-telemetry: export {name:?} failed: {e}");
             None
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("ml.latency_ns.RF"), "ml_latency_ns_RF");
+        assert_eq!(prometheus_name("rl.ucb.fast-inference"), "rl_ucb_fast_inference");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_quantiled() {
+        let h = Histogram::standalone();
+        for v in [1u64, 2, 2, 700] {
+            h.record(v);
+        }
+        let text = prometheus_histogram("t_hist", &h.merged());
+        assert!(text.contains("# TYPE t_hist histogram"), "{text}");
+        assert!(text.contains("t_hist_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("t_hist_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("t_hist_bucket{le=\"1024\"} 4"), "{text}");
+        assert!(text.contains("t_hist_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("t_hist_sum 705"), "{text}");
+        assert!(text.contains("t_hist_count 4"), "{text}");
+        assert!(text.contains("t_hist_p50 "), "{text}");
+        assert!(text.contains("t_hist_p99 "), "{text}");
+    }
+
+    #[test]
+    fn registry_page_renders_registered_metrics() {
+        // Sibling tests flip the global enablement override, so retry
+        // each gated write until it lands instead of assuming the
+        // override stays put for the whole test body.
+        let c = metrics::counter("export.test.page_counter");
+        let g = metrics::gauge("export.test.page_gauge");
+        let h = metrics::histogram("export.test.page_hist");
+        while c.value() == 0 || g.value() != 1.25 || h.merged().count == 0 {
+            crate::set_enabled_override(Some(true));
+            c.inc();
+            g.set(1.25);
+            h.record(9);
+        }
+        let text = prometheus_text();
+        crate::set_enabled_override(None);
+        assert!(text.contains("# TYPE export_test_page_counter_total counter"), "{text}");
+        assert!(text.contains("export_test_page_gauge 1.25"), "{text}");
+        assert!(text.contains("export_test_page_hist_bucket{le=\"+Inf\"} "), "{text}");
     }
 }

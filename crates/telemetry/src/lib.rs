@@ -53,7 +53,10 @@ pub mod span;
 mod events;
 
 pub use events::{event, EventRecord};
-pub use export::{collapsed_stacks, maybe_export, render_tree, snapshot_json};
+pub use export::{
+    collapsed_stacks, maybe_export, prometheus_histogram, prometheus_name, prometheus_text,
+    render_tree, snapshot_json,
+};
 pub use span::{span, SpanGuard, SpanRecord};
 
 /// Process-wide enablement override: `-1` = none (consult the

@@ -210,6 +210,70 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated quantile `q ∈ [0, 1]` of the recorded values.
+    ///
+    /// The estimator walks the cumulative bucket counts to the bucket
+    /// holding the target rank and interpolates *log-linearly* inside
+    /// it: bucket `b ≥ 1` covers `[2^(b−1), 2^b)`, so a fraction `f`
+    /// into the bucket maps to `lo · (hi/lo)^f` — the natural
+    /// interpolation for exponentially sized buckets (linear in the
+    /// exponent). Bucket 0 (zeros) yields `0.0`; the open-ended last
+    /// bucket is treated as one octave wide. Returns `0.0` for an
+    /// empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            if cum as f64 >= target {
+                if b == 0 {
+                    return 0.0;
+                }
+                let (lo, hi) = bucket_bounds(b);
+                let lo = lo as f64;
+                // the last bucket is open-ended; interpolate as if it
+                // spanned one octave like every other bucket
+                let hi = if b == BUCKETS - 1 { lo * 2.0 } else { hi as f64 };
+                let frac = ((target - (cum - n) as f64) / n as f64).clamp(0.0, 1.0);
+                return lo * (hi / lo).powf(frac);
+            }
+        }
+        // unreachable in practice (cum == count >= target at the last
+        // non-empty bucket), kept as a defensive fall-through
+        0.0
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 impl Histogram {
@@ -412,6 +476,73 @@ mod tests {
         assert_eq!(s.buckets[0], 1);
         assert_eq!(s.buckets[bucket_index(2_500_000)], 1);
         assert_eq!(s.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantile_interpolates_log_linearly_within_a_bucket() {
+        // 100 observations, all in bucket [64, 128): the estimator sees
+        // only the bucket, so quantile(f) must equal 64 · 2^f exactly.
+        let h = Histogram::standalone();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.merged();
+        assert!((s.quantile(0.0) - 64.0).abs() < 1e-9);
+        assert!((s.p50() - 64.0 * 2f64.powf(0.5)).abs() < 1e-9);
+        assert!((s.quantile(1.0) - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_log_uniform_data() {
+        // one observation per octave: 1, 2, 4, …, 512 (buckets 1..=10).
+        // Rank q·10 lands exactly on bucket edges: p50 → top of the
+        // 5th non-empty bucket, i.e. 32.
+        let h = Histogram::standalone();
+        for k in 0..10u32 {
+            h.record(1u64 << k);
+        }
+        let s = h.merged();
+        assert!((s.p50() - 32.0).abs() < 1e-9, "p50 {}", s.p50());
+        assert!((s.quantile(0.1) - 2.0).abs() < 1e-9);
+        assert!((s.quantile(1.0) - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_bounded() {
+        let h = Histogram::standalone();
+        for v in [3u64, 17, 17, 90, 250, 1023, 5000, 70_000] {
+            h.record(v);
+        }
+        let s = h.merged();
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        assert!(p50 <= p95 && p95 <= p99, "p50 {p50}, p95 {p95}, p99 {p99}");
+        // p99 of 8 samples lives in the top sample's bucket [65536, 131072)
+        assert!((65536.0..=131072.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn quantile_handles_zeros_empty_and_saturation() {
+        let empty = Histogram::standalone().merged();
+        assert_eq!(empty.p50(), 0.0);
+        let h = Histogram::standalone();
+        h.record(0);
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.merged();
+        assert_eq!(s.quantile(0.3), 0.0); // inside the zero bucket
+        // top rank falls in the saturating last bucket; estimate stays
+        // within its (synthetic one-octave) bounds
+        let top = s.quantile(1.0);
+        let (lo, _) = bucket_bounds(BUCKETS - 1);
+        #[allow(clippy::cast_precision_loss)]
+        let lo = lo as f64;
+        assert!(top >= lo && top <= lo * 2.0, "top {top}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = Histogram::standalone().merged().quantile(1.5);
     }
 
     #[test]

@@ -12,17 +12,24 @@
 //! * [`rl`] — A2C adversarial predictor and UCB constraint controller;
 //! * [`integrity`] — SHA-256 model integrity validation;
 //! * [`telemetry`] — spans, metrics and trace export (`HMD_TRACE=1`);
+//! * [`obs`] — sliding-window serving observability, SLO alerts and
+//!   the `/metrics` HTTP endpoint;
 //! * [`core`] — the multi-phased framework tying it all together.
 //!
-//! See the [`core`] crate for the top-level entry point
-//! (`core::Framework`).
+//! See the [`core`] crate for the batch entry point (`core::Framework`)
+//! and [`serving`] for the long-running streaming mode.
+
+pub mod serving;
 
 pub use hmd_adversarial as adversarial;
 pub use hmd_core as core;
 pub use hmd_integrity as integrity;
 pub use hmd_ml as ml;
 pub use hmd_nn as nn;
+pub use hmd_obs as obs;
 pub use hmd_rl as rl;
 pub use hmd_sim as sim;
 pub use hmd_tabular as tabular;
 pub use hmd_telemetry as telemetry;
+
+pub use serving::{Burst, ServingConfig, ServingOutcome, ServingSession};

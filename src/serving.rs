@@ -1,0 +1,502 @@
+//! The long-running serving mode: a streaming detection session that
+//! pushes simulated HPC traffic through the deployed
+//! [`AdaptiveDetector`](hmd_core::AdaptiveDetector) while the `hmd-obs`
+//! subsystem watches.
+//!
+//! One [`ServingSession`] owns the whole loop:
+//!
+//! * traffic — a seeded [`WindowStream`] of benign/malware windows, plus
+//!   adversarial samples replayed from the LowProFool pool at a
+//!   configurable (optionally bursting) rate;
+//! * detection — feature-select + scale into a reusable scratch row,
+//!   classify, time the inference;
+//! * monitoring — record into the sliding-window [`ServingMonitor`],
+//!   periodically evaluate the [`AlertEngine`] and run the integrity
+//!   monitor over the windowed confusion, escalating unstable
+//!   assessments into windowed drift events;
+//! * exposure — an optional [`HttpServer`] answering `/metrics`,
+//!   `/healthz`, `/snapshot.json` and `/quit`.
+//!
+//! # Stream time
+//!
+//! The session advances a logical clock by [`ServingConfig::tick_ns`]
+//! per sample (default: the paper's 10 ms sampling period) and drives
+//! every window and alert off that clock. Alert firing and resolution
+//! are therefore a pure function of the seed — testable without sleeps.
+//!
+//! # Determinism
+//!
+//! Monitoring observes and never feeds back: the verdict stream (pinned
+//! by [`ServingOutcome::digest`]) is byte-identical with monitoring on
+//! or off, traced or untraced — `tests/determinism.rs` asserts it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use hmd_core::framework::SERVING_BASELINE;
+use hmd_core::{CoreError, Framework, FrameworkConfig, ServingArtifacts, Verdict};
+use hmd_ml::{BinaryMetrics, ConfusionMatrix};
+use hmd_obs::{
+    default_rules, render_metrics, AlertEngine, HttpServer, MonitorSnapshot, Response,
+    SampleRecord, ServingMonitor, SloRule, WindowConfig,
+};
+use hmd_rl::ConstraintKind;
+use hmd_sim::{StreamConfig, WindowStream};
+use hmd_telemetry::clock;
+use hmd_util::rng::prelude::*;
+
+/// Quarantined samples are discarded past this count — a serving loop
+/// cannot grow memory without bound while waiting for the next offline
+/// retraining round.
+const QUARANTINE_CAP: usize = 512;
+
+/// A phase of elevated adversarial traffic.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Burst {
+    /// Burst start, as a fraction of the sample budget.
+    pub start: f64,
+    /// Burst end (exclusive), as a fraction of the sample budget.
+    pub end: f64,
+    /// Probability that a burst-phase sample is adversarial.
+    pub adv_fraction: f64,
+}
+
+/// Configuration of one serving session.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Training-time configuration (corpus, attack, predictor, …).
+    pub framework: FrameworkConfig,
+    /// The constraint the controller deploys under.
+    /// [`ConstraintKind::BestDetection`] is latency-independent and
+    /// therefore fully deterministic.
+    pub kind: ConstraintKind,
+    /// Samples to stream before the session completes.
+    pub samples: usize,
+    /// Malware fraction of the *streamed* (non-adversarial) traffic.
+    pub malware_fraction: f64,
+    /// Baseline probability that a sample is drawn from the adversarial
+    /// pool instead of the stream.
+    pub adv_fraction: f64,
+    /// Optional adversarial burst phase.
+    pub burst: Option<Burst>,
+    /// Stream-time nanoseconds per sample (paper: 10 ms per window).
+    pub tick_ns: u64,
+    /// Sliding-window shape for all monitor aggregates.
+    pub window: WindowConfig,
+    /// SLO rule set for the alert engine.
+    pub rules: Vec<SloRule>,
+    /// Evaluate alerts every this many samples.
+    pub evaluate_every: usize,
+    /// Run the integrity monitor over the windowed confusion every this
+    /// many samples.
+    pub integrity_every: usize,
+    /// Record into the monitor at all. Exists so the determinism suite
+    /// can prove monitoring never perturbs detection.
+    pub monitoring: bool,
+    /// Clean windows classified before serving starts to re-record the
+    /// integrity baseline on *deployment* traffic (the paper's
+    /// scenario (a): baseline on legitimate data). The offline test
+    /// split is tiny and optimistic — windows of one app instance land
+    /// on both sides of the split — so a baseline taken there drifts
+    /// against healthy live traffic. Zero keeps the offline baseline.
+    pub calibration_samples: usize,
+    /// Seed for traffic interleaving (stream + adversarial injection).
+    pub stream_seed: u64,
+}
+
+impl ServingConfig {
+    /// A small, fast session: quick corpus, 600 samples at 10 ms ticks,
+    /// a 100%-adversarial burst across the middle third, 2 s sliding
+    /// window. The burst deterministically fires the
+    /// `adversarial_flag_rate` SLO and the window slide resolves it.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        let mut framework = FrameworkConfig::quick(seed);
+        // serving assesses windowed confusion on live traffic, whose mix
+        // differs from the offline merged test set; only flag collapse
+        framework.integrity_tolerance = 0.25;
+        Self {
+            framework,
+            kind: ConstraintKind::BestDetection,
+            samples: 600,
+            malware_fraction: 0.3,
+            adv_fraction: 0.02,
+            // early enough that the drift/flag-rate windows slide clean
+            // again before the budget runs out — the demo must recover
+            burst: Some(Burst { start: 0.3, end: 0.5, adv_fraction: 1.0 }),
+            tick_ns: 10_000_000, // 10 ms, the paper's sampling period
+            window: WindowConfig::new(8, 250_000_000), // 2 s / 200 samples
+            rules: default_rules(),
+            evaluate_every: 20,
+            integrity_every: 100,
+            monitoring: true,
+            calibration_samples: 200,
+            stream_seed: seed ^ 0x5452_4146, // "TRAF"
+        }
+    }
+}
+
+/// The state shared between the serving loop and HTTP scrape threads.
+#[derive(Debug)]
+struct Shared {
+    monitor: ServingMonitor,
+    engine: Mutex<AlertEngine>,
+    /// Current stream time, published per sample.
+    t_ns: AtomicU64,
+    /// Set by the `/quit` endpoint.
+    quit: AtomicBool,
+}
+
+impl Shared {
+    fn engine(&self) -> std::sync::MutexGuard<'_, AlertEngine> {
+        // evaluate() can only panic on a poisoned telemetry sink, never
+        // mid-update of the firing vector
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Summary of a finished (or in-flight) session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServingOutcome {
+    /// Samples classified so far.
+    pub processed: usize,
+    /// FNV-1a digest over the verdict sequence — the determinism pin.
+    pub digest: u64,
+    /// Verdict counts: `[adversarial, malware, benign]`.
+    pub verdicts: [u64; 3],
+    /// Alert fire+resolve edges so far.
+    pub alert_transitions: u64,
+    /// Whether `/healthz` would currently report healthy.
+    pub healthy: bool,
+    /// Integrity drift events escalated into the window.
+    pub drift_events: u64,
+}
+
+/// A streaming detection session. See the module docs.
+#[derive(Debug)]
+pub struct ServingSession {
+    cfg: ServingConfig,
+    artifacts: ServingArtifacts,
+    stream: WindowStream,
+    /// Indices of the engineered features within the raw stream row.
+    feature_idx: Vec<usize>,
+    /// Reusable engineered-row buffer — the hot loop never allocates it.
+    scratch: Vec<f64>,
+    rng: StdRng,
+    adv_cursor: usize,
+    processed: usize,
+    digest: u64,
+    verdicts: [u64; 3],
+    drift_events: u64,
+    shared: Arc<Shared>,
+    http: Option<HttpServer>,
+}
+
+impl ServingSession {
+    /// Trains all components ([`Framework::prepare_serving`]) and
+    /// assembles the session. Expensive: runs phases 1–5.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures; rejects a stream that does not
+    /// carry every engineered feature.
+    pub fn start(cfg: ServingConfig) -> Result<Self, CoreError> {
+        let _span = hmd_telemetry::span("serving.start");
+        let artifacts = Framework::new(cfg.framework.clone()).prepare_serving(cfg.kind)?;
+        let stream = WindowStream::new(StreamConfig {
+            malware_fraction: cfg.malware_fraction,
+            windows_per_app: cfg.framework.corpus.windows_per_app,
+            warmup_windows: cfg.framework.corpus.warmup_windows,
+            machine: cfg.framework.corpus.machine,
+            perf: cfg.framework.corpus.perf.clone(),
+            isolation: cfg.framework.corpus.isolation,
+            seed: cfg.stream_seed,
+        });
+        let stream_names = stream.feature_names();
+        let feature_idx: Vec<usize> = artifacts
+            .bundle
+            .feature_names
+            .iter()
+            .map(|want| stream_names.iter().position(|n| n == want))
+            .collect::<Option<_>>()
+            .ok_or(CoreError::MissingFeature)?;
+        let scratch = vec![0.0; feature_idx.len()];
+        if cfg.calibration_samples > 0 {
+            calibrate(&artifacts, &cfg, &feature_idx)?;
+        }
+        let shared = Arc::new(Shared {
+            monitor: ServingMonitor::new(cfg.window),
+            engine: Mutex::new(AlertEngine::new(cfg.rules.clone())),
+            t_ns: AtomicU64::new(0),
+            quit: AtomicBool::new(false),
+        });
+        let rng = StdRng::seed_from_u64(cfg.stream_seed ^ 0x414456); // "ADV"
+        Ok(Self {
+            cfg,
+            artifacts,
+            stream,
+            feature_idx,
+            scratch,
+            rng,
+            adv_cursor: 0,
+            processed: 0,
+            digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+            verdicts: [0; 3],
+            drift_events: 0,
+            shared,
+            http: None,
+        })
+    }
+
+    /// Starts the HTTP endpoint (use port 0 for an ephemeral port) and
+    /// returns the bound address. Routes: `/metrics`, `/healthz`,
+    /// `/snapshot.json`, `/quit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_http(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let shared = Arc::clone(&self.shared);
+        let server = HttpServer::start(
+            addr,
+            Arc::new(move |req: &hmd_obs::Request| handle(&shared, &req.path)),
+        )?;
+        let bound = server.addr();
+        self.http = Some(server);
+        Ok(bound)
+    }
+
+    /// Classifies one sample; returns `false` once the budget is spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector failures.
+    pub fn step(&mut self) -> Result<bool, CoreError> {
+        if self.processed >= self.cfg.samples {
+            return Ok(false);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let progress = self.processed as f64 / self.cfg.samples as f64;
+        let adv_p = match self.cfg.burst {
+            Some(b) if (b.start..b.end).contains(&progress) => b.adv_fraction,
+            _ => self.cfg.adv_fraction,
+        };
+        // drawn unconditionally so traffic is independent of pool size
+        let inject = self.rng.random::<f64>() < adv_p;
+        let pool = &self.artifacts.attacks.train_result.adversarial;
+        let truth_attack = if inject && !pool.is_empty() {
+            let row = pool.row(self.adv_cursor % pool.len())?;
+            self.adv_cursor += 1;
+            self.scratch.copy_from_slice(row);
+            true
+        } else {
+            let w = self.stream.next().expect("stream is endless");
+            for (dst, &src) in self.scratch.iter_mut().zip(&self.feature_idx) {
+                *dst = w.values[src];
+            }
+            self.artifacts.bundle.scaler.transform_row(&mut self.scratch)?;
+            w.is_malware()
+        };
+
+        let t0 = clock::now_ns();
+        let verdict = self.artifacts.detector.classify(&self.scratch)?;
+        let latency_ns = clock::now_ns().saturating_sub(t0);
+
+        self.digest = fnv1a_step(self.digest, verdict);
+        self.verdicts[verdict_slot(verdict)] += 1;
+        self.processed += 1;
+        if self.artifacts.detector.quarantined() >= QUARANTINE_CAP {
+            // between offline retraining rounds the buffer must stay
+            // bounded; dropping oldest-first would need order we don't
+            // track, so drop the whole batch
+            let _ = self.artifacts.detector.take_quarantine();
+        }
+
+        let now_ns = self.processed as u64 * self.cfg.tick_ns;
+        self.shared.t_ns.store(now_ns, Ordering::Relaxed);
+        if self.cfg.monitoring {
+            self.observe(now_ns, truth_attack, verdict, latency_ns);
+        }
+        Ok(true)
+    }
+
+    /// The monitoring half of one step: window recording, periodic
+    /// alert evaluation, periodic integrity assessment with drift
+    /// escalation.
+    fn observe(&mut self, now_ns: u64, truth_attack: bool, verdict: Verdict, latency_ns: u64) {
+        self.shared.monitor.record_at(
+            now_ns,
+            SampleRecord {
+                truth_attack,
+                verdict_attack: verdict.is_attack(),
+                flagged_adversarial: verdict == Verdict::AdversarialAttack,
+                latency_ns,
+            },
+        );
+        if self.processed.is_multiple_of(self.cfg.evaluate_every) {
+            let snap = self.shared.monitor.snapshot_at(now_ns);
+            let _ = self.shared.engine().evaluate(&snap);
+        }
+        if self.processed.is_multiple_of(self.cfg.integrity_every) {
+            let snap = self.shared.monitor.snapshot_at(now_ns);
+            let matrix = confusion_of(&snap);
+            if matrix.total() > 0 {
+                let event =
+                    self.artifacts.monitor.assess_confusion(SERVING_BASELINE, &matrix);
+                if !event.is_stable() {
+                    // escalate: metric drift becomes a windowed event the
+                    // DriftCeiling SLO rule can fire on
+                    self.shared.monitor.record_drift_at(now_ns);
+                    self.drift_events += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs [`step`](Self::step) until the budget is spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector failures.
+    pub fn run_to_completion(&mut self) -> Result<ServingOutcome, CoreError> {
+        while self.step()? {}
+        Ok(self.outcome())
+    }
+
+    /// The session summary so far.
+    #[must_use]
+    pub fn outcome(&self) -> ServingOutcome {
+        let engine = self.shared.engine();
+        ServingOutcome {
+            processed: self.processed,
+            digest: self.digest,
+            verdicts: self.verdicts,
+            alert_transitions: engine.transitions(),
+            healthy: engine.healthy(),
+            drift_events: self.drift_events,
+        }
+    }
+
+    /// The monitor's current windowed view.
+    #[must_use]
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        self.shared.monitor.snapshot_at(self.shared.t_ns.load(Ordering::Relaxed))
+    }
+
+    /// Whether a client requested shutdown via `/quit`.
+    #[must_use]
+    pub fn quit_requested(&self) -> bool {
+        self.shared.quit.load(Ordering::SeqCst)
+    }
+
+    /// The bound HTTP address, when serving.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(HttpServer::addr)
+    }
+
+    /// The trained artifacts (detector, monitor, attack pool).
+    #[must_use]
+    pub fn artifacts(&self) -> &ServingArtifacts {
+        &self.artifacts
+    }
+
+    /// Stops the HTTP endpoint (if running). Called on drop as well.
+    pub fn finish(&mut self) {
+        if let Some(mut server) = self.http.take() {
+            server.shutdown();
+        }
+    }
+}
+
+/// Re-records the integrity baseline from the detector's confusion on a
+/// held-out slice of clean deployment traffic (separate stream seed, so
+/// serving replays none of it). The offline test-split baseline is
+/// optimistic — with multiple windows per app instance the split leaks —
+/// and would keep the drift alert latched on healthy live traffic.
+fn calibrate(
+    artifacts: &ServingArtifacts,
+    cfg: &ServingConfig,
+    feature_idx: &[usize],
+) -> Result<(), CoreError> {
+    let _span = hmd_telemetry::span("serving.calibrate");
+    let mut stream = WindowStream::new(StreamConfig {
+        malware_fraction: cfg.malware_fraction,
+        windows_per_app: cfg.framework.corpus.windows_per_app,
+        warmup_windows: cfg.framework.corpus.warmup_windows,
+        machine: cfg.framework.corpus.machine,
+        perf: cfg.framework.corpus.perf.clone(),
+        isolation: cfg.framework.corpus.isolation,
+        seed: cfg.stream_seed ^ 0x43414C, // "CAL"
+    });
+    let mut row = vec![0.0; feature_idx.len()];
+    let mut matrix = ConfusionMatrix::default();
+    for _ in 0..cfg.calibration_samples {
+        let w = stream.next().expect("stream is endless");
+        for (dst, &src) in row.iter_mut().zip(feature_idx) {
+            *dst = w.values[src];
+        }
+        artifacts.bundle.scaler.transform_row(&mut row)?;
+        let attack = artifacts.detector.classify(&row)?.is_attack();
+        match (w.is_malware(), attack) {
+            (true, true) => matrix.tp += 1,
+            (true, false) => matrix.fn_ += 1,
+            (false, true) => matrix.fp += 1,
+            (false, false) => matrix.tn += 1,
+        }
+    }
+    let _ = artifacts.detector.take_quarantine();
+    artifacts
+        .monitor
+        .record_baseline(SERVING_BASELINE, BinaryMetrics::from_confusion(&matrix));
+    Ok(())
+}
+
+/// HTTP dispatch for the serving endpoints.
+fn handle(shared: &Shared, path: &str) -> Response {
+    match path {
+        "/metrics" => {
+            let snap = shared.monitor.snapshot_at(shared.t_ns.load(Ordering::Relaxed));
+            let page = render_metrics(&snap, &shared.engine());
+            Response::ok(page)
+        }
+        "/healthz" => {
+            if shared.engine().healthy() {
+                Response::status(200, "ok\n")
+            } else {
+                Response::status(503, "critical SLO firing\n")
+            }
+        }
+        "/snapshot.json" => {
+            Response::json(hmd_telemetry::snapshot_json("serving").to_string())
+        }
+        "/quit" => {
+            shared.quit.store(true, Ordering::SeqCst);
+            Response::status(200, "shutting down\n")
+        }
+        _ => Response::status(404, "unknown path\n"),
+    }
+}
+
+/// The windowed confusion matrix of a snapshot.
+#[allow(clippy::cast_possible_truncation)]
+fn confusion_of(snap: &MonitorSnapshot) -> ConfusionMatrix {
+    ConfusionMatrix {
+        tp: snap.tp as usize,
+        fp: snap.fp as usize,
+        tn: snap.tn as usize,
+        fn_: snap.fn_ as usize,
+    }
+}
+
+fn verdict_slot(v: Verdict) -> usize {
+    match v {
+        Verdict::AdversarialAttack => 0,
+        Verdict::MalwareAttack => 1,
+        Verdict::Benign => 2,
+    }
+}
+
+fn fnv1a_step(hash: u64, v: Verdict) -> u64 {
+    (hash ^ (verdict_slot(v) as u64 + 1)).wrapping_mul(0x0100_0000_01b3)
+}

@@ -150,3 +150,26 @@ fn attack_generation_is_deterministic() {
     assert_eq!(a.adversarial, b.adversarial);
     assert_eq!(a.outcomes, b.outcomes);
 }
+
+/// Serving monitoring is strictly observational: the verdict stream
+/// (digest + counts) is identical with the monitor recording or fully
+/// disabled. BestDetection routing never reads measured latency, so the
+/// whole session is a pure function of the seed.
+#[test]
+fn serving_monitoring_does_not_change_verdicts() {
+    let run = |monitoring: bool| {
+        let mut cfg = hmd::ServingConfig::quick(11);
+        cfg.samples = 250; // lull + burst onset is enough to pin it
+        cfg.monitoring = monitoring;
+        let mut session = hmd::ServingSession::start(cfg).expect("train");
+        while session.step().expect("step") {}
+        session.outcome()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.digest, off.digest, "monitoring perturbed the verdict stream");
+    assert_eq!(on.verdicts, off.verdicts);
+    assert_eq!(on.processed, off.processed);
+    // with recording disabled nothing ever evaluates, so no transitions
+    assert_eq!(off.alert_transitions, 0);
+}

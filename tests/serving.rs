@@ -1,0 +1,99 @@
+//! End-to-end serving mode: stream seeded traffic through the trained
+//! detector while scraping the live HTTP endpoints, and assert the SLO
+//! choreography — healthy lull, alert-firing adversarial burst, healthy
+//! recovery once the windows slide clean.
+//!
+//! Everything runs on stream time (10 ms per sample), so the breach and
+//! the recovery are a pure function of the seed: no sleeps, no flakes.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hmd::obs::validate_exposition;
+use hmd::{ServingConfig, ServingSession};
+use hmd_util::json::Json;
+
+/// Minimal scrape client: one GET, returns (status, body).
+fn get(addr: &SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    s.shutdown(Shutdown::Write).expect("half-close");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serving_breach_and_recovery_end_to_end() {
+    let cfg = ServingConfig::quick(7);
+    let budget = cfg.samples;
+    let burst = cfg.burst.expect("quick config bursts");
+    let mut session = ServingSession::start(cfg).expect("training succeeds");
+    let addr = session.serve_http("127.0.0.1:0").expect("bind ephemeral port");
+
+    // Deep into the burst the flag-rate window is saturated with
+    // injected adversarial rows.
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let mid_burst = ((burst.start + burst.end) / 2.0 * budget as f64) as usize + 40;
+    while session.outcome().processed < mid_burst {
+        assert!(session.step().expect("step"), "budget exhausted early");
+    }
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 503, "mid-burst healthz must fail: {body}");
+    let (status, page) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    validate_exposition(&page).expect("well-formed exposition");
+    for series in [
+        "hmd_serving_detection_rate",
+        "hmd_serving_adversarial_flag_rate",
+        "hmd_serving_latency_ns_p50",
+        "hmd_serving_latency_ns_p95",
+        "hmd_serving_latency_ns_p99",
+        "hmd_serving_samples_total",
+        "hmd_serving_healthy 0",
+        "hmd_serving_alert_firing",
+    ] {
+        assert!(page.contains(series), "missing {series} in:\n{page}");
+    }
+
+    // Run out the budget: the burst windows slide clean and every
+    // critical alert resolves.
+    while session.step().expect("step") {}
+    let outcome = session.outcome();
+    assert_eq!(outcome.processed, budget);
+    assert_eq!(outcome.verdicts.iter().sum::<u64>(), budget as u64);
+    assert!(outcome.healthy, "session must recover after the burst");
+    assert!(
+        outcome.alert_transitions >= 4,
+        "expected fire+resolve edges, got {}",
+        outcome.alert_transitions
+    );
+    assert!(outcome.drift_events >= 1, "burst must register integrity drift");
+
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200, "post-recovery healthz: {body}");
+    let (status, page) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(page.contains("hmd_serving_healthy 1"), "healthy gauge must recover");
+
+    let (status, body) = get(&addr, "/snapshot.json");
+    assert_eq!(status, 200);
+    Json::parse(&body).expect("snapshot must be valid JSON");
+
+    let (status, _) = get(&addr, "/definitely-not-a-route");
+    assert_eq!(status, 404);
+
+    assert!(!session.quit_requested());
+    let (status, _) = get(&addr, "/quit");
+    assert_eq!(status, 200);
+    assert!(session.quit_requested(), "/quit must reach the session");
+    session.finish();
+}
