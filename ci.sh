@@ -55,11 +55,14 @@ diff -u "$TRACE_DIR/untraced.scrubbed" "$TRACE_DIR/traced.scrubbed" \
     || { echo "ERROR: tracing perturbed the pipeline output" >&2; exit 1; }
 
 echo "== serving observability gate =="
-# A full serving session on an ephemeral port: train, stream the seeded
-# lull/burst/recovery traffic, then scrape and validate every endpoint.
-# The burst must have produced alert fire+resolve transitions, and the
-# exposition must be well-formed with all serving series present.
-./target/release/serve --samples 600 --seed 7 --linger-secs 300 \
+# A full two-shard batched serving fleet on an ephemeral port: train,
+# stream the seeded lull/burst/recovery traffic on each shard, then
+# scrape and validate every endpoint. The burst must have produced
+# alert fire+resolve transitions, the exposition must be well-formed
+# with all serving series present, and the per-shard labeled series
+# must sum to the fleet aggregate.
+./target/release/serve --samples 600 --seed 7 --shards 2 --batch 16 \
+    --linger-secs 300 \
     > "$TRACE_DIR/serve.out" 2> "$TRACE_DIR/serve.err" &
 SERVE_PID=$!
 for _ in $(seq 1 300); do
@@ -71,7 +74,7 @@ done
 SERVE_ADDR="$(sed -n 's/^SERVE_ADDR //p' "$TRACE_DIR/serve.out")"
 [ -n "$SERVE_ADDR" ] || { echo "ERROR: serve never printed SERVE_ADDR" >&2; exit 1; }
 cargo run --release --offline -p hmd-bench --bin obs_check -- \
-    "$SERVE_ADDR" --wait-samples 600 --expect-transitions 4 --quit
+    "$SERVE_ADDR" --wait-samples 1200 --expect-transitions 4 --expect-shards 2 --quit
 wait "$SERVE_PID"
 SERVE_PID=""
 

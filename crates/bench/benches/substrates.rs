@@ -175,6 +175,34 @@ fn bench_obs(h: &mut Harness) {
     h.bench("obs/serving_monitor_snapshot", || black_box(monitor.snapshot_at(black_box(t))));
 }
 
+fn bench_serving(h: &mut Harness) {
+    use hmd::{FleetSession, ServingConfig, ServingSession};
+    // Fleet-serving throughput: samples/sec through the full deployed
+    // loop (draw + feature-select + scale + batched classify + window
+    // recording), 1 shard vs one shard per core. Training happens once
+    // outside the timed region; each iteration assembles fresh sessions
+    // around the shared artifacts and streams the whole budget.
+    let mut cfg = ServingConfig::quick(41);
+    cfg.samples = 256;
+    cfg.batch = 32;
+    let artifacts = ServingSession::start(cfg.clone()).expect("training succeeds").artifacts_handle();
+    cfg.calibration_samples = 0; // calibrated once above
+    let all_shards = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for (id, n_shards) in
+        [("serve/throughput_1shard", 1usize), ("serve/throughput_allshards", all_shards)]
+    {
+        h.bench_with_throughput(
+            id,
+            Throughput::Elements((cfg.samples * n_shards) as u64),
+            || {
+                let mut fleet = FleetSession::with_artifacts(&cfg, n_shards, artifacts.clone())
+                    .expect("assemble fleet");
+                black_box(fleet.run().expect("fleet run"))
+            },
+        );
+    }
+}
+
 fn bench_corpus(h: &mut Harness) {
     // `CorpusConfig::threads` feeds the substrate directly, so the
     // 1-vs-all pair comes from the config rather than the override.
@@ -196,6 +224,7 @@ fn main() {
     bench_parallel_models(&mut h);
     bench_telemetry(&mut h);
     bench_obs(&mut h);
+    bench_serving(&mut h);
     bench_corpus(&mut h);
     h.finish();
 }

@@ -3,12 +3,16 @@
 //! routes, and (optionally) shuts the service down.
 //!
 //! Usage: `obs_check <http://host:port | host:port> [--wait-samples N]
-//! [--expect-transitions N] [--quit]`
+//! [--expect-transitions N] [--expect-shards N] [--quit]`
 //!
 //! `--wait-samples N` polls `/metrics` until the all-time
 //! `hmd_serving_samples_total` counter reaches `N` (the serve process
 //! streams in the background after printing `SERVE_ADDR`), so the
 //! validation runs against a finished session instead of a cold start.
+//!
+//! `--expect-shards N` checks the fleet's label separation: exactly `N`
+//! `hmd_serving_shard_samples_total{shard="i"}` series, whose values
+//! sum to the aggregate `hmd_serving_samples_total`.
 //!
 //! Exits non-zero with a diagnostic on the first failure.
 
@@ -39,20 +43,22 @@ struct Args {
     addr: String,
     wait_samples: Option<f64>,
     expect_transitions: u64,
+    expect_shards: Option<usize>,
     quit: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut raw = std::env::args().skip(1);
     let Some(target) = raw.next() else {
-        return Err(
-            "usage: obs_check <addr> [--wait-samples N] [--expect-transitions N] [--quit]".into()
-        );
+        return Err("usage: obs_check <addr> [--wait-samples N] [--expect-transitions N] \
+                    [--expect-shards N] [--quit]"
+            .into());
     };
     let mut args = Args {
         addr: target.trim_start_matches("http://").trim_end_matches('/').to_owned(),
         wait_samples: None,
         expect_transitions: 0,
+        expect_shards: None,
         quit: false,
     };
     while let Some(flag) = raw.next() {
@@ -66,6 +72,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = raw.next().ok_or("--expect-transitions needs a value")?;
                 args.expect_transitions =
                     v.parse().map_err(|_| format!("bad --expect-transitions: {v:?}"))?;
+            }
+            "--expect-shards" => {
+                let v = raw.next().ok_or("--expect-shards needs a value")?;
+                args.expect_shards =
+                    Some(v.parse().map_err(|_| format!("bad --expect-shards: {v:?}"))?);
             }
             "--quit" => args.quit = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -97,6 +108,33 @@ fn series_value(page: &str, name: &str) -> Option<f64> {
     page.lines()
         .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
         .and_then(|l| l[name.len()..].trim().parse().ok())
+}
+
+/// Checks the per-shard label separation of a fleet exposition: the
+/// `hmd_serving_shard_samples_total{shard="i"}` family must carry
+/// exactly `want` shards whose totals sum to the aggregate counter.
+fn check_shards(page: &str, want: usize) -> Result<(), String> {
+    const FAMILY: &str = "hmd_serving_shard_samples_total";
+    let mut sum = 0.0;
+    for i in 0..want {
+        let series = format!("{FAMILY}{{shard=\"{i}\"}}");
+        let value = page
+            .lines()
+            .find_map(|l| l.strip_prefix(series.as_str()))
+            .and_then(|rest| rest.trim().parse::<f64>().ok())
+            .ok_or_else(|| format!("/metrics is missing {series}"))?;
+        sum += value;
+    }
+    let labeled = page.lines().filter(|l| l.starts_with(&format!("{FAMILY}{{"))).count();
+    if labeled != want {
+        return Err(format!("expected {want} shard series for {FAMILY}, found {labeled}"));
+    }
+    let aggregate = series_value(page, "hmd_serving_samples_total")
+        .ok_or("/metrics is missing hmd_serving_samples_total")?;
+    if (sum - aggregate).abs() > f64::EPSILON {
+        return Err(format!("shard totals sum to {sum}, aggregate says {aggregate}"));
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -133,6 +171,10 @@ fn run(args: &Args) -> Result<(), String> {
             "expected >= {} alert transitions, saw {transitions}",
             args.expect_transitions
         ));
+    }
+    if let Some(want) = args.expect_shards {
+        check_shards(&page, want)?;
+        println!("obs_check: /metrics carries {want} label-separated shard(s)");
     }
     println!(
         "obs_check: /metrics OK ({} lines, {} required series, {transitions} transitions)",

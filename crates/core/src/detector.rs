@@ -5,9 +5,14 @@
 use hmd_ml::Classifier;
 use hmd_rl::{AdversarialPredictor, ConstraintController};
 use hmd_tabular::{Class, Dataset};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::CoreError;
+
+/// Default bound on the quarantine buffer: oldest flagged samples are
+/// evicted ring-style once the buffer would exceed this many rows.
+pub const DEFAULT_QUARANTINE_CAP: usize = 512;
 
 /// The verdict for one incoming HPC sample.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -42,6 +47,10 @@ pub struct AdaptiveDetector {
     models: Vec<Box<dyn Classifier>>,
     /// Flagged samples awaiting the next adversarial-training round.
     quarantine: Mutex<Dataset>,
+    /// Ring bound on the quarantine; oldest rows are evicted past it.
+    quarantine_cap: AtomicUsize,
+    /// Lifetime count of rows evicted from the quarantine ring.
+    evicted: AtomicU64,
 }
 
 impl std::fmt::Debug for AdaptiveDetector {
@@ -80,7 +89,46 @@ impl AdaptiveDetector {
         }
         let quarantine =
             Dataset::new(feature_names).map_err(|_| CoreError::Invalid("feature names empty"))?;
-        Ok(Self { predictor, controller, models, quarantine: Mutex::new(quarantine) })
+        Ok(Self {
+            predictor,
+            controller,
+            models,
+            quarantine: Mutex::new(quarantine),
+            quarantine_cap: AtomicUsize::new(DEFAULT_QUARANTINE_CAP),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// Rebounds the quarantine ring. A cap of 0 disables eviction
+    /// (unbounded buffer); shrinking the cap evicts on the next push,
+    /// not immediately.
+    pub fn set_quarantine_cap(&self, cap: usize) {
+        self.quarantine_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// Lifetime count of quarantined rows evicted by the ring bound.
+    #[must_use]
+    pub fn quarantine_evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Quarantines one flagged row, evicting oldest-first past the cap
+    /// so a flood of adversarial traffic ages out stale samples instead
+    /// of dropping the whole buffer.
+    fn quarantine_push(&self, row: &[f64]) -> Result<(), CoreError> {
+        let mut guard = self.quarantine_guard();
+        guard.push(row, Class::Adversarial).map_err(CoreError::from)?;
+        let cap = self.quarantine_cap.load(Ordering::Relaxed);
+        if cap > 0 && guard.len() > cap {
+            let excess = guard.len() - cap;
+            guard.pop_front(excess);
+            self.evicted.fetch_add(excess as u64, Ordering::Relaxed);
+            if hmd_telemetry::enabled() {
+                hmd_telemetry::metrics::counter("serving.quarantine_evicted")
+                    .add(excess as u64);
+            }
+        }
+        Ok(())
     }
 
     /// Classifies one standardized HPC sample.
@@ -90,9 +138,7 @@ impl AdaptiveDetector {
     /// Propagates model failures.
     pub fn classify(&self, row: &[f64]) -> Result<Verdict, CoreError> {
         if self.predictor.is_adversarial(row) {
-            self.quarantine_guard()
-                .push(row, Class::Adversarial)
-                .map_err(CoreError::from)?;
+            self.quarantine_push(row)?;
             return Ok(Verdict::AdversarialAttack);
         }
         let is_malware = self
@@ -100,6 +146,60 @@ impl AdaptiveDetector {
             .predict_row(&self.models, row)
             .map_err(CoreError::from)?;
         Ok(if is_malware { Verdict::MalwareAttack } else { Verdict::Benign })
+    }
+
+    /// Classifies a flat row-major batch of `width`-wide samples.
+    ///
+    /// The adversarial predictor screens the whole batch in one critic
+    /// forward pass, flagged rows are quarantined in input order, and
+    /// the survivors go through the routed model as one packed matrix.
+    /// Verdicts come back in input order and are identical to calling
+    /// [`classify`](Self::classify) on each row — the blocked matmul's
+    /// per-element accumulation order is row-count-invariant, so batching
+    /// changes throughput, not results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for a malformed batch shape and
+    /// propagates model failures.
+    pub fn classify_batch(&self, rows: &[f64], width: usize) -> Result<Vec<Verdict>, CoreError> {
+        if width == 0 || !rows.len().is_multiple_of(width) {
+            return Err(CoreError::Invalid("batch length is not a multiple of the row width"));
+        }
+        let n = rows.len() / width;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let flags = self.predictor.is_adversarial_batch(rows);
+        let mut clean = Vec::with_capacity(rows.len());
+        for (i, &flagged) in flags.iter().enumerate() {
+            let row = &rows[i * width..(i + 1) * width];
+            if flagged {
+                self.quarantine_push(row)?;
+            } else {
+                clean.extend_from_slice(row);
+            }
+        }
+        let routed = if clean.is_empty() {
+            Vec::new()
+        } else {
+            self.controller
+                .predict_batch(&self.models, &clean, width)
+                .map_err(CoreError::from)?
+        };
+        let mut routed = routed.into_iter();
+        Ok(flags
+            .iter()
+            .map(|&flagged| {
+                if flagged {
+                    Verdict::AdversarialAttack
+                } else if routed.next().expect("one verdict per unflagged row") {
+                    Verdict::MalwareAttack
+                } else {
+                    Verdict::Benign
+                }
+            })
+            .collect())
     }
 
     /// Drains the quarantined adversarial samples (labeled
@@ -207,6 +307,50 @@ mod tests {
             "only {benign_ok}/{} benign rows passed",
             benign.len()
         );
+
+        // batched classification matches the scalar path row-for-row on
+        // a mixed benign/adversarial batch
+        let width = benign.n_features();
+        let mut flat = Vec::new();
+        let mut expect = Vec::new();
+        for (row, _) in benign.iter().take(9) {
+            flat.extend_from_slice(row);
+            expect.push(detector.classify(row).unwrap());
+        }
+        for (row, _) in attacks.test_result.adversarial.iter().take(7) {
+            flat.extend_from_slice(row);
+            expect.push(detector.classify(row).unwrap());
+        }
+        assert_eq!(detector.classify_batch(&flat, width).unwrap(), expect);
+        assert!(detector.classify_batch(&flat, 0).is_err());
+        assert!(detector.classify_batch(&flat[..flat.len() - 1], width).is_err() || width == 1);
+
+        // ring eviction: past the cap the buffer keeps the newest rows
+        // and counts evictions, instead of dropping wholesale
+        let flagged_rows: Vec<&[f64]> = attacks
+            .test_result
+            .adversarial
+            .iter()
+            .map(|(row, _)| row)
+            .filter(|row| detector.classify(row).unwrap() == Verdict::AdversarialAttack)
+            .take(5)
+            .collect();
+        assert!(flagged_rows.len() >= 3, "need a few flagged rows to exercise eviction");
+        let _ = detector.take_quarantine();
+        detector.set_quarantine_cap(2);
+        let evicted_before = detector.quarantine_evicted();
+        for row in &flagged_rows {
+            detector.classify(row).unwrap();
+        }
+        assert_eq!(detector.quarantined(), 2);
+        assert_eq!(
+            detector.quarantine_evicted() - evicted_before,
+            flagged_rows.len() as u64 - 2
+        );
+        // the retained rows are the two newest, in insertion order
+        let kept = detector.take_quarantine();
+        assert_eq!(kept.row(0).unwrap(), flagged_rows[flagged_rows.len() - 2]);
+        assert_eq!(kept.row(1).unwrap(), flagged_rows[flagged_rows.len() - 1]);
     }
 
     #[test]

@@ -142,6 +142,21 @@ impl Classifier for Mlp {
         Ok(hmd_nn::sigmoid(logits.get(0, 0)))
     }
 
+    fn predict_proba_batch(&self, rows: &[f64], width: usize) -> Result<Vec<f64>, MlError> {
+        crate::model::validate_batch_shape(rows, width)?;
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        if width != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, actual: width });
+        }
+        // One forward pass for the whole batch: every Dense layer is a
+        // single blocked matmul. Per-element accumulation order in the
+        // blocked kernel is row-count-invariant, so each row's logit is
+        // bit-identical to the row-vector path above.
+        let x = Tensor::from_vec(rows.len() / width, width, rows.to_vec());
+        let logits = net.infer(&x);
+        Ok((0..logits.rows()).map(|r| hmd_nn::sigmoid(logits.get(r, 0))).collect())
+    }
+
     fn size_bytes(&self) -> usize {
         self.net.as_ref().map_or(0, Sequential::size_bytes)
     }

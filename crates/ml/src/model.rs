@@ -63,6 +63,26 @@ pub trait Classifier: Send + Sync + std::fmt::Debug {
         .collect()
     }
 
+    /// Attack probabilities for a flat row-major batch of `width`-wide
+    /// rows (`rows.len()` must be a multiple of `width`).
+    ///
+    /// The contract is **byte-identical equivalence**: the result must
+    /// equal calling [`Self::predict_proba_row`] on each row in order.
+    /// The default implementation does exactly that; models backed by a
+    /// dense linear-algebra substrate (the MLP) override it to push the
+    /// whole batch through one blocked matmul — per-element accumulation
+    /// order is row-count-invariant, so the equivalence holds bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when `width` is zero or
+    /// does not divide `rows.len()`; otherwise propagates
+    /// [`Self::predict_proba_row`] errors.
+    fn predict_proba_batch(&self, rows: &[f64], width: usize) -> Result<Vec<f64>, MlError> {
+        validate_batch_shape(rows, width)?;
+        rows.chunks(width).map(|row| self.predict_proba_row(row)).collect()
+    }
+
     /// Hard decision for one feature vector (threshold 0.5).
     ///
     /// # Errors
@@ -75,6 +95,19 @@ pub trait Classifier: Send + Sync + std::fmt::Debug {
     /// Approximate in-memory size of the fitted model in bytes — the
     /// memory-footprint axis of the constraint controller.
     fn size_bytes(&self) -> usize;
+}
+
+/// Validates the shape of a flat row-major batch.
+///
+/// # Errors
+///
+/// Returns [`MlError::DimensionMismatch`] when `width` is zero or does
+/// not divide `rows.len()`.
+pub fn validate_batch_shape(rows: &[f64], width: usize) -> Result<(), MlError> {
+    if width == 0 || !rows.len().is_multiple_of(width) {
+        return Err(MlError::DimensionMismatch { expected: width.max(1), actual: rows.len() });
+    }
+    Ok(())
 }
 
 /// Validates a `(data, targets)` pair before training.

@@ -27,6 +27,28 @@ fn counter(out: &mut String, name: &str, help: &str, v: u64) {
 /// `NaN`, the Prometheus convention for "no data".
 #[must_use]
 pub fn render_metrics(snap: &MonitorSnapshot, engine: &AlertEngine) -> String {
+    render_page(snap, &[engine], &[])
+}
+
+/// Renders the fleet `/metrics` page: the aggregate series (same names
+/// and meaning as [`render_metrics`], merged across shards) plus
+/// per-shard `hmd_serving_shard_*{shard="i"}` series. Alert state
+/// merges conservatively — a rule is firing if it fires on *any*
+/// shard, transitions sum, and the fleet is healthy only when every
+/// shard is.
+///
+/// # Panics
+///
+/// Panics when `shards` and `engines` lengths differ or are empty.
+#[must_use]
+pub fn render_metrics_fleet(shards: &[MonitorSnapshot], engines: &[&AlertEngine]) -> String {
+    assert!(!shards.is_empty(), "fleet page needs at least one shard");
+    assert_eq!(shards.len(), engines.len(), "one alert engine per shard");
+    let merged = MonitorSnapshot::merged(shards);
+    render_page(&merged, engines, shards)
+}
+
+fn render_page(snap: &MonitorSnapshot, engines: &[&AlertEngine], shards: &[MonitorSnapshot]) -> String {
     let mut out = String::with_capacity(4096);
 
     counter(
@@ -78,28 +100,62 @@ pub fn render_metrics(snap: &MonitorSnapshot, engine: &AlertEngine) -> String {
     );
     out.push_str(&prometheus_histogram("hmd_serving_latency_ns", &snap.latency));
 
+    // per-shard series: label-separated so a dashboard can tell one
+    // shard's stall or drift from fleet-wide trouble
+    if !shards.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP hmd_serving_shard_samples_total HPC windows classified per shard since startup."
+        );
+        let _ = writeln!(out, "# TYPE hmd_serving_shard_samples_total counter");
+        for (i, s) in shards.iter().enumerate() {
+            let _ = writeln!(out, "hmd_serving_shard_samples_total{{shard=\"{i}\"}} {}", s.total_samples);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hmd_serving_shard_window_samples HPC windows inside the shard's sliding window."
+        );
+        let _ = writeln!(out, "# TYPE hmd_serving_shard_window_samples gauge");
+        for (i, s) in shards.iter().enumerate() {
+            let _ = writeln!(out, "hmd_serving_shard_window_samples{{shard=\"{i}\"}} {}", s.samples);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hmd_serving_shard_detection_rate Windowed detection rate per shard."
+        );
+        let _ = writeln!(out, "# TYPE hmd_serving_shard_detection_rate gauge");
+        for (i, s) in shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "hmd_serving_shard_detection_rate{{shard=\"{i}\"}} {}",
+                s.detection_rate().unwrap_or(f64::NAN)
+            );
+        }
+    }
+
     let _ = writeln!(out, "# HELP hmd_serving_alert_firing Alert state per SLO rule (1 = firing).");
     let _ = writeln!(out, "# TYPE hmd_serving_alert_firing gauge");
-    for (i, rule) in engine.rules().iter().enumerate() {
+    for (i, rule) in engines[0].rules().iter().enumerate() {
+        let firing = engines.iter().any(|e| e.is_firing(i));
         let _ = writeln!(
             out,
             "hmd_serving_alert_firing{{rule=\"{}\",severity=\"{}\"}} {}",
             rule.name,
             rule.severity,
-            u8::from(engine.is_firing(i))
+            u8::from(firing)
         );
     }
     counter(
         &mut out,
         "hmd_serving_alert_transitions_total",
-        "Fire and resolve edges across all SLO rules since startup.",
-        engine.transitions(),
+        "Fire and resolve edges across all SLO rules and shards since startup.",
+        engines.iter().map(|e| e.transitions()).sum(),
     );
     gauge(
         &mut out,
         "hmd_serving_healthy",
-        "1 while no critical SLO rule is firing.",
-        f64::from(u8::from(engine.healthy())),
+        "1 while no critical SLO rule is firing on any shard.",
+        f64::from(u8::from(engines.iter().all(|e| e.healthy()))),
     );
 
     // the process-wide registry last: detector/predictor/pipeline
@@ -192,6 +248,40 @@ mod tests {
         let engine = AlertEngine::new(default_rules());
         let p = render_metrics(&m.snapshot_at(0), &engine);
         assert!(p.contains("hmd_serving_detection_rate NaN"), "{p}");
+        validate_exposition(&p).unwrap();
+    }
+
+    #[test]
+    fn fleet_page_merges_aggregates_and_labels_shards() {
+        let mk = |n: u64, verdict: bool| {
+            let m = ServingMonitor::new(WindowConfig::new(4, 10_000_000));
+            for _ in 0..n {
+                m.record_at(
+                    0,
+                    SampleRecord {
+                        truth_attack: true,
+                        verdict_attack: verdict,
+                        flagged_adversarial: false,
+                        latency_ns: 500,
+                    },
+                );
+            }
+            m.snapshot_at(0)
+        };
+        let engines = [AlertEngine::new(default_rules()), AlertEngine::new(default_rules())];
+        let refs: Vec<&AlertEngine> = engines.iter().collect();
+        let p = render_metrics_fleet(&[mk(30, true), mk(20, false)], &refs);
+        for needle in [
+            "hmd_serving_samples_total 50", // aggregate sums the shards
+            "hmd_serving_detection_rate 0.6",
+            "hmd_serving_shard_samples_total{shard=\"0\"} 30",
+            "hmd_serving_shard_samples_total{shard=\"1\"} 20",
+            "hmd_serving_shard_detection_rate{shard=\"1\"} 0",
+            "hmd_serving_latency_ns_bucket{le=\"+Inf\"} 50",
+            "hmd_serving_healthy 1",
+        ] {
+            assert!(p.contains(needle), "missing {needle:?} in:\n{p}");
+        }
         validate_exposition(&p).unwrap();
     }
 

@@ -1,22 +1,37 @@
 //! A deliberately small blocking HTTP/1.1 server on `std::net` — just
-//! enough protocol for a scrape endpoint: parse the request line of a
-//! `GET`, dispatch on the path, write one response, close. No keep-alive,
-//! no TLS, no threads-per-connection pool beyond one accept loop thread;
-//! a Prometheus scraper or `curl` is the entire intended client set.
+//! enough protocol for a fleet of scrape endpoints: parse the request
+//! line of a `GET`, dispatch on the path, write one response. A fixed
+//! worker pool serves connections handed off by one accept-loop thread,
+//! so a stalled scraper occupies one worker instead of wedging every
+//! other client, and HTTP/1.1 keep-alive lets a scraper reuse one
+//! connection for a bounded burst of requests. No TLS; a Prometheus
+//! scraper or `curl` is the entire intended client set.
 //!
 //! Robustness over features: bounded request-line size (414 past the
-//! limit), read timeouts so a stalled client cannot wedge the accept
-//! loop, 400 on garbage, 405 on non-GET, 404 on unknown paths.
+//! limit), bounded header section (400 when it never terminates), read
+//! timeouts so a stalled client cannot hold a worker forever, 400 on
+//! garbage, 405 on non-GET, 404 on unknown paths.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Longest accepted request line (method + path + version).
 const MAX_REQUEST_LINE: usize = 4096;
+/// Most header lines (including the terminating blank) per request;
+/// a header section still unterminated past this is answered with 400.
+const MAX_HEADER_LINES: usize = 128;
+/// Most requests served over one keep-alive connection before the
+/// server closes it — bounds how long one client can pin a worker.
+const MAX_KEEPALIVE_REQUESTS: usize = 32;
+/// Connections serving concurrently unless overridden in `start_with`.
+/// The handler is CPU-light (rendering a metrics page); workers mostly
+/// block on client IO, so a small fixed pool beats a per-core count.
+const DEFAULT_WORKERS: usize = 4;
 /// Per-connection read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
@@ -73,33 +88,76 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// The request handler. Runs on the accept-loop thread; must be quick.
+/// The request handler. Runs on pool worker threads; must be quick.
 pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
 
-/// The running server: one accept-loop thread plus a shutdown flag.
+/// The running server: one accept-loop thread feeding a fixed worker
+/// pool over a channel, plus a shutdown flag.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `handler` on a background thread.
+    /// serving `handler` with the default worker pool.
     ///
     /// # Errors
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn start(addr: &str, handler: Arc<Handler>) -> std::io::Result<Self> {
+        Self::start_with(addr, handler, DEFAULT_WORKERS)
+    }
+
+    /// Like [`start`](Self::start) with an explicit worker count
+    /// (clamped to at least one). Each worker serves one connection at
+    /// a time, so `workers` bounds concurrent clients; excess
+    /// connections queue in the accept channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn start_with(
+        addr: &str,
+        handler: Arc<Handler>,
+        workers: usize,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("hmd-obs-http-{i}"))
+                    .spawn(move || worker_loop(&rx, handler.as_ref()))?,
+            );
+        }
         let stop_flag = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
-            .name("hmd-obs-http".into())
-            .spawn(move || accept_loop(&listener, &stop_flag, handler.as_ref()))?;
-        Ok(Self { addr, stop, thread: Some(thread) })
+        let accept = std::thread::Builder::new()
+            .name("hmd-obs-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // a send only fails once every worker is gone, which
+                    // means we are shutting down anyway
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // dropping tx here starves recv() and retires the pool
+            })?;
+        Ok(Self { addr, stop, accept: Some(accept), workers: pool })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -108,16 +166,22 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the thread. Idempotent.
+    /// Stops the accept loop, retires the worker pool and joins every
+    /// thread. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.thread.is_none() {
+        if self.accept.is_none() && self.workers.is_empty() {
             return;
         }
         self.stop.store(true, Ordering::SeqCst);
         // the loop blocks in accept(); a self-connection wakes it up so
         // it can observe the flag
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.thread.take() {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // the accept thread dropped the channel sender on exit, so each
+        // worker's recv() fails once the queue drains
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
@@ -129,34 +193,54 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, handler: &Handler) {
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
+/// One pool worker: serve queued connections until the channel closes.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
+    loop {
+        // holding the lock only while blocked in recv(): the guard is a
+        // temporary, released before the connection is served
+        let next = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+        let Ok(stream) = next else { break };
         // a misbehaving client only costs one bounded connection, never
-        // the accept loop itself
+        // the pool itself
         let _ = serve_conn(stream, handler);
     }
 }
 
-/// Reads one request line (bounded), parses it, and writes the
-/// handler's response — or the matching 4xx for protocol violations.
+/// Serves one connection: up to [`MAX_KEEPALIVE_REQUESTS`] requests over
+/// HTTP/1.1 keep-alive, answering the matching 4xx for protocol
+/// violations. A clean end-of-stream (or idle timeout) between requests
+/// closes without a response.
 fn serve_conn(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(&stream);
 
-    let response = match read_request(&mut reader) {
-        Ok(req) if req.method != "GET" => Response::status(405, "only GET is supported\n"),
-        Ok(req) => handler(&req),
-        Err(status) => Response::status(status, "bad request\n"),
-    };
-    write_response(&stream, &response)?;
+    for served in 1..=MAX_KEEPALIVE_REQUESTS {
+        match read_request(&mut reader) {
+            Ok((req, client_keep_alive)) => {
+                let keep = client_keep_alive && served < MAX_KEEPALIVE_REQUESTS;
+                let response = if req.method == "GET" {
+                    handler(&req)
+                } else {
+                    Response::status(405, "only GET is supported\n")
+                };
+                write_response(&stream, &response, keep)?;
+                if !keep {
+                    break;
+                }
+            }
+            Err(Some(status)) => {
+                write_response(&stream, &Response::status(status, "bad request\n"), false)?;
+                break;
+            }
+            // the client finished with the connection (EOF or idle past
+            // the read timeout at a request boundary): close silently
+            Err(None) => return Ok(()),
+        }
+    }
     // drain (bounded) whatever the client is still sending before the
     // socket closes — closing with unread data pending triggers an RST
-    // that can destroy the error response in flight
+    // that can destroy the final response in flight
     let mut scratch = [0u8; 1024];
     for _ in 0..64 {
         match std::io::Read::read(&mut reader, &mut scratch) {
@@ -167,58 +251,95 @@ fn serve_conn(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Parses the request line and drains headers. Returns the HTTP status
-/// to answer with on protocol errors.
-fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, u16> {
-    let line = read_line_bounded(reader, MAX_REQUEST_LINE)?;
+/// Parses the request line and headers. Returns the request plus
+/// whether the client allows connection reuse; `Err(Some(status))` is
+/// the HTTP status to answer protocol errors with, `Err(None)` a clean
+/// end-of-stream before the request line started.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<(Request, bool), Option<u16>> {
+    let line = read_line_bounded(reader, MAX_REQUEST_LINE, true)?;
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) => (m, p, v),
-        _ => return Err(400),
+        _ => return Err(Some(400)),
     };
     if !version.starts_with("HTTP/1.") || !path.starts_with('/') {
-        return Err(400);
+        return Err(Some(400));
     }
-    // drain headers up to a modest total so the socket can be answered
-    for _ in 0..128 {
-        let header = read_line_bounded(reader, MAX_REQUEST_LINE)?;
+    // keep-alive is the HTTP/1.1 default; HTTP/1.0 must ask for it
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut terminated = false;
+    for _ in 0..MAX_HEADER_LINES {
+        let header = read_line_bounded(reader, MAX_REQUEST_LINE, false)?;
         if header.is_empty() {
+            terminated = true;
             break;
         }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
     }
-    Ok(Request { method: method.to_owned(), path: path.to_owned() })
+    if !terminated {
+        // a header section that never ends within the bound is a
+        // protocol violation, not a request to silently serve
+        return Err(Some(400));
+    }
+    Ok((Request { method: method.to_owned(), path: path.to_owned() }, keep_alive))
 }
 
 /// Reads one CRLF- (or LF-) terminated line of at most `max` bytes.
-fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, u16> {
+/// With `eof_is_clean`, end-of-stream (or an idle timeout) before the
+/// first byte maps to `Err(None)` — a request boundary, not an error.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    eof_is_clean: bool,
+) -> Result<String, Option<u16>> {
     let mut line = Vec::with_capacity(128);
     let mut byte = [0u8; 1];
     loop {
         match reader.read(&mut byte) {
-            Ok(0) => return Err(400), // peer closed mid-line
+            Ok(0) => {
+                if eof_is_clean && line.is_empty() {
+                    return Err(None); // peer closed between requests
+                }
+                return Err(Some(400)); // peer closed mid-line
+            }
             Ok(_) if byte[0] == b'\n' => break,
             Ok(_) => {
                 if line.len() >= max {
-                    return Err(414);
+                    return Err(Some(414));
                 }
                 line.push(byte[0]);
             }
-            Err(_) => return Err(400), // timeout or reset
+            Err(_) => {
+                if eof_is_clean && line.is_empty() {
+                    return Err(None); // idle keep-alive connection
+                }
+                return Err(Some(400)); // timeout or reset mid-request
+            }
         }
     }
     if line.last() == Some(&b'\r') {
         line.pop();
     }
-    String::from_utf8(line).map_err(|_| 400)
+    String::from_utf8(line).map_err(|_| Some(400))
 }
 
-fn write_response(mut stream: &TcpStream, r: &Response) -> std::io::Result<()> {
+fn write_response(mut stream: &TcpStream, r: &Response, keep_alive: bool) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         r.status,
         reason(r.status),
         r.content_type,
-        r.body.len()
+        r.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(r.body.as_bytes())?;
@@ -291,6 +412,91 @@ mod tests {
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
         let reply = roundtrip(server.addr(), "GET nopath HTTP/1.1\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    /// Reads exactly one response off a keep-alive connection: headers
+    /// up to the blank line, then `Content-Length` body bytes.
+    fn read_one_response(reader: &mut BufReader<&TcpStream>) -> (String, String) {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content length")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("body");
+        (head, String::from_utf8(body).expect("utf8 body"))
+    }
+
+    #[test]
+    fn unterminated_header_section_is_400() {
+        let server = start_echo();
+        // request line is fine, but the header section never reaches a
+        // blank line within the server's header bound
+        let flood = format!("GET /hello HTTP/1.1\r\n{}", "X-Pad: y\r\n".repeat(200));
+        let reply = roundtrip(server.addr(), &flood);
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let server = start_echo();
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(&stream);
+        for _ in 0..2 {
+            (&stream)
+                .write_all(b"GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+                .expect("write");
+            let (head, body) = read_one_response(&mut reader);
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            assert_eq!(body, "world\n");
+        }
+        // the final request asks to close; the server honors it
+        (&stream)
+            .write_all(b"GET /json HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let (head, body) = read_one_response(&mut reader);
+        assert!(head.contains("Connection: close"), "{head}");
+        assert_eq!(body, "{\"ok\":true}");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("server closed");
+        assert!(rest.is_empty(), "unexpected trailing data: {rest}");
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        let server = start_echo();
+        let reply = roundtrip(server.addr(), "GET /hello HTTP/1.0\r\n\r\n");
+        assert!(reply.contains("Connection: close"), "{reply}");
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_the_pool() {
+        let server = start_echo();
+        // a client that opens a connection and sends half a request
+        // line, then stalls — it pins one worker until the read timeout
+        let staller = TcpStream::connect(server.addr()).expect("connect");
+        (&staller).write_all(b"GET /hel").expect("write partial");
+        // other clients are served promptly by the remaining workers
+        let t0 = std::time::Instant::now();
+        let reply = roundtrip(server.addr(), "GET /hello HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(
+            t0.elapsed() < IO_TIMEOUT,
+            "head-of-line blocked behind the stalled client: {:?}",
+            t0.elapsed()
+        );
+        drop(staller);
     }
 
     #[test]

@@ -87,6 +87,47 @@ impl MonitorSnapshot {
     pub fn latency_p95_ms(&self) -> f64 {
         self.latency.p95() / 1e6
     }
+
+    /// Merges per-shard snapshots into one fleet-wide view: counters
+    /// sum, latency histograms merge bucket-wise, and the stream time
+    /// is the furthest shard's clock. An empty slice merges to an empty
+    /// snapshot.
+    #[must_use]
+    pub fn merged(shards: &[MonitorSnapshot]) -> MonitorSnapshot {
+        let mut out = MonitorSnapshot {
+            t_ns: 0,
+            samples: 0,
+            tp: 0,
+            fn_: 0,
+            fp: 0,
+            tn: 0,
+            flags: 0,
+            drifts: 0,
+            latency: HistogramSnapshot {
+                buckets: [0; hmd_telemetry::metrics::BUCKETS],
+                count: 0,
+                sum: 0,
+            },
+            total_samples: 0,
+        };
+        for s in shards {
+            out.t_ns = out.t_ns.max(s.t_ns);
+            out.samples += s.samples;
+            out.tp += s.tp;
+            out.fn_ += s.fn_;
+            out.fp += s.fp;
+            out.tn += s.tn;
+            out.flags += s.flags;
+            out.drifts += s.drifts;
+            out.total_samples += s.total_samples;
+            for (dst, src) in out.latency.buckets.iter_mut().zip(&s.latency.buckets) {
+                *dst += src;
+            }
+            out.latency.count += s.latency.count;
+            out.latency.sum += s.latency.sum;
+        }
+        out
+    }
 }
 
 /// The aggregate the serving loop writes into and everything else reads
@@ -230,6 +271,24 @@ mod tests {
         let s = m.snapshot_at(45 * MS);
         assert_eq!(s.detection_rate(), Some(1.0));
         assert_eq!(s.total_samples, 20);
+    }
+
+    #[test]
+    fn merged_sums_shards_and_takes_the_furthest_clock() {
+        let a = monitor();
+        let b = monitor();
+        a.record_at(5 * MS, rec(true, true, true)); // tp + flag
+        b.record_at(25 * MS, rec(false, true, false)); // fp
+        b.record_at(25 * MS, rec(false, false, false)); // tn
+        let m = MonitorSnapshot::merged(&[a.snapshot_at(5 * MS), b.snapshot_at(25 * MS)]);
+        assert_eq!(m.t_ns, 25 * MS);
+        assert_eq!(m.samples, 3);
+        assert_eq!((m.tp, m.fn_, m.fp, m.tn), (1, 0, 1, 1));
+        assert_eq!(m.flags, 1);
+        assert_eq!(m.total_samples, 3);
+        assert_eq!(m.latency.count, 3);
+        assert_eq!(m.latency.sum, 3000);
+        assert!(MonitorSnapshot::merged(&[]).samples == 0);
     }
 
     #[test]

@@ -229,6 +229,26 @@ impl ConstraintController {
             .map_err(|e| RlError::Model(e.to_string()))
     }
 
+    /// Classifies a flat row-major batch of `width`-wide samples through
+    /// the selected model in one call — the batched serving path's entry
+    /// into the model tier. Verdicts are identical to
+    /// [`predict_row`](Self::predict_row) on each row in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors from the selected model.
+    pub fn predict_batch(
+        &self,
+        models: &[Box<dyn Classifier>],
+        rows: &[f64],
+        width: usize,
+    ) -> Result<Vec<bool>, RlError> {
+        let probas = models[self.selected_model()]
+            .predict_proba_batch(rows, width)
+            .map_err(|e| RlError::Model(e.to_string()))?;
+        Ok(probas.into_iter().map(|p| p >= 0.5).collect())
+    }
+
     /// Builds the paper's 14-tuple MDP state for one sample: the 4 HPC
     /// features, the five model votes, and the five per-model constraint
     /// scores (the run-time variables the reward policy conditions on).

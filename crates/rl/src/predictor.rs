@@ -229,6 +229,28 @@ impl AdversarialPredictor {
         flagged
     }
 
+    /// Batched [`is_adversarial`](Self::is_adversarial): one critic
+    /// forward pass over a flat row-major batch. Decisions (and the
+    /// telemetry decision/flag counters) are identical to calling the
+    /// scalar path on each row in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the training width.
+    #[must_use]
+    pub fn is_adversarial_batch(&self, rows: &[f64]) -> Vec<bool> {
+        let flags: Vec<bool> =
+            self.agent.values(rows).into_iter().map(|v| v > self.threshold).collect();
+        if hmd_telemetry::enabled() && !flags.is_empty() {
+            hmd_telemetry::metrics::counter("rl.predictor.decisions").add(flags.len() as u64);
+            let flagged = flags.iter().filter(|&&f| f).count() as u64;
+            if flagged > 0 {
+                hmd_telemetry::metrics::counter("rl.predictor.flags").add(flagged);
+            }
+        }
+        flags
+    }
+
     /// The decision threshold in use.
     #[must_use]
     pub fn threshold(&self) -> f64 {

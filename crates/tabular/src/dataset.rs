@@ -234,6 +234,16 @@ impl Dataset {
         Ok(())
     }
 
+    /// Removes the `n` oldest rows (and their labels) in insertion
+    /// order — the eviction primitive for bounded ring-style buffers
+    /// such as the detector's quarantine. Removing more rows than exist
+    /// empties the dataset.
+    pub fn pop_front(&mut self, n: usize) {
+        let n = n.min(self.len());
+        self.data.drain(..n * self.n_features);
+        self.labels.drain(..n);
+    }
+
     /// A new dataset containing the rows at `indices`, in that order.
     ///
     /// # Errors
@@ -425,6 +435,19 @@ mod tests {
         let mut d = sample();
         let other = Dataset::new(vec!["x".into(), "y".into()]).unwrap();
         assert_eq!(d.merge(&other).unwrap_err(), TabularError::SchemaMismatch);
+    }
+
+    #[test]
+    fn pop_front_evicts_oldest_rows() {
+        let mut d = sample();
+        d.pop_front(2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.row(0).unwrap(), &[5.0, 6.0]);
+        assert_eq!(d.label(0).unwrap(), Class::Adversarial);
+        d.pop_front(5);
+        assert!(d.is_empty());
+        d.pop_front(1);
+        assert!(d.is_empty());
     }
 
     #[test]

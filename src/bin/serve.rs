@@ -11,12 +11,18 @@
 //! serve [--samples N] [--port P] [--seed S] [--adv-fraction F]
 //!       [--burst START,END,FRACTION] [--window-slots N] [--slot-ms MS]
 //!       [--kind fast_inference|small_footprint|best_detection]
+//!       [--shards N] [--batch N] [--http-workers N]
 //!       [--linger-secs S] [--no-monitoring]
 //! ```
+//!
+//! `--shards N` runs N independently seeded serving shards (one OS
+//! thread each) behind one merged endpoint; `--batch N` classifies N
+//! samples per detector call (verdicts are identical at any batch
+//! size); `--http-workers N` sizes the endpoint's connection pool.
 
 use std::time::{Duration, Instant};
 
-use hmd::serving::{Burst, ServingConfig, ServingSession};
+use hmd::serving::{Burst, FleetSession, ServingConfig};
 use hmd::rl::ConstraintKind;
 use hmd::obs::WindowConfig;
 
@@ -29,6 +35,9 @@ struct Args {
     window_slots: Option<usize>,
     slot_ms: Option<u64>,
     kind: ConstraintKind,
+    shards: usize,
+    batch: usize,
+    http_workers: usize,
     linger_secs: u64,
     monitoring: bool,
 }
@@ -39,6 +48,7 @@ fn usage(problem: &str) -> ! {
         "usage: serve [--samples N] [--port P] [--seed S] [--adv-fraction F] \
          [--burst START,END,FRACTION] [--window-slots N] [--slot-ms MS] \
          [--kind fast_inference|small_footprint|best_detection] \
+         [--shards N] [--batch N] [--http-workers N] \
          [--linger-secs S] [--no-monitoring]"
     );
     std::process::exit(2);
@@ -70,6 +80,9 @@ fn parse_args() -> Args {
         window_slots: None,
         slot_ms: None,
         kind: ConstraintKind::BestDetection,
+        shards: 1,
+        batch: 1,
+        http_workers: 4,
         linger_secs: 600,
         monitoring: true,
     };
@@ -95,6 +108,9 @@ fn parse_args() -> Args {
                     other => usage(&format!("unknown constraint kind {other:?}")),
                 };
             }
+            "--shards" => args.shards = parse("--shards", it.next()),
+            "--batch" => args.batch = parse("--batch", it.next()),
+            "--http-workers" => args.http_workers = parse("--http-workers", it.next()),
             "--linger-secs" => args.linger_secs = parse("--linger-secs", it.next()),
             "--no-monitoring" => args.monitoring = false,
             "--help" | "-h" => usage("help requested"),
@@ -122,55 +138,57 @@ fn main() {
         cfg.window = WindowConfig::new(slots, slot_ms * 1_000_000);
     }
 
+    cfg.batch = args.batch.max(1);
+
     eprintln!("serve: training pipeline (seed {})...", args.seed);
-    let mut session = match ServingSession::start(cfg) {
+    let mut fleet = match FleetSession::start(&cfg, args.shards) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: failed to start: {e}");
             std::process::exit(1);
         }
     };
-    let addr = match session.serve_http(&format!("127.0.0.1:{}", args.port)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("serve: failed to bind: {e}");
-            std::process::exit(1);
-        }
-    };
+    let addr =
+        match fleet.serve_http(&format!("127.0.0.1:{}", args.port), args.http_workers) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("serve: failed to bind: {e}");
+                std::process::exit(1);
+            }
+        };
     // machine-readable so scripts (ci.sh) can discover the ephemeral port
     println!("SERVE_ADDR http://{addr}");
 
-    eprintln!("serve: streaming {} samples...", args.samples);
-    loop {
-        match session.step() {
-            Ok(true) => {
-                if session.quit_requested() {
-                    break;
-                }
-            }
-            Ok(false) => break,
-            Err(e) => {
-                eprintln!("serve: detector error: {e}");
-                session.finish();
-                std::process::exit(1);
-            }
-        }
-    }
-
-    let outcome = session.outcome();
-    let snap = session.snapshot();
     eprintln!(
-        "serve: processed {} samples (digest {:016x}); verdicts adv/malware/benign = {:?}; \
-         alert transitions {}; drift events {}; healthy {}",
-        outcome.processed,
-        outcome.digest,
-        outcome.verdicts,
-        outcome.alert_transitions,
-        outcome.drift_events,
-        outcome.healthy
+        "serve: streaming {} samples across {} shard(s), batch {}...",
+        args.samples,
+        fleet.shards().len(),
+        cfg.batch
     );
+    let outcomes = match fleet.run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve: detector error: {e}");
+            fleet.finish();
+            std::process::exit(1);
+        }
+    };
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        eprintln!(
+            "serve: shard {i}: processed {} samples (digest {:016x}); verdicts \
+             adv/malware/benign = {:?}; alert transitions {}; drift events {}; healthy {}",
+            outcome.processed,
+            outcome.digest,
+            outcome.verdicts,
+            outcome.alert_transitions,
+            outcome.drift_events,
+            outcome.healthy
+        );
+    }
+    let snap = fleet.snapshot();
     eprintln!(
-        "serve: windowed detection_rate {:?} flag_rate {:?} latency_p95 {:.3} ms",
+        "serve: fleet windowed detection_rate {:?} flag_rate {:?} latency_p95 {:.3} ms",
         snap.detection_rate(),
         snap.flag_rate(),
         snap.latency_p95_ms()
@@ -179,9 +197,9 @@ fn main() {
     // linger: keep answering scrapes until /quit or timeout
     let deadline = Instant::now() + Duration::from_secs(args.linger_secs);
     eprintln!("serve: lingering for scrapes (GET /quit to stop, timeout {}s)", args.linger_secs);
-    while !session.quit_requested() && Instant::now() < deadline {
+    while !fleet.quit_requested() && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(50));
     }
-    session.finish();
+    fleet.finish();
     eprintln!("serve: bye");
 }

@@ -1,25 +1,31 @@
-//! The long-running serving mode: a streaming detection session that
-//! pushes simulated HPC traffic through the deployed
+//! The long-running serving mode: streaming detection sessions that
+//! push simulated HPC traffic through the deployed
 //! [`AdaptiveDetector`](hmd_core::AdaptiveDetector) while the `hmd-obs`
 //! subsystem watches.
 //!
-//! One [`ServingSession`] owns the whole loop:
+//! One [`ServingSession`] owns one shard of the loop:
 //!
 //! * traffic — a seeded [`WindowStream`] of benign/malware windows, plus
 //!   adversarial samples replayed from the LowProFool pool at a
 //!   configurable (optionally bursting) rate;
 //! * detection — feature-select + scale into a reusable scratch row,
-//!   classify, time the inference;
+//!   classify (one row at a time, or a whole batch through a single
+//!   blocked matmul via [`ServingSession::step_batch`]), time the
+//!   inference;
 //! * monitoring — record into the sliding-window [`ServingMonitor`],
 //!   periodically evaluate the [`AlertEngine`] and run the integrity
 //!   monitor over the windowed confusion, escalating unstable
-//!   assessments into windowed drift events;
-//! * exposure — an optional [`HttpServer`] answering `/metrics`,
-//!   `/healthz`, `/snapshot.json` and `/quit`.
+//!   assessments into windowed drift events.
+//!
+//! [`FleetSession`] scales that loop across cores: N independently
+//! seeded shards share one trained [`ServingArtifacts`] (and its
+//! quarantine ring) and run on one OS thread each, merged behind a
+//! single [`HttpServer`] answering `/metrics`, `/healthz`,
+//! `/snapshot.json` and `/quit` from a worker pool with keep-alive.
 //!
 //! # Stream time
 //!
-//! The session advances a logical clock by [`ServingConfig::tick_ns`]
+//! Each shard advances a logical clock by [`ServingConfig::tick_ns`]
 //! per sample (default: the paper's 10 ms sampling period) and drives
 //! every window and alert off that clock. Alert firing and resolution
 //! are therefore a pure function of the seed — testable without sleeps.
@@ -28,7 +34,10 @@
 //!
 //! Monitoring observes and never feeds back: the verdict stream (pinned
 //! by [`ServingOutcome::digest`]) is byte-identical with monitoring on
-//! or off, traced or untraced — `tests/determinism.rs` asserts it.
+//! or off, traced or untraced, batched or scalar, at any thread count —
+//! `tests/determinism.rs` asserts it. Batching preserves verdicts
+//! bit-for-bit because the blocked matmul's per-element accumulation
+//! order is row-count-invariant.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -37,18 +46,14 @@ use hmd_core::framework::SERVING_BASELINE;
 use hmd_core::{CoreError, Framework, FrameworkConfig, ServingArtifacts, Verdict};
 use hmd_ml::{BinaryMetrics, ConfusionMatrix};
 use hmd_obs::{
-    default_rules, render_metrics, AlertEngine, HttpServer, MonitorSnapshot, Response,
+    default_rules, render_metrics_fleet, AlertEngine, HttpServer, MonitorSnapshot, Response,
     SampleRecord, ServingMonitor, SloRule, WindowConfig,
 };
 use hmd_rl::ConstraintKind;
 use hmd_sim::{StreamConfig, WindowStream};
 use hmd_telemetry::clock;
+use hmd_util::json::Json;
 use hmd_util::rng::prelude::*;
-
-/// Quarantined samples are discarded past this count — a serving loop
-/// cannot grow memory without bound while waiting for the next offline
-/// retraining round.
-const QUARANTINE_CAP: usize = 512;
 
 /// A phase of elevated adversarial traffic.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -102,6 +107,19 @@ pub struct ServingConfig {
     pub calibration_samples: usize,
     /// Seed for traffic interleaving (stream + adversarial injection).
     pub stream_seed: u64,
+    /// Samples classified per detector call: 1 is the scalar path, more
+    /// vectorizes feature-select + scale + classify so the whole batch
+    /// goes through one blocked matmul. Verdicts are identical at any
+    /// batch size.
+    pub batch: usize,
+}
+
+/// The stream seed of shard `i` in a fleet: shard 0 keeps the base seed
+/// (a one-shard fleet is exactly a [`ServingSession`]), later shards
+/// decorrelate via a golden-ratio multiply.
+#[must_use]
+pub fn shard_stream_seed(base: u64, shard: usize) -> u64 {
+    base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl ServingConfig {
@@ -132,6 +150,7 @@ impl ServingConfig {
             monitoring: true,
             calibration_samples: 200,
             stream_seed: seed ^ 0x5452_4146, // "TRAF"
+            batch: 1,
         }
     }
 }
@@ -172,16 +191,21 @@ pub struct ServingOutcome {
     pub drift_events: u64,
 }
 
-/// A streaming detection session. See the module docs.
+/// A streaming detection session — one shard of the serving loop. See
+/// the module docs.
 #[derive(Debug)]
 pub struct ServingSession {
     cfg: ServingConfig,
-    artifacts: ServingArtifacts,
+    artifacts: Arc<ServingArtifacts>,
     stream: WindowStream,
     /// Indices of the engineered features within the raw stream row.
     feature_idx: Vec<usize>,
     /// Reusable engineered-row buffer — the hot loop never allocates it.
     scratch: Vec<f64>,
+    /// Reusable flat batch buffer for [`step_batch`](Self::step_batch).
+    batch_rows: Vec<f64>,
+    /// Ground truth per batched sample, parallel to `batch_rows`.
+    batch_truth: Vec<bool>,
     rng: StdRng,
     adv_cursor: usize,
     processed: usize,
@@ -202,7 +226,20 @@ impl ServingSession {
     /// carry every engineered feature.
     pub fn start(cfg: ServingConfig) -> Result<Self, CoreError> {
         let _span = hmd_telemetry::span("serving.start");
-        let artifacts = Framework::new(cfg.framework.clone()).prepare_serving(cfg.kind)?;
+        let artifacts = Arc::new(Framework::new(cfg.framework.clone()).prepare_serving(cfg.kind)?);
+        Self::with_artifacts(cfg, artifacts)
+    }
+
+    /// Assembles a session around already-trained artifacts — the cheap
+    /// path fleet shards and benchmarks use to share one training run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a stream that does not carry every engineered feature.
+    pub fn with_artifacts(
+        cfg: ServingConfig,
+        artifacts: Arc<ServingArtifacts>,
+    ) -> Result<Self, CoreError> {
         let stream = WindowStream::new(StreamConfig {
             malware_fraction: cfg.malware_fraction,
             windows_per_app: cfg.framework.corpus.windows_per_app,
@@ -237,6 +274,8 @@ impl ServingSession {
             stream,
             feature_idx,
             scratch,
+            batch_rows: Vec::new(),
+            batch_truth: Vec::new(),
             rng,
             adv_cursor: 0,
             processed: 0,
@@ -256,14 +295,57 @@ impl ServingSession {
     ///
     /// Propagates bind failures.
     pub fn serve_http(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
-        let shared = Arc::clone(&self.shared);
+        let shards = vec![Arc::clone(&self.shared)];
+        let artifacts = Arc::clone(&self.artifacts);
         let server = HttpServer::start(
             addr,
-            Arc::new(move |req: &hmd_obs::Request| handle(&shared, &req.path)),
+            Arc::new(move |req: &hmd_obs::Request| handle(&shards, &artifacts, &req.path)),
         )?;
         let bound = server.addr();
         self.http = Some(server);
         Ok(bound)
+    }
+
+    /// Draws the traffic for sample `idx` into `scratch` (engineered,
+    /// scaled) and returns its ground truth. Consumes exactly the same
+    /// RNG/stream/pool state regardless of how samples are grouped into
+    /// batches — the foundation of batch-size-invariant digests.
+    fn draw_sample(&mut self, idx: usize) -> Result<bool, CoreError> {
+        #[allow(clippy::cast_precision_loss)]
+        let progress = idx as f64 / self.cfg.samples as f64;
+        let adv_p = match self.cfg.burst {
+            Some(b) if (b.start..b.end).contains(&progress) => b.adv_fraction,
+            _ => self.cfg.adv_fraction,
+        };
+        // drawn unconditionally so traffic is independent of pool size
+        let inject = self.rng.random::<f64>() < adv_p;
+        let pool = &self.artifacts.attacks.train_result.adversarial;
+        if inject && !pool.is_empty() {
+            let row = pool.row(self.adv_cursor % pool.len())?;
+            self.adv_cursor += 1;
+            self.scratch.copy_from_slice(row);
+            return Ok(true);
+        }
+        let w = self.stream.next().expect("stream is endless");
+        for (dst, &src) in self.scratch.iter_mut().zip(&self.feature_idx) {
+            *dst = w.values[src];
+        }
+        self.artifacts.bundle.scaler.transform_row(&mut self.scratch)?;
+        Ok(w.is_malware())
+    }
+
+    /// The bookkeeping half of one sample: digest, counters, clock and
+    /// (when enabled) monitoring — identical between the scalar and
+    /// batched paths.
+    fn record_verdict(&mut self, truth_attack: bool, verdict: Verdict, latency_ns: u64) {
+        self.digest = fnv1a_step(self.digest, verdict);
+        self.verdicts[verdict_slot(verdict)] += 1;
+        self.processed += 1;
+        let now_ns = self.processed as u64 * self.cfg.tick_ns;
+        self.shared.t_ns.store(now_ns, Ordering::Relaxed);
+        if self.cfg.monitoring {
+            self.observe(now_ns, truth_attack, verdict, latency_ns);
+        }
     }
 
     /// Classifies one sample; returns `false` once the budget is spent.
@@ -275,49 +357,52 @@ impl ServingSession {
         if self.processed >= self.cfg.samples {
             return Ok(false);
         }
-        #[allow(clippy::cast_precision_loss)]
-        let progress = self.processed as f64 / self.cfg.samples as f64;
-        let adv_p = match self.cfg.burst {
-            Some(b) if (b.start..b.end).contains(&progress) => b.adv_fraction,
-            _ => self.cfg.adv_fraction,
-        };
-        // drawn unconditionally so traffic is independent of pool size
-        let inject = self.rng.random::<f64>() < adv_p;
-        let pool = &self.artifacts.attacks.train_result.adversarial;
-        let truth_attack = if inject && !pool.is_empty() {
-            let row = pool.row(self.adv_cursor % pool.len())?;
-            self.adv_cursor += 1;
-            self.scratch.copy_from_slice(row);
-            true
-        } else {
-            let w = self.stream.next().expect("stream is endless");
-            for (dst, &src) in self.scratch.iter_mut().zip(&self.feature_idx) {
-                *dst = w.values[src];
-            }
-            self.artifacts.bundle.scaler.transform_row(&mut self.scratch)?;
-            w.is_malware()
-        };
-
+        let truth_attack = self.draw_sample(self.processed)?;
         let t0 = clock::now_ns();
         let verdict = self.artifacts.detector.classify(&self.scratch)?;
         let latency_ns = clock::now_ns().saturating_sub(t0);
-
-        self.digest = fnv1a_step(self.digest, verdict);
-        self.verdicts[verdict_slot(verdict)] += 1;
-        self.processed += 1;
-        if self.artifacts.detector.quarantined() >= QUARANTINE_CAP {
-            // between offline retraining rounds the buffer must stay
-            // bounded; dropping oldest-first would need order we don't
-            // track, so drop the whole batch
-            let _ = self.artifacts.detector.take_quarantine();
-        }
-
-        let now_ns = self.processed as u64 * self.cfg.tick_ns;
-        self.shared.t_ns.store(now_ns, Ordering::Relaxed);
-        if self.cfg.monitoring {
-            self.observe(now_ns, truth_attack, verdict, latency_ns);
-        }
+        self.record_verdict(truth_attack, verdict, latency_ns);
         Ok(true)
+    }
+
+    /// Classifies up to [`ServingConfig::batch`] samples in one
+    /// detector call and returns how many were processed (0 once the
+    /// budget is spent). Traffic is drawn per sample in stream order,
+    /// then the whole batch goes through the predictor critic and the
+    /// routed model as single blocked matmuls; verdicts, digests and
+    /// alert choreography are bit-identical to [`step`](Self::step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector failures.
+    pub fn step_batch(&mut self) -> Result<usize, CoreError> {
+        let remaining = self.cfg.samples.saturating_sub(self.processed);
+        let n = self.cfg.batch.max(1).min(remaining);
+        if n == 0 {
+            return Ok(0);
+        }
+        if n == 1 {
+            return Ok(usize::from(self.step()?));
+        }
+        let width = self.feature_idx.len();
+        self.batch_rows.clear();
+        self.batch_truth.clear();
+        for k in 0..n {
+            let truth = self.draw_sample(self.processed + k)?;
+            self.batch_rows.extend_from_slice(&self.scratch);
+            self.batch_truth.push(truth);
+        }
+        let t0 = clock::now_ns();
+        let verdicts = self.artifacts.detector.classify_batch(&self.batch_rows, width)?;
+        // amortized per-sample latency: the histogram stays comparable
+        // across batch sizes
+        let latency_ns = clock::now_ns().saturating_sub(t0) / n as u64;
+        let truths = std::mem::take(&mut self.batch_truth);
+        for (&truth, verdict) in truths.iter().zip(verdicts) {
+            self.record_verdict(truth, verdict, latency_ns);
+        }
+        self.batch_truth = truths;
+        Ok(n)
     }
 
     /// The monitoring half of one step: window recording, periodic
@@ -353,13 +438,14 @@ impl ServingSession {
         }
     }
 
-    /// Runs [`step`](Self::step) until the budget is spent.
+    /// Runs [`step_batch`](Self::step_batch) until the budget is spent
+    /// (with the default `batch: 1` this is the scalar path).
     ///
     /// # Errors
     ///
     /// Propagates detector failures.
     pub fn run_to_completion(&mut self) -> Result<ServingOutcome, CoreError> {
-        while self.step()? {}
+        while self.step_batch()? > 0 {}
         Ok(self.outcome())
     }
 
@@ -401,11 +487,173 @@ impl ServingSession {
         &self.artifacts
     }
 
+    /// A shareable handle to the trained artifacts, for building more
+    /// sessions ([`with_artifacts`](Self::with_artifacts)) without
+    /// retraining.
+    #[must_use]
+    pub fn artifacts_handle(&self) -> Arc<ServingArtifacts> {
+        Arc::clone(&self.artifacts)
+    }
+
     /// Stops the HTTP endpoint (if running). Called on drop as well.
     pub fn finish(&mut self) {
         if let Some(mut server) = self.http.take() {
             server.shutdown();
         }
+    }
+}
+
+/// A fleet of per-core serving shards behind one HTTP endpoint.
+///
+/// Each shard is a full [`ServingSession`] with its own decorrelated
+/// traffic seed ([`shard_stream_seed`]; shard 0 keeps the base seed, so
+/// a one-shard fleet is byte-identical to a single session), its own
+/// monitor windows and alert engine, all sharing one trained
+/// [`ServingArtifacts`] — including the quarantine ring. `/metrics`
+/// merges the shards into the same aggregate series a single session
+/// exposes plus label-separated `hmd_serving_shard_*` series, and
+/// `/quit` stops every shard.
+#[derive(Debug)]
+pub struct FleetSession {
+    shards: Vec<ServingSession>,
+    artifacts: Arc<ServingArtifacts>,
+    http: Option<HttpServer>,
+}
+
+impl FleetSession {
+    /// Trains once ([`Framework::prepare_serving`]) and builds
+    /// `n_shards` shards (clamped to at least one) around the shared
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn start(cfg: &ServingConfig, n_shards: usize) -> Result<Self, CoreError> {
+        let _span = hmd_telemetry::span("serving.fleet_start");
+        let artifacts = Arc::new(Framework::new(cfg.framework.clone()).prepare_serving(cfg.kind)?);
+        Self::with_artifacts(cfg, n_shards, artifacts)
+    }
+
+    /// Builds the fleet around already-trained artifacts. Shard 0
+    /// calibrates the integrity baseline (once per fleet — the baseline
+    /// lives on the shared artifacts); later shards skip calibration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a stream that does not carry every engineered feature.
+    pub fn with_artifacts(
+        cfg: &ServingConfig,
+        n_shards: usize,
+        artifacts: Arc<ServingArtifacts>,
+    ) -> Result<Self, CoreError> {
+        let mut shards = Vec::with_capacity(n_shards.max(1));
+        for i in 0..n_shards.max(1) {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.stream_seed = shard_stream_seed(cfg.stream_seed, i);
+            if i > 0 {
+                shard_cfg.calibration_samples = 0;
+            }
+            shards.push(ServingSession::with_artifacts(shard_cfg, Arc::clone(&artifacts))?);
+        }
+        Ok(Self { shards, artifacts, http: None })
+    }
+
+    /// Starts the merged HTTP endpoint with `workers` pool threads.
+    /// Routes: `/metrics`, `/healthz`, `/snapshot.json`, `/quit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_http(
+        &mut self,
+        addr: &str,
+        workers: usize,
+    ) -> std::io::Result<std::net::SocketAddr> {
+        let shards: Vec<Arc<Shared>> =
+            self.shards.iter().map(|s| Arc::clone(&s.shared)).collect();
+        let artifacts = Arc::clone(&self.artifacts);
+        let server = HttpServer::start_with(
+            addr,
+            Arc::new(move |req: &hmd_obs::Request| handle(&shards, &artifacts, &req.path)),
+            workers,
+        )?;
+        let bound = server.addr();
+        self.http = Some(server);
+        Ok(bound)
+    }
+
+    /// Runs every shard to completion (or `/quit`) on one OS thread
+    /// each and returns the per-shard outcomes in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's detector failure.
+    pub fn run(&mut self) -> Result<Vec<ServingOutcome>, CoreError> {
+        let results: Vec<Result<ServingOutcome, CoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|sess| {
+                    scope.spawn(move || {
+                        while !sess.quit_requested() && sess.step_batch()? > 0 {}
+                        Ok(sess.outcome())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// The per-shard sessions, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[ServingSession] {
+        &self.shards
+    }
+
+    /// The per-shard outcomes so far, in shard order.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<ServingOutcome> {
+        self.shards.iter().map(ServingSession::outcome).collect()
+    }
+
+    /// The fleet-merged windowed view.
+    #[must_use]
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let shared: Vec<Arc<Shared>> =
+            self.shards.iter().map(|s| Arc::clone(&s.shared)).collect();
+        MonitorSnapshot::merged(&shard_snapshots(&shared))
+    }
+
+    /// Whether any client requested shutdown via `/quit`.
+    #[must_use]
+    pub fn quit_requested(&self) -> bool {
+        self.shards.iter().any(ServingSession::quit_requested)
+    }
+
+    /// The bound HTTP address, when serving.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(HttpServer::addr)
+    }
+
+    /// The shared trained artifacts.
+    #[must_use]
+    pub fn artifacts(&self) -> &ServingArtifacts {
+        &self.artifacts
+    }
+
+    /// Stops the HTTP endpoint (if running).
+    pub fn finish(&mut self) {
+        if let Some(mut server) = self.http.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for FleetSession {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -452,30 +700,108 @@ fn calibrate(
     Ok(())
 }
 
-/// HTTP dispatch for the serving endpoints.
-fn handle(shared: &Shared, path: &str) -> Response {
+/// HTTP dispatch for the serving endpoints, shared between single
+/// sessions (one shard) and fleets (many).
+fn handle(shards: &[Arc<Shared>], artifacts: &ServingArtifacts, path: &str) -> Response {
     match path {
         "/metrics" => {
-            let snap = shared.monitor.snapshot_at(shared.t_ns.load(Ordering::Relaxed));
-            let page = render_metrics(&snap, &shared.engine());
+            let snaps = shard_snapshots(shards);
+            let engines: Vec<_> = shards.iter().map(|s| s.engine()).collect();
+            let engine_refs: Vec<&AlertEngine> = engines.iter().map(|g| &**g).collect();
+            let mut page = render_metrics_fleet(&snaps, &engine_refs);
+            drop(engines);
+            append_quarantine_series(&mut page, artifacts);
             Response::ok(page)
         }
         "/healthz" => {
-            if shared.engine().healthy() {
+            if shards.iter().all(|s| s.engine().healthy()) {
                 Response::status(200, "ok\n")
             } else {
                 Response::status(503, "critical SLO firing\n")
             }
         }
-        "/snapshot.json" => {
-            Response::json(hmd_telemetry::snapshot_json("serving").to_string())
-        }
+        "/snapshot.json" => Response::json(live_snapshot_json(shards, artifacts).to_string()),
         "/quit" => {
-            shared.quit.store(true, Ordering::SeqCst);
+            for s in shards {
+                s.quit.store(true, Ordering::SeqCst);
+            }
             Response::status(200, "shutting down\n")
         }
         _ => Response::status(404, "unknown path\n"),
     }
+}
+
+/// Per-shard windowed snapshots, each at its own published clock.
+fn shard_snapshots(shards: &[Arc<Shared>]) -> Vec<MonitorSnapshot> {
+    shards
+        .iter()
+        .map(|s| s.monitor.snapshot_at(s.t_ns.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Appends the shared quarantine-ring series to a rendered page: the
+/// buffer lives on the detector (one per fleet), not on a shard.
+fn append_quarantine_series(page: &mut String, artifacts: &ServingArtifacts) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        page,
+        "# HELP hmd_serving_quarantine_evicted_total Quarantined rows evicted oldest-first by the ring bound.\n\
+         # TYPE hmd_serving_quarantine_evicted_total counter\n\
+         hmd_serving_quarantine_evicted_total {}",
+        artifacts.detector.quarantine_evicted()
+    );
+    let _ = writeln!(
+        page,
+        "# HELP hmd_serving_quarantined Rows currently held in the quarantine ring.\n\
+         # TYPE hmd_serving_quarantined gauge\n\
+         hmd_serving_quarantined {}",
+        artifacts.detector.quarantined()
+    );
+}
+
+/// The live `/snapshot.json` document: the merged monitor view plus
+/// fleet health and quarantine state. When tracing is enabled the
+/// telemetry snapshot rides along under `"telemetry"` — previously it
+/// was the *only* content, which left the endpoint empty (`{}`-ish)
+/// whenever `HMD_TRACE` was off and ignored the live monitor entirely.
+fn live_snapshot_json(shards: &[Arc<Shared>], artifacts: &ServingArtifacts) -> Json {
+    let snaps = shard_snapshots(shards);
+    let merged = MonitorSnapshot::merged(&snaps);
+    let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+    let (mut transitions, mut healthy) = (0, true);
+    for s in shards {
+        let engine = s.engine();
+        transitions += engine.transitions();
+        healthy &= engine.healthy();
+    }
+    let mut fields = vec![
+        ("t_ns".to_owned(), Json::UInt(merged.t_ns)),
+        ("shards".to_owned(), Json::UInt(shards.len() as u64)),
+        ("samples_window".to_owned(), Json::UInt(merged.samples)),
+        ("samples_total".to_owned(), Json::UInt(merged.total_samples)),
+        ("tp".to_owned(), Json::UInt(merged.tp)),
+        ("fn".to_owned(), Json::UInt(merged.fn_)),
+        ("fp".to_owned(), Json::UInt(merged.fp)),
+        ("tn".to_owned(), Json::UInt(merged.tn)),
+        ("flags".to_owned(), Json::UInt(merged.flags)),
+        ("drifts".to_owned(), Json::UInt(merged.drifts)),
+        ("detection_rate".to_owned(), opt(merged.detection_rate())),
+        ("adversarial_flag_rate".to_owned(), opt(merged.flag_rate())),
+        ("accuracy".to_owned(), opt(merged.accuracy())),
+        ("false_positive_rate".to_owned(), opt(merged.false_positive_rate())),
+        ("latency_p95_ms".to_owned(), Json::Float(merged.latency_p95_ms())),
+        ("healthy".to_owned(), Json::Bool(healthy)),
+        ("alert_transitions".to_owned(), Json::UInt(transitions)),
+        ("quarantined".to_owned(), Json::UInt(artifacts.detector.quarantined() as u64)),
+        (
+            "quarantine_evicted".to_owned(),
+            Json::UInt(artifacts.detector.quarantine_evicted()),
+        ),
+    ];
+    if hmd_telemetry::enabled() {
+        fields.push(("telemetry".to_owned(), hmd_telemetry::snapshot_json("serving")));
+    }
+    Json::Obj(fields)
 }
 
 /// The windowed confusion matrix of a snapshot.

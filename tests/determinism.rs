@@ -173,3 +173,75 @@ fn serving_monitoring_does_not_change_verdicts() {
     // with recording disabled nothing ever evaluates, so no transitions
     assert_eq!(off.alert_transitions, 0);
 }
+
+/// The batched predict path is bit-identical to the scalar path: the
+/// blocked matmul's per-output-element accumulation order is
+/// row-count-invariant, so grouping samples into batches (at any worker
+/// thread count) must not move a single verdict. The FNV digest over
+/// the verdict stream pins the whole sequence, not just the counts.
+#[test]
+fn serving_batch_size_and_thread_count_are_verdict_invariant() {
+    // train once, share the artifacts across every configuration
+    let base = {
+        let mut cfg = hmd::ServingConfig::quick(13);
+        cfg.samples = 250;
+        cfg
+    };
+    let artifacts = hmd::ServingSession::start(base.clone()).expect("train").artifacts_handle();
+
+    let run = |batch: usize| {
+        let mut cfg = base.clone();
+        cfg.batch = batch;
+        // the baseline was calibrated by the training session above;
+        // recalibrating per run would only repeat the same work
+        cfg.calibration_samples = 0;
+        let mut session =
+            hmd::ServingSession::with_artifacts(cfg, artifacts.clone()).expect("assemble");
+        session.run_to_completion().expect("run")
+    };
+
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 4] {
+        par::set_thread_override(Some(threads));
+        for batch in [1usize, 7, 64] {
+            outcomes.push((threads, batch, run(batch)));
+        }
+    }
+    par::set_thread_override(None);
+
+    let (_, _, reference) = &outcomes[0];
+    assert_eq!(reference.processed, 250);
+    for (threads, batch, outcome) in &outcomes {
+        assert_eq!(
+            outcome.digest, reference.digest,
+            "digest moved at batch {batch}, {threads} thread(s)"
+        );
+        assert_eq!(outcome.verdicts, reference.verdicts);
+        assert_eq!(outcome.drift_events, reference.drift_events);
+        assert_eq!(outcome.alert_transitions, reference.alert_transitions);
+    }
+}
+
+/// Shard 0 of a fleet replays the exact single-session stream: same
+/// base seed, same digest. Other shards decorrelate.
+#[test]
+fn fleet_shard_zero_matches_single_session() {
+    let mut cfg = hmd::ServingConfig::quick(17);
+    cfg.samples = 150;
+    let mut single = hmd::ServingSession::start(cfg.clone()).expect("train");
+    let single_outcome = single.run_to_completion().expect("run");
+
+    let mut fleet =
+        hmd::FleetSession::with_artifacts(&cfg, 2, single.artifacts_handle()).expect("fleet");
+    let outcomes = fleet.run().expect("fleet run");
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(
+        outcomes[0].digest, single_outcome.digest,
+        "fleet shard 0 diverged from the single session"
+    );
+    assert_eq!(outcomes[0].verdicts, single_outcome.verdicts);
+    assert_ne!(
+        outcomes[1].digest, outcomes[0].digest,
+        "shard seeds failed to decorrelate"
+    );
+}

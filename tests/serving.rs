@@ -6,12 +6,12 @@
 //! Everything runs on stream time (10 ms per sample), so the breach and
 //! the recovery are a pure function of the seed: no sleeps, no flakes.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hmd::obs::validate_exposition;
-use hmd::{ServingConfig, ServingSession};
+use hmd::{FleetSession, ServingConfig, ServingSession};
 use hmd_util::json::Json;
 
 /// Minimal scrape client: one GET, returns (status, body).
@@ -96,4 +96,113 @@ fn serving_breach_and_recovery_end_to_end() {
     assert_eq!(status, 200);
     assert!(session.quit_requested(), "/quit must reach the session");
     session.finish();
+}
+
+/// Sends one GET on an already-open keep-alive connection and reads
+/// exactly one response: parses `Content-Length` instead of reading to
+/// EOF, so the connection stays usable for the next request.
+fn get_on(reader: &mut BufReader<TcpStream>, path: &str) -> (u16, String) {
+    write!(reader.get_mut(), "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 =
+        line.split_whitespace().nth(1).and_then(|c| c.parse().ok()).expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// A two-shard fleet with batched classification behind one endpoint:
+/// the merged `/metrics` page carries label-separated per-shard series
+/// whose totals sum to the aggregate, `/snapshot.json` serves the live
+/// monitor (with tracing off — the old bug returned only the telemetry
+/// snapshot, i.e. nothing), and the worker pool answers two concurrent
+/// keep-alive scrapers while a third client stalls mid-request.
+#[test]
+fn fleet_merged_endpoint_with_concurrent_keepalive_scrapers() {
+    let mut cfg = ServingConfig::quick(23);
+    cfg.samples = 300;
+    cfg.batch = 8;
+    let mut fleet = FleetSession::start(&cfg, 2).expect("training succeeds");
+    let addr = fleet.serve_http("127.0.0.1:0", 4).expect("bind ephemeral port");
+    let outcomes = fleet.run().expect("fleet run");
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes[0].processed + outcomes[1].processed, 600);
+    assert_ne!(outcomes[0].digest, outcomes[1].digest, "shards must decorrelate");
+
+    // a client that stalls mid-request-line pins one worker on its I/O
+    // timeout; the rest of the pool must keep answering
+    let mut staller = TcpStream::connect(addr).expect("staller connects");
+    staller.write_all(b"GET /met").expect("partial request");
+
+    // two concurrent scrapers, three requests over one connection each
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let stream = TcpStream::connect(addr).expect("scraper connects");
+                stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+                let mut reader = BufReader::new(stream);
+                for _ in 0..3 {
+                    let (status, page) = get_on(&mut reader, "/metrics");
+                    assert_eq!(status, 200);
+                    validate_exposition(&page).expect("well-formed exposition");
+                    for series in [
+                        "hmd_serving_shard_samples_total{shard=\"0\"} 300",
+                        "hmd_serving_shard_samples_total{shard=\"1\"} 300",
+                        "hmd_serving_samples_total 600",
+                        "hmd_serving_quarantine_evicted_total",
+                        "hmd_serving_quarantined",
+                    ] {
+                        assert!(page.contains(series), "missing {series} in:\n{page}");
+                    }
+                }
+            });
+        }
+    });
+    // well inside the 2 s per-read I/O timeout: the staller never
+    // head-of-line blocked the scrapers
+    assert!(
+        t0.elapsed() < Duration::from_millis(1500),
+        "scrapers stalled behind a slow client: {:?}",
+        t0.elapsed()
+    );
+    drop(staller);
+
+    // live snapshot without HMD_TRACE: the monitor view, not telemetry
+    let (status, body) = get(&addr, "/snapshot.json");
+    assert_eq!(status, 200);
+    let snap = Json::parse(&body).expect("snapshot must be valid JSON");
+    let Json::Obj(fields) = &snap else { panic!("snapshot must be an object: {body}") };
+    for key in
+        ["t_ns", "shards", "samples_total", "detection_rate", "healthy", "quarantined"]
+    {
+        assert!(fields.iter().any(|(k, _)| k == key), "missing {key:?} in:\n{body}");
+    }
+    let num = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or_else(|| panic!("non-numeric {key:?} in:\n{body}"))
+    };
+    assert_eq!(num("samples_total"), 600.0, "merged sample total");
+    assert_eq!(num("shards"), 2.0);
+
+    let (status, _) = get(&addr, "/quit");
+    assert_eq!(status, 200);
+    assert!(fleet.quit_requested(), "/quit must reach every shard");
+    fleet.finish();
 }
