@@ -2,11 +2,18 @@
 //! SHA-256 hashing, tensor/NN primitives, and the parallel substrate
 //! (`hmd_util::par`) before/after pairs — naive vs blocked matmul, and
 //! 1-thread vs all-thread forest fitting, corpus generation, and batch
-//! prediction. Emits `BENCH_substrates.json`.
+//! prediction. The binary runs under a counting global allocator so it
+//! can also report `serve/steady_state_allocs_per_window` — the
+//! allocation-freedom pin for the arena-backed serving hot path. Emits
+//! `BENCH_substrates.json`.
 
 use std::hint::black_box;
 
 use hmd_integrity::Sha256;
+use hmd_util::alloc::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 use hmd_ml::{Classifier, Knn, RandomForest, RandomForestConfig};
 use hmd_nn::{Dense, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_sim::corpus::{build_corpus, CorpusConfig};
@@ -167,6 +174,7 @@ fn bench_obs(h: &mut Harness) {
         verdict_attack: true,
         flagged_adversarial: false,
         latency_ns: 12_345,
+        model_latency_ns: 11_000,
     };
     h.bench("obs/serving_monitor_record_sample", || {
         t = t.wrapping_add(10_000_000);
@@ -185,8 +193,14 @@ fn bench_serving(h: &mut Harness) {
     let mut cfg = ServingConfig::quick(41);
     cfg.samples = 256;
     cfg.batch = 32;
-    let artifacts = ServingSession::start(cfg.clone()).expect("training succeeds").artifacts_handle();
-    cfg.calibration_samples = 0; // calibrated once above
+    let trainer = ServingSession::start(cfg.clone()).expect("training succeeds");
+    let artifacts = trainer.artifacts_handle();
+    // calibrated once above; reuse the derived SLO thresholds the same
+    // way fleet shards inherit shard 0's (stock thresholds chatter
+    // against this seed's traffic, and alert edges allocate)
+    cfg.rules = trainer.slo_rules().to_vec();
+    cfg.calibration_samples = 0;
+    drop(trainer);
     let all_shards = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     for (id, n_shards) in
         [("serve/throughput_1shard", 1usize), ("serve/throughput_allshards", all_shards)]
@@ -200,6 +214,50 @@ fn bench_serving(h: &mut Harness) {
                 black_box(fleet.run().expect("fleet run"))
             },
         );
+    }
+
+    // Arena vs allocating inference: the same session budget through
+    // the preallocated per-shard arena and through the heap-allocating
+    // detector paths — verdict-identical, so the delta is pure runtime.
+    for (id, arena) in
+        [("serve/session_arena_batch32", true), ("serve/session_alloc_batch32", false)]
+    {
+        let mut pair_cfg = cfg.clone();
+        pair_cfg.arena = arena;
+        h.bench_with_throughput(id, Throughput::Elements(cfg.samples as u64), || {
+            let mut session =
+                ServingSession::with_artifacts(pair_cfg.clone(), artifacts.clone())
+                    .expect("assemble session");
+            black_box(session.run_to_completion().expect("session run"))
+        });
+    }
+
+    // Steady-state allocation count: replay-ring traffic through the
+    // arena path, measured across the back half of the budget once the
+    // windows, alert engine and quarantine reservation have settled.
+    // The record is a count, not a duration; the bench_check baseline
+    // gate keeps it pinned at zero.
+    let mut alloc_cfg = cfg.clone();
+    alloc_cfg.samples = 900;
+    alloc_cfg.replay = 256;
+    alloc_cfg.burst = None;
+    alloc_cfg.batch = 8;
+    par::set_thread_override(Some(1));
+    let mut session = ServingSession::with_artifacts(alloc_cfg, artifacts.clone())
+        .expect("assemble replay session");
+    let warmup = 500;
+    while session.outcome().processed < warmup {
+        session.step_batch().expect("warmup step");
+    }
+    let measured_from = session.outcome().processed;
+    let before = ALLOC.allocations();
+    while session.step_batch().expect("steady-state step") > 0 {}
+    let delta = ALLOC.allocations() - before;
+    par::set_thread_override(None);
+    #[allow(clippy::cast_precision_loss)]
+    {
+        let windows = (session.outcome().processed - measured_from) as f64;
+        h.record_value("serve/steady_state_allocs_per_window", delta as f64 / windows);
     }
 }
 

@@ -35,6 +35,9 @@ const REQUIRED_SERIES: &[&str] = &[
     "hmd_serving_latency_ns_p50",
     "hmd_serving_latency_ns_p95",
     "hmd_serving_latency_ns_p99",
+    "hmd_serving_model_latency_p50",
+    "hmd_serving_model_latency_p95",
+    "hmd_serving_model_latency_p99",
     "hmd_serving_alert_transitions_total",
     "hmd_serving_healthy",
 ];

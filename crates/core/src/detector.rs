@@ -35,6 +35,51 @@ impl Verdict {
     }
 }
 
+/// Preallocated per-shard inference arena: every buffer the detector's
+/// hot path needs, sized once by [`AdaptiveDetector::warmup`] from the
+/// feature width, the model zoo's topology, and the maximum batch size.
+///
+/// After warmup, [`AdaptiveDetector::classify_into`] and
+/// [`AdaptiveDetector::classify_batch_into`] run entirely inside these
+/// buffers — zero heap allocations per window — while producing verdicts
+/// byte-identical to the allocating [`AdaptiveDetector::classify`] /
+/// [`AdaptiveDetector::classify_batch`] paths.
+#[derive(Debug)]
+pub struct InferArena {
+    /// Critic activation scratch for the adversarial predictor.
+    critic: hmd_nn::InferScratch,
+    /// One predict scratch per zoo model, indexed like the zoo.
+    model_scratch: Vec<hmd_ml::PredictScratch>,
+    /// Critic values per batch row.
+    values: Vec<f64>,
+    /// Adversarial flags per batch row.
+    flags: Vec<bool>,
+    /// Packed unflagged rows awaiting the routed model.
+    clean: Vec<f64>,
+    /// Routed-model probabilities for the clean rows.
+    probs: Vec<f64>,
+    /// Routed-model attack votes for the clean rows.
+    routed: Vec<bool>,
+    /// Final verdicts per batch row, in input order.
+    verdicts: Vec<Verdict>,
+    max_batch: usize,
+}
+
+impl InferArena {
+    /// The verdicts of the last [`AdaptiveDetector::classify_batch_into`]
+    /// call, in input order.
+    #[must_use]
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The largest batch this arena was warmed up for.
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
 /// The deployed detector.
 ///
 /// Incoming samples flow through the adversarial predictor first; flagged
@@ -202,6 +247,117 @@ impl AdaptiveDetector {
             .collect())
     }
 
+    /// Builds a per-shard [`InferArena`] sized for `width`-wide rows in
+    /// batches of up to `max_batch`, and reserves quarantine headroom
+    /// (ring cap + one batch) so steady-state pushes never reallocate.
+    /// Call once at warmup; the returned arena makes
+    /// [`classify_into`](Self::classify_into) and
+    /// [`classify_batch_into`](Self::classify_batch_into)
+    /// allocation-free.
+    #[must_use]
+    pub fn warmup(&self, width: usize, max_batch: usize) -> InferArena {
+        let max_batch = max_batch.max(1);
+        {
+            let mut guard = self.quarantine_guard();
+            let cap = self.quarantine_cap.load(Ordering::Relaxed);
+            guard.reserve(cap + max_batch);
+        }
+        InferArena {
+            critic: self.predictor.infer_scratch(max_batch),
+            model_scratch: self.models.iter().map(|m| m.make_scratch(max_batch)).collect(),
+            values: Vec::with_capacity(max_batch),
+            flags: Vec::with_capacity(max_batch),
+            clean: Vec::with_capacity(max_batch * width),
+            probs: Vec::with_capacity(max_batch),
+            routed: Vec::with_capacity(max_batch),
+            verdicts: Vec::with_capacity(max_batch),
+            max_batch,
+        }
+    }
+
+    /// [`classify`](Self::classify) through a warmed-up arena: identical
+    /// verdict, quarantine behavior and telemetry, zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures.
+    pub fn classify_into(&self, row: &[f64], arena: &mut InferArena) -> Result<Verdict, CoreError> {
+        if self.predictor.is_adversarial_with(row, &mut arena.critic) {
+            self.quarantine_push(row)?;
+            return Ok(Verdict::AdversarialAttack);
+        }
+        let scratch = &mut arena.model_scratch[self.controller.selected_model()];
+        let is_malware = self
+            .controller
+            .predict_row_with(&self.models, row, scratch)
+            .map_err(CoreError::from)?;
+        Ok(if is_malware { Verdict::MalwareAttack } else { Verdict::Benign })
+    }
+
+    /// [`classify_batch`](Self::classify_batch) through a warmed-up
+    /// arena, leaving the verdicts in [`InferArena::verdicts`] (input
+    /// order): identical verdicts, quarantine behavior and telemetry,
+    /// zero heap allocations for batches within the arena's capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for a malformed batch shape and
+    /// propagates model failures.
+    pub fn classify_batch_into(
+        &self,
+        rows: &[f64],
+        width: usize,
+        arena: &mut InferArena,
+    ) -> Result<(), CoreError> {
+        if width == 0 || !rows.len().is_multiple_of(width) {
+            return Err(CoreError::Invalid("batch length is not a multiple of the row width"));
+        }
+        let n = rows.len() / width;
+        arena.verdicts.clear();
+        if n == 0 {
+            return Ok(());
+        }
+        self.predictor.is_adversarial_batch_into(
+            rows,
+            &mut arena.critic,
+            &mut arena.values,
+            &mut arena.flags,
+        );
+        arena.clean.clear();
+        for (i, &flagged) in arena.flags.iter().enumerate() {
+            let row = &rows[i * width..(i + 1) * width];
+            if flagged {
+                self.quarantine_push(row)?;
+            } else {
+                arena.clean.extend_from_slice(row);
+            }
+        }
+        arena.routed.clear();
+        if !arena.clean.is_empty() {
+            self.controller
+                .predict_batch_into(
+                    &self.models,
+                    &arena.clean,
+                    width,
+                    &mut arena.model_scratch[self.controller.selected_model()],
+                    &mut arena.probs,
+                    &mut arena.routed,
+                )
+                .map_err(CoreError::from)?;
+        }
+        let mut routed = arena.routed.iter();
+        for &flagged in &arena.flags {
+            arena.verdicts.push(if flagged {
+                Verdict::AdversarialAttack
+            } else if *routed.next().expect("one verdict per unflagged row") {
+                Verdict::MalwareAttack
+            } else {
+                Verdict::Benign
+            });
+        }
+        Ok(())
+    }
+
     /// Drains the quarantined adversarial samples (labeled
     /// [`Class::Adversarial`]) for the next adversarial-training round.
     #[must_use]
@@ -324,6 +480,25 @@ mod tests {
         assert_eq!(detector.classify_batch(&flat, width).unwrap(), expect);
         assert!(detector.classify_batch(&flat, 0).is_err());
         assert!(detector.classify_batch(&flat[..flat.len() - 1], width).is_err() || width == 1);
+
+        // the arena paths reproduce the allocating paths verdict-for-verdict
+        let mut arena = detector.warmup(width, 16);
+        assert_eq!(arena.max_batch(), 16);
+        detector.classify_batch_into(&flat, width, &mut arena).unwrap();
+        assert_eq!(arena.verdicts(), expect.as_slice());
+        for (row, _) in benign.iter().take(4) {
+            assert_eq!(
+                detector.classify_into(row, &mut arena).unwrap(),
+                detector.classify(row).unwrap()
+            );
+        }
+        for (row, _) in attacks.test_result.adversarial.iter().take(4) {
+            assert_eq!(
+                detector.classify_into(row, &mut arena).unwrap(),
+                detector.classify(row).unwrap()
+            );
+        }
+        assert!(detector.classify_batch_into(&flat, 0, &mut arena).is_err());
 
         // ring eviction: past the cap the buffer keeps the newest rows
         // and counts evictions, instead of dropping wholesale

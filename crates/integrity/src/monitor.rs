@@ -211,6 +211,38 @@ impl MetricMonitor {
         self.assess(name, &BinaryMetrics::from_confusion(matrix))
     }
 
+    /// Allocation-free stability probe: `Some(true)` when every metric
+    /// [`assess`](Self::assess) monitors is within tolerance of the
+    /// baseline, `Some(false)` on drift, `None` without a baseline.
+    /// Verdict-identical to `assess(name, observed).is_stable()` (with
+    /// `None` mapping to the non-stable `Unknown`), but builds no
+    /// [`DriftEvent`], touches no telemetry, and performs zero heap
+    /// allocations — the probe the serving hot path runs every
+    /// integrity tick, falling back to the full assessment only when it
+    /// reports drift or tracing is on.
+    #[must_use]
+    pub fn is_stable(&self, name: &str, observed: &BinaryMetrics) -> Option<bool> {
+        let baselines = self.baselines_read();
+        let base = baselines.get(name)?;
+        let pairs = [
+            (base.accuracy, observed.accuracy),
+            (base.f1, observed.f1),
+            (base.tpr, observed.tpr),
+            (base.fpr, observed.fpr),
+            (base.tnr, observed.tnr),
+            (base.fnr, observed.fnr),
+        ];
+        Some(pairs.iter().all(|(b, o)| (b - o).abs() <= self.tolerance))
+    }
+
+    /// [`is_stable`](Self::is_stable) from raw confusion counts — the
+    /// allocation-free counterpart of
+    /// [`assess_confusion`](Self::assess_confusion).
+    #[must_use]
+    pub fn confusion_is_stable(&self, name: &str, matrix: &ConfusionMatrix) -> Option<bool> {
+        self.is_stable(name, &BinaryMetrics::from_confusion(matrix))
+    }
+
     /// The stored baseline for a model, if any.
     #[must_use]
     pub fn baseline(&self, name: &str) -> Option<BinaryMetrics> {
@@ -323,6 +355,24 @@ mod tests {
         let event = m.assess_confusion("RF", &degraded);
         assert!(!event.is_stable());
         assert!(event.deviations().iter().any(|d| d.metric == "tpr"));
+    }
+
+    #[test]
+    fn is_stable_probe_matches_full_assessment() {
+        let m = MetricMonitor::new(0.05);
+        assert_eq!(m.is_stable("ghost", &metrics(0.9, 0.9)), None);
+        m.record_baseline("RF", metrics(0.90, 0.90));
+        for observed in [metrics(0.93, 0.88), metrics(0.60, 0.89), metrics(0.90, 0.90)] {
+            assert_eq!(
+                m.is_stable("RF", &observed),
+                Some(m.assess("RF", &observed).is_stable()),
+            );
+        }
+        let degraded = ConfusionMatrix { tp: 5, fp: 0, tn: 10, fn_: 5 };
+        assert_eq!(
+            m.confusion_is_stable("RF", &degraded),
+            Some(m.assess_confusion("RF", &degraded).is_stable()),
+        );
     }
 
     #[test]

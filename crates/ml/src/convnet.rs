@@ -12,7 +12,7 @@ use hmd_nn::{Conv1d, Dense, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_tabular::Dataset;
 use hmd_util::rng::prelude::*;
 
-use crate::model::{validate_training_set, Classifier};
+use crate::model::{validate_training_set, Classifier, PredictScratch};
 use crate::MlError;
 
 /// Hyper-parameters for [`ConvNet`].
@@ -167,6 +167,47 @@ impl Classifier for ConvNet {
         }
         let logits = net.infer(&Tensor::row_vector(row));
         Ok(hmd_nn::sigmoid(logits.get(0, 0)))
+    }
+
+    fn make_scratch(&self, max_rows: usize) -> PredictScratch {
+        let nn = self.net.as_ref().map_or_else(hmd_nn::InferScratch::default, |net| {
+            hmd_nn::InferScratch::for_net(net, self.n_features, max_rows.max(1))
+        });
+        PredictScratch { nn, ..PredictScratch::default() }
+    }
+
+    fn predict_proba_row_with(
+        &self,
+        row: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, MlError> {
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        let logits = net.infer_into(row, 1, self.n_features, &mut scratch.nn);
+        Ok(hmd_nn::sigmoid(logits[0]))
+    }
+
+    fn predict_proba_into(
+        &self,
+        rows: &[f64],
+        width: usize,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MlError> {
+        crate::model::validate_batch_shape(rows, width)?;
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        if width != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, actual: width });
+        }
+        let logits = net.infer_into(rows, rows.len() / width, width, &mut scratch.nn);
+        out.clear();
+        out.extend(logits.iter().map(|&l| hmd_nn::sigmoid(l)));
+        Ok(())
     }
 
     fn size_bytes(&self) -> usize {

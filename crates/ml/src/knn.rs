@@ -5,7 +5,7 @@
 use hmd_tabular::Dataset;
 use hmd_util::par;
 
-use crate::model::{validate_training_set, Classifier, PAR_BATCH_MIN};
+use crate::model::{validate_training_set, Classifier, PredictScratch, PAR_BATCH_MIN};
 use crate::MlError;
 
 /// Hyper-parameters for [`Knn`].
@@ -193,6 +193,31 @@ impl Classifier for Knn {
         .collect()
     }
 
+    fn make_scratch(&self, max_rows: usize) -> PredictScratch {
+        let _ = max_rows;
+        PredictScratch {
+            dists: Vec::with_capacity(self.targets.len()),
+            ..PredictScratch::default()
+        }
+    }
+
+    fn predict_proba_row_with(
+        &self,
+        row: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        Ok(self.score_row(row, &mut scratch.dists))
+    }
+
     fn size_bytes(&self) -> usize {
         // k-NN memorizes the training set
         (self.data.len() + self.targets.len()) * std::mem::size_of::<f64>()
@@ -285,6 +310,21 @@ mod tests {
             knn.predict_proba(&narrow),
             Err(MlError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn scratch_row_path_matches_allocating_path() {
+        let (train, tt) = blobs(80, 10);
+        let (test, _) = blobs(30, 11);
+        let mut knn = Knn::new();
+        knn.fit(&train, &tt).unwrap();
+        let mut scratch = knn.make_scratch(test.len());
+        assert!(scratch.dists.capacity() >= train.len());
+        for i in 0..test.len() {
+            let row = test.row(i).unwrap();
+            let p = knn.predict_proba_row_with(row, &mut scratch).unwrap();
+            assert_eq!(p, knn.predict_proba_row(row).unwrap(), "row {i}");
+        }
     }
 
     #[test]

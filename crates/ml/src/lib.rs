@@ -61,7 +61,7 @@ pub use knn::{Knn, KnnConfig};
 pub use logreg::{LogisticRegression, LogisticRegressionConfig};
 pub use metrics::{roc_auc, BinaryMetrics, ConfusionMatrix};
 pub use mlp::{Mlp, MlpConfig};
-pub use model::{evaluate, measure_latency_ms, validate_batch_shape, Classifier};
+pub use model::{evaluate, measure_latency_ms, validate_batch_shape, Classifier, PredictScratch};
 pub use tree::{DecisionTree, DecisionTreeConfig};
 
 /// Builds the paper's five classical models with default settings, in the

@@ -1,11 +1,11 @@
 //! The MLP detector (on the `hmd-nn` substrate) — the paper's strongest
 //! classical model.
 
-use hmd_nn::{Dense, Loss, Optimizer, Relu, Sequential, Tensor};
+use hmd_nn::{Dense, InferScratch, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_tabular::Dataset;
 use hmd_util::rng::prelude::*;
 
-use crate::model::{validate_training_set, Classifier};
+use crate::model::{validate_training_set, Classifier, PredictScratch};
 use crate::MlError;
 
 /// Hyper-parameters for [`Mlp`].
@@ -157,6 +157,47 @@ impl Classifier for Mlp {
         Ok((0..logits.rows()).map(|r| hmd_nn::sigmoid(logits.get(r, 0))).collect())
     }
 
+    fn make_scratch(&self, max_rows: usize) -> PredictScratch {
+        let nn = self.net.as_ref().map_or_else(InferScratch::default, |net| {
+            InferScratch::for_net(net, self.n_features, max_rows.max(1))
+        });
+        PredictScratch { nn, ..PredictScratch::default() }
+    }
+
+    fn predict_proba_row_with(
+        &self,
+        row: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, MlError> {
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: row.len(),
+            });
+        }
+        let logits = net.infer_into(row, 1, self.n_features, &mut scratch.nn);
+        Ok(hmd_nn::sigmoid(logits[0]))
+    }
+
+    fn predict_proba_into(
+        &self,
+        rows: &[f64],
+        width: usize,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MlError> {
+        crate::model::validate_batch_shape(rows, width)?;
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        if width != self.n_features {
+            return Err(MlError::DimensionMismatch { expected: self.n_features, actual: width });
+        }
+        let logits = net.infer_into(rows, rows.len() / width, width, &mut scratch.nn);
+        out.clear();
+        out.extend(logits.iter().map(|&l| hmd_nn::sigmoid(l)));
+        Ok(())
+    }
+
     fn size_bytes(&self) -> usize {
         self.net.as_ref().map_or(0, Sequential::size_bytes)
     }
@@ -227,6 +268,23 @@ mod tests {
             mlp.predict_proba_row(&[1.0]),
             Err(MlError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn scratch_paths_match_allocating_paths_bitwise() {
+        let (d, t) = moons(80, 6);
+        let mut mlp = Mlp::with_config(MlpConfig { epochs: 5, ..MlpConfig::default() });
+        mlp.fit(&d, &t).unwrap();
+        let mut scratch = mlp.make_scratch(d.len());
+        let flat: Vec<f64> = (0..d.len()).flat_map(|i| d.row(i).unwrap().to_vec()).collect();
+        let mut got = Vec::with_capacity(d.len());
+        mlp.predict_proba_into(&flat, 2, &mut scratch, &mut got).unwrap();
+        let want = mlp.predict_proba_batch(&flat, 2).unwrap();
+        assert_eq!(got, want);
+        for (i, row) in flat.chunks(2).enumerate() {
+            let p = mlp.predict_proba_row_with(row, &mut scratch).unwrap();
+            assert_eq!(p, mlp.predict_proba_row(row).unwrap(), "row {i}");
+        }
     }
 
     #[test]

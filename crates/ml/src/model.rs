@@ -1,6 +1,7 @@
 //! The [`Classifier`] trait every detector implements, plus evaluation
 //! and latency/footprint measurement helpers.
 
+use hmd_nn::InferScratch;
 use hmd_tabular::Dataset;
 use hmd_telemetry::clock;
 use hmd_telemetry::metrics::Histogram;
@@ -12,6 +13,22 @@ use crate::MlError;
 /// Batch sizes below this predict sequentially — thread launch would
 /// cost more than the per-row work it distributes.
 pub(crate) const PAR_BATCH_MIN: usize = 64;
+
+/// Caller-owned scratch for allocation-free prediction, sized once per
+/// model via [`Classifier::make_scratch`] and reused forever after.
+///
+/// One struct serves every model family so arenas can be held uniformly
+/// as `Vec<PredictScratch>` indexed by model: NN-backed models use the
+/// activation ping-pong buffers, k-NN uses the distance buffer, and the
+/// tree/linear models (whose predict path never allocates) use none of
+/// it.
+#[derive(Clone, Debug, Default)]
+pub struct PredictScratch {
+    /// Activation arenas for NN-backed models (MLP, ConvNet).
+    pub nn: InferScratch,
+    /// `(squared distance, target)` pairs for the k-NN vote.
+    pub dists: Vec<(f64, f64)>,
+}
 
 /// A binary malware detector (positive class = attack).
 ///
@@ -90,6 +107,60 @@ pub trait Classifier: Send + Sync + std::fmt::Debug {
     /// Propagates [`Self::predict_proba_row`] errors.
     fn predict_row(&self, row: &[f64]) -> Result<bool, MlError> {
         Ok(self.predict_proba_row(row)? >= 0.5)
+    }
+
+    /// Scratch sized for this fitted model at batches of up to
+    /// `max_rows` rows — warmup calls this once per model, the serving
+    /// hot path reuses the result forever. The default is empty: the
+    /// tree/linear models predict without touching scratch. NN-backed
+    /// and k-NN models override to preallocate what their predict path
+    /// would otherwise allocate per call.
+    fn make_scratch(&self, max_rows: usize) -> PredictScratch {
+        let _ = max_rows;
+        PredictScratch::default()
+    }
+
+    /// Attack probability for one row using caller-owned scratch —
+    /// bit-identical to [`Self::predict_proba_row`], with zero heap
+    /// allocations for every in-tree model once `scratch` came from
+    /// [`Self::make_scratch`]. The default ignores the scratch and
+    /// delegates (correct for models that never allocate per row).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::predict_proba_row`].
+    fn predict_proba_row_with(
+        &self,
+        row: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, MlError> {
+        let _ = scratch;
+        self.predict_proba_row(row)
+    }
+
+    /// Attack probabilities for a flat row-major batch, written into
+    /// `out` (cleared first) — the allocation-free counterpart of
+    /// [`Self::predict_proba_batch`], under the same byte-identical
+    /// equivalence contract. `out` must have capacity for one value per
+    /// row for the call to stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::predict_proba_batch`].
+    fn predict_proba_into(
+        &self,
+        rows: &[f64],
+        width: usize,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MlError> {
+        validate_batch_shape(rows, width)?;
+        out.clear();
+        for row in rows.chunks(width) {
+            let p = self.predict_proba_row_with(row, scratch)?;
+            out.push(p);
+        }
+        Ok(())
     }
 
     /// Approximate in-memory size of the fitted model in bytes — the

@@ -71,6 +71,30 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// the inference path, usable through `&self`.
     fn infer(&self, input: &Tensor) -> Tensor;
 
+    /// Output row width for `in_cols`-wide input rows. Activations
+    /// preserve width (the default); shape-changing layers (Dense,
+    /// Conv1d) override. Warmup sizing walks a network's layer chain
+    /// through this to bound every activation buffer without running
+    /// data.
+    fn out_cols(&self, in_cols: usize) -> usize {
+        in_cols
+    }
+
+    /// Allocation-free inference: writes the layer output for `rows`
+    /// row-major samples of width `cols` from `input` into `out`
+    /// (`rows × out_cols(cols)` elements), bit-identical to
+    /// [`Layer::infer`] on the same data. The default falls back to
+    /// `infer` and copies — correct but allocating; every in-tree layer
+    /// overrides it with a true in-place kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree with the stated shapes.
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        let t = self.infer(&Tensor::from_vec(rows, cols, input.to_vec()));
+        out.copy_from_slice(t.as_slice());
+    }
+
     /// Mutable access to every trainable parameter block (empty for
     /// activations).
     fn param_blocks_mut(&mut self) -> Vec<&mut ParamBlock> {
@@ -185,6 +209,30 @@ impl Layer for Dense {
         input.matmul(&self.weights.values).add_row_broadcast(&self.bias.values)
     }
 
+    fn out_cols(&self, in_cols: usize) -> usize {
+        assert_eq!(in_cols, self.in_dim(), "dense input width mismatch");
+        self.out_dim()
+    }
+
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        // same kernel, then the same bias pass add_row_broadcast runs —
+        // float-for-float the order of `matmul(..).add_row_broadcast(..)`
+        crate::tensor::matmul_slices(
+            input,
+            rows,
+            cols,
+            self.weights.values.as_slice(),
+            self.out_dim(),
+            out,
+        );
+        let bias = self.bias.values.as_slice();
+        for row in out.chunks_exact_mut(self.out_dim()) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
         // fused transposed kernels: no materialized transposed() copies
@@ -227,6 +275,10 @@ impl Layer for Relu {
         input.map(|v| v.max(0.0))
     }
 
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        map_into(input, rows, cols, out, |v| v.max(0.0));
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
@@ -257,6 +309,10 @@ impl Layer for Tanh {
 
     fn infer(&self, input: &Tensor) -> Tensor {
         input.map(f64::tanh)
+    }
+
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        map_into(input, rows, cols, out, f64::tanh);
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -300,6 +356,10 @@ impl Layer for Sigmoid {
 
     fn infer(&self, input: &Tensor) -> Tensor {
         input.map(sigmoid)
+    }
+
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        map_into(input, rows, cols, out, sigmoid);
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -357,6 +417,23 @@ impl Layer for Softmax {
         softmax_rows(input)
     }
 
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        assert_eq!(input.len(), rows * cols, "input length must equal rows*cols");
+        assert_eq!(out.len(), rows * cols, "out length must equal rows*cols");
+        out.copy_from_slice(input);
+        for row in out.chunks_exact_mut(cols) {
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let y = self.cached_output.as_ref().expect("backward before forward");
         // dL/dz_i = y_i * (g_i - Σ_j g_j y_j), row-wise
@@ -369,6 +446,16 @@ impl Layer for Softmax {
             }
         }
         out
+    }
+}
+
+/// Shared elementwise `infer_into` body for activation layers — the
+/// in-place mirror of [`Tensor::map`], element order included.
+fn map_into(input: &[f64], rows: usize, cols: usize, out: &mut [f64], f: impl Fn(f64) -> f64) {
+    assert_eq!(input.len(), rows * cols, "input length must equal rows*cols");
+    assert_eq!(out.len(), rows * cols, "out length must equal rows*cols");
+    for (o, &v) in out.iter_mut().zip(input) {
+        *o = f(v);
     }
 }
 
@@ -473,6 +560,34 @@ impl Layer for Conv1d {
             }
         }
         out
+    }
+
+    fn out_cols(&self, in_cols: usize) -> usize {
+        self.output_width(in_cols)
+    }
+
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        assert_eq!(input.len(), rows * cols, "input length must equal rows*cols");
+        let len = self.seq_len(cols);
+        let out_len = len - self.kernel + 1;
+        let out_cols = self.out_channels * out_len;
+        assert_eq!(out.len(), rows * out_cols, "out length must equal rows*out_cols");
+        for b in 0..rows {
+            let x = &input[b * cols..(b + 1) * cols];
+            for oc in 0..self.out_channels {
+                let w = self.weights.values.row(oc);
+                let bias = self.bias.values.get(0, oc);
+                for pos in 0..out_len {
+                    let mut acc = bias;
+                    for ic in 0..self.in_channels {
+                        for k in 0..self.kernel {
+                            acc += w[ic * self.kernel + k] * x[ic * len + pos + k];
+                        }
+                    }
+                    out[b * out_cols + oc * out_len + pos] = acc;
+                }
+            }
+        }
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -37,6 +37,7 @@ pub mod layer;
 pub mod loss;
 pub mod optimizer;
 pub mod regularize;
+pub mod scratch;
 pub mod sequential;
 pub mod tensor;
 
@@ -49,5 +50,6 @@ pub use layer::{
 pub use loss::Loss;
 pub use optimizer::Optimizer;
 pub use regularize::{clip_grad_norm, Dropout};
+pub use scratch::InferScratch;
 pub use sequential::Sequential;
-pub use tensor::Tensor;
+pub use tensor::{matmul_slices, Tensor};

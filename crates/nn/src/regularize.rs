@@ -70,6 +70,11 @@ impl Layer for Dropout {
         input.clone()
     }
 
+    fn infer_into(&self, input: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+        assert_eq!(input.len(), rows * cols, "input length must equal rows*cols");
+        out.copy_from_slice(input);
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         match &self.mask {
             Some(mask) => grad_output.hadamard(mask),

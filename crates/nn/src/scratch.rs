@@ -1,0 +1,243 @@
+//! Preallocated activation scratch for allocation-free inference.
+//!
+//! [`InferScratch`] owns two ping-pong activation buffers sized once —
+//! at warmup — from a network's layer chain ([`crate::Layer::out_cols`]) and a
+//! maximum batch size. [`Sequential::infer_into`] then runs every
+//! forward pass inside those buffers: after construction the inference
+//! hot path performs zero heap allocations, while producing output
+//! bit-identical to [`Sequential::infer`].
+
+use crate::Sequential;
+
+/// Reusable activation buffers for one network (or any network whose
+/// widest activation and batch size fit).
+///
+/// # Example
+///
+/// ```
+/// use hmd_nn::{Dense, InferScratch, Relu, Sequential, Tensor};
+/// use hmd_util::rng::prelude::*;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let net = Sequential::new()
+///     .with(Dense::he(4, 16, &mut rng))
+///     .with(Relu::new())
+///     .with(Dense::xavier(16, 1, &mut rng));
+/// let mut scratch = InferScratch::for_net(&net, 4, 8);
+/// let x = Tensor::from_fn(8, 4, |r, c| (r * 4 + c) as f64 / 10.0);
+/// let out = net.infer_into(x.as_slice(), 8, 4, &mut scratch).to_vec();
+/// assert_eq!(out, net.infer(&x).as_slice());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InferScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    max_rows: usize,
+    max_cols: usize,
+}
+
+impl InferScratch {
+    /// Scratch for up to `max_rows`-row batches whose activations never
+    /// exceed `max_cols` columns.
+    #[must_use]
+    pub fn with_capacity(max_rows: usize, max_cols: usize) -> Self {
+        let len = max_rows * max_cols;
+        Self { a: vec![0.0; len], b: vec![0.0; len], max_rows, max_cols }
+    }
+
+    /// Scratch sized for `net` fed `in_cols`-wide rows in batches of up
+    /// to `max_rows`: walks the layer chain through
+    /// [`crate::Layer::out_cols`] and takes the widest activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer rejects its input width (wiring mismatch).
+    #[must_use]
+    pub fn for_net(net: &Sequential, in_cols: usize, max_rows: usize) -> Self {
+        Self::with_capacity(max_rows, net.max_activation_cols(in_cols))
+    }
+
+    /// Whether a `rows × cols` activation fits these buffers.
+    #[must_use]
+    pub fn fits(&self, rows: usize, cols: usize) -> bool {
+        rows <= self.max_rows && cols <= self.max_cols
+    }
+
+    /// The configured maximum batch size.
+    #[must_use]
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Grows the buffers so a `rows × cols` activation fits; a no-op
+    /// when it already does. Warmup-time only — calling this on the hot
+    /// path defeats the purpose.
+    pub fn ensure(&mut self, rows: usize, cols: usize) {
+        if !self.fits(rows, cols) {
+            *self = Self::with_capacity(rows.max(self.max_rows), cols.max(self.max_cols));
+        }
+    }
+}
+
+impl Sequential {
+    /// Output row width after the whole layer chain, for `in_cols`-wide
+    /// input rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer rejects its input width (wiring mismatch).
+    #[must_use]
+    pub fn out_cols(&self, in_cols: usize) -> usize {
+        self.layers().iter().fold(in_cols, |cols, layer| layer.out_cols(cols))
+    }
+
+    /// The widest activation (input included) the chain produces for
+    /// `in_cols`-wide rows — what [`InferScratch::for_net`] sizes by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer rejects its input width (wiring mismatch).
+    #[must_use]
+    pub fn max_activation_cols(&self, in_cols: usize) -> usize {
+        let mut cols = in_cols;
+        let mut max = cols;
+        for layer in self.layers() {
+            cols = layer.out_cols(cols);
+            max = max.max(cols);
+        }
+        max
+    }
+
+    /// Allocation-free forward pass: runs `rows` row-major samples of
+    /// width `cols` through the chain inside `scratch`'s ping-pong
+    /// buffers and returns the output slice (`rows × out_cols(cols)`),
+    /// bit-identical to [`Sequential::infer`] on the same data — both
+    /// paths share each layer's kernel and the blocked matmul dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` disagrees with `rows × cols`, an activation
+    /// does not fit `scratch`, or on inter-layer shape mismatches.
+    #[must_use]
+    pub fn infer_into<'s>(
+        &self,
+        input: &[f64],
+        rows: usize,
+        cols: usize,
+        scratch: &'s mut InferScratch,
+    ) -> &'s [f64] {
+        assert_eq!(input.len(), rows * cols, "input length must equal rows*cols");
+        assert!(scratch.fits(rows, cols), "scratch too small for input batch");
+        let layers = self.layers();
+        let (mut src, mut dst) = (&mut scratch.a, &mut scratch.b);
+        if layers.is_empty() {
+            src[..input.len()].copy_from_slice(input);
+            return &src[..input.len()];
+        }
+        let mut width = layers[0].out_cols(cols);
+        assert!(rows * width <= src.len(), "scratch too small for activation");
+        layers[0].infer_into(input, rows, cols, &mut src[..rows * width]);
+        for layer in &layers[1..] {
+            let next = layer.out_cols(width);
+            assert!(rows * next <= dst.len(), "scratch too small for activation");
+            layer.infer_into(&src[..rows * width], rows, width, &mut dst[..rows * next]);
+            std::mem::swap(&mut src, &mut dst);
+            width = next;
+        }
+        &src[..rows * width]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv1d, Dense, Relu, Sigmoid, Softmax, Tanh, Tensor};
+    use hmd_util::rng::prelude::*;
+
+    fn random_batch(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(rows, cols, |_, _| rng.random_range(-1.5..1.5))
+    }
+
+    #[test]
+    fn infer_into_matches_infer_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Sequential::new()
+            .with(Dense::he(6, 32, &mut rng))
+            .with(Relu::new())
+            .with(Dense::he(32, 24, &mut rng))
+            .with(Tanh::new())
+            .with(Dense::xavier(24, 3, &mut rng))
+            .with(Softmax::new());
+        let mut scratch = InferScratch::for_net(&net, 6, 64);
+        for rows in [1usize, 5, 64] {
+            let x = random_batch(rows, 6, rows as u64);
+            let got = net.infer_into(x.as_slice(), rows, 6, &mut scratch);
+            assert_eq!(got, net.infer(&x).as_slice(), "rows = {rows}");
+        }
+    }
+
+    #[test]
+    fn infer_into_matches_infer_with_conv_and_sigmoid() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Sequential::new()
+            .with(Conv1d::new(1, 4, 2, &mut rng))
+            .with(Relu::new())
+            .with(Dense::he(4 * 7, 8, &mut rng))
+            .with(Sigmoid::new());
+        // conv widens 8 → 4*7 = 28: the scratch must size by the widest
+        // activation, not the input or output width
+        assert_eq!(net.max_activation_cols(8), 28);
+        let mut scratch = InferScratch::for_net(&net, 8, 9);
+        let x = random_batch(9, 8, 17);
+        let got = net.infer_into(x.as_slice(), 9, 8, &mut scratch);
+        assert_eq!(got, net.infer(&x).as_slice());
+    }
+
+    #[test]
+    fn infer_into_is_reusable_across_batch_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Sequential::new()
+            .with(Dense::he(4, 16, &mut rng))
+            .with(Relu::new())
+            .with(Dense::xavier(16, 1, &mut rng));
+        let mut scratch = InferScratch::for_net(&net, 4, 16);
+        // smaller batches reuse the same buffers; stale tail contents
+        // from the larger run must not leak into results
+        let big = random_batch(16, 4, 30);
+        let _ = net.infer_into(big.as_slice(), 16, 4, &mut scratch);
+        let small = random_batch(2, 4, 31);
+        let got = net.infer_into(small.as_slice(), 2, 4, &mut scratch).to_vec();
+        assert_eq!(got, net.infer(&small).as_slice());
+    }
+
+    #[test]
+    fn empty_net_copies_input_through() {
+        let net = Sequential::new();
+        let mut scratch = InferScratch::with_capacity(2, 3);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(net.infer_into(&x, 2, 3, &mut scratch), &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch too small")]
+    fn oversized_batch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = Sequential::new().with(Dense::he(4, 4, &mut rng));
+        let mut scratch = InferScratch::for_net(&net, 4, 2);
+        let x = random_batch(3, 4, 1);
+        let _ = net.infer_into(x.as_slice(), 3, 4, &mut scratch);
+    }
+
+    #[test]
+    fn ensure_grows_and_is_idempotent() {
+        let mut s = InferScratch::with_capacity(2, 4);
+        assert!(s.fits(2, 4) && !s.fits(3, 4));
+        s.ensure(8, 4);
+        assert!(s.fits(8, 4));
+        assert_eq!(s.max_rows(), 8);
+        let before = s.a.len();
+        s.ensure(2, 2);
+        assert_eq!(s.a.len(), before);
+    }
+}

@@ -59,6 +59,12 @@ impl Sequential {
         self.layers.len()
     }
 
+    /// The layer chain, in application order.
+    #[must_use]
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// Whether the network has no layers.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -234,14 +234,7 @@ impl Tensor {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Tensor::zeros(self.rows, rhs.cols);
-        let (inner, cols) = (self.cols, rhs.cols);
-        if self.rows * inner * cols >= PAR_MIN_MACS {
-            par::par_for_chunks(&mut out.data, cols, |offset, chunk| {
-                matmul_block(&self.data, inner, &rhs.data, cols, offset / cols, chunk);
-            });
-        } else {
-            matmul_block(&self.data, inner, &rhs.data, cols, 0, &mut out.data);
-        }
+        matmul_slices(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
         out
     }
 
@@ -437,6 +430,33 @@ impl Tensor {
     #[must_use]
     pub fn mean(&self) -> f64 {
         self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+}
+
+/// Slice-level blocked matmul: `out = A · B` where `a` is `rows ×
+/// inner` row-major, `b` is `inner × cols` row-major and `out` holds
+/// `rows × cols`. This is the allocation-free entry the arena-backed
+/// inference runtime writes into; [`Tensor::matmul`] delegates here, so
+/// the two paths share one kernel and one parallel-dispatch decision —
+/// per-element accumulation order (and therefore every bit of the
+/// result) cannot drift between them.
+///
+/// `out` is zero-filled first; prior contents are ignored.
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with the stated shapes.
+pub fn matmul_slices(a: &[f64], rows: usize, inner: usize, b: &[f64], cols: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), rows * inner, "lhs length must equal rows*inner");
+    assert_eq!(b.len(), inner * cols, "rhs length must equal inner*cols");
+    assert_eq!(out.len(), rows * cols, "out length must equal rows*cols");
+    out.fill(0.0);
+    if rows * inner * cols >= PAR_MIN_MACS {
+        par::par_for_chunks(out, cols, |offset, chunk| {
+            matmul_block(a, inner, b, cols, offset / cols, chunk);
+        });
+    } else {
+        matmul_block(a, inner, b, cols, 0, out);
     }
 }
 
@@ -712,6 +732,19 @@ mod tests {
     #[should_panic(expected = "tr_matmul shape mismatch")]
     fn tr_matmul_rejects_mismatch() {
         let _ = Tensor::zeros(2, 3).tr_matmul(&Tensor::zeros(3, 2));
+    }
+
+    #[test]
+    fn matmul_slices_matches_tensor_matmul_bitwise() {
+        // spans the serial and parallel dispatch branches; the slice
+        // entry must also scrub stale contents from the out buffer
+        for (m, k, n, seed) in [(1, 4, 3, 40), (7, 33, 12, 41), (64, 64, 64, 42)] {
+            let a = random_tensor(m, k, seed);
+            let b = random_tensor(k, n, seed + 100);
+            let mut out = vec![f64::NAN; m * n];
+            matmul_slices(a.as_slice(), m, k, b.as_slice(), n, &mut out);
+            assert_eq!(out, a.matmul(&b).as_slice());
+        }
     }
 
     #[test]

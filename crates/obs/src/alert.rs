@@ -36,7 +36,9 @@ impl fmt::Display for Severity {
 /// What a rule watches. Thresholds live in the variant.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub enum SloKind {
-    /// Windowed latency p95 must stay below this many milliseconds.
+    /// Windowed model-only (classification) latency p95 must stay below
+    /// this many milliseconds — the SLO gates on the model tier, not on
+    /// ingest jitter.
     LatencyP95CeilingMs(f64),
     /// Windowed detection rate must stay at or above this fraction.
     /// Undefined (no attacks in window) counts as healthy.
@@ -72,7 +74,7 @@ impl SloRule {
         }
         match self.kind {
             SloKind::LatencyP95CeilingMs(ceiling) => {
-                (snap.latency.count > 0).then(|| snap.latency_p95_ms() > ceiling)
+                (snap.model_latency.count > 0).then(|| snap.model_latency_p95_ms() > ceiling)
             }
             SloKind::DetectionRateFloor(floor) => snap.detection_rate().map(|r| r < floor),
             SloKind::FlagRateCeiling(ceiling) => snap.flag_rate().map(|r| r > ceiling),
@@ -226,7 +228,7 @@ impl AlertEngine {
 /// The snapshot quantity a rule watches, in the rule's own units.
 fn observed_value(rule: &SloRule, snap: &MonitorSnapshot) -> f64 {
     match rule.kind {
-        SloKind::LatencyP95CeilingMs(_) => snap.latency_p95_ms(),
+        SloKind::LatencyP95CeilingMs(_) => snap.model_latency_p95_ms(),
         SloKind::DetectionRateFloor(_) => snap.detection_rate().unwrap_or(f64::NAN),
         SloKind::FlagRateCeiling(_) => snap.flag_rate().unwrap_or(f64::NAN),
         #[allow(clippy::cast_precision_loss)]
@@ -260,6 +262,7 @@ mod tests {
                     verdict_attack: flagged,
                     flagged_adversarial: flagged,
                     latency_ns: 1000,
+                    model_latency_ns: 1000,
                 },
             );
         }

@@ -96,9 +96,15 @@ fn render_page(snap: &MonitorSnapshot, engines: &[&AlertEngine], shards: &[Monit
 
     let _ = writeln!(
         out,
-        "# HELP hmd_serving_latency_ns Windowed inference latency distribution (ns)."
+        "# HELP hmd_serving_latency_ns Windowed end-to-end inference latency distribution (ns)."
     );
     out.push_str(&prometheus_histogram("hmd_serving_latency_ns", &snap.latency));
+
+    let _ = writeln!(
+        out,
+        "# HELP hmd_serving_model_latency Windowed model-only classification latency distribution (ns)."
+    );
+    out.push_str(&prometheus_histogram("hmd_serving_model_latency", &snap.model_latency));
 
     // per-shard series: label-separated so a dashboard can tell one
     // shard's stall or drift from fleet-wide trouble
@@ -218,6 +224,7 @@ mod tests {
                     verdict_attack: i % 2 == 0,
                     flagged_adversarial: i % 10 == 0,
                     latency_ns: 1000 + i,
+                    model_latency_ns: 900 + i,
                 },
             );
         }
@@ -233,6 +240,8 @@ mod tests {
             "hmd_serving_adversarial_flag_rate 0.1",
             "hmd_serving_latency_ns_bucket{le=\"+Inf\"} 50",
             "hmd_serving_latency_ns_p95",
+            "hmd_serving_model_latency_bucket{le=\"+Inf\"} 50",
+            "hmd_serving_model_latency_p99",
             "hmd_serving_alert_firing{rule=\"detection_rate\",severity=\"critical\"} 0",
             "hmd_serving_healthy 1",
             "hmd_serving_samples_total 50",
@@ -263,6 +272,7 @@ mod tests {
                         verdict_attack: verdict,
                         flagged_adversarial: false,
                         latency_ns: 500,
+                        model_latency_ns: 400,
                     },
                 );
             }

@@ -18,8 +18,12 @@ pub struct SampleRecord {
     pub verdict_attack: bool,
     /// The adversarial predictor specifically flagged it.
     pub flagged_adversarial: bool,
-    /// Wall-clock inference latency in nanoseconds.
+    /// End-to-end wall-clock latency for the sample in nanoseconds
+    /// (ingest + classification).
     pub latency_ns: u64,
+    /// Model-only classification latency in nanoseconds (the detector
+    /// call, excluding ingest) — what latency SLOs gate on.
+    pub model_latency_ns: u64,
 }
 
 /// A point-in-time view of the windowed aggregates. All fields are
@@ -43,8 +47,10 @@ pub struct MonitorSnapshot {
     pub flags: u64,
     /// Integrity drift events in the window.
     pub drifts: u64,
-    /// Windowed latency distribution.
+    /// Windowed end-to-end latency distribution.
     pub latency: HistogramSnapshot,
+    /// Windowed model-only (classification) latency distribution.
+    pub model_latency: HistogramSnapshot,
     /// All-time processed samples.
     pub total_samples: u64,
 }
@@ -82,10 +88,17 @@ impl MonitorSnapshot {
         ratio(self.fp, self.fp + self.tn)
     }
 
-    /// Windowed latency p95 in milliseconds.
+    /// Windowed end-to-end latency p95 in milliseconds.
     #[must_use]
     pub fn latency_p95_ms(&self) -> f64 {
         self.latency.p95() / 1e6
+    }
+
+    /// Windowed model-only (classification) latency p95 in
+    /// milliseconds — the value latency SLO rules gate on.
+    #[must_use]
+    pub fn model_latency_p95_ms(&self) -> f64 {
+        self.model_latency.p95() / 1e6
     }
 
     /// Merges per-shard snapshots into one fleet-wide view: counters
@@ -108,6 +121,11 @@ impl MonitorSnapshot {
                 count: 0,
                 sum: 0,
             },
+            model_latency: HistogramSnapshot {
+                buckets: [0; hmd_telemetry::metrics::BUCKETS],
+                count: 0,
+                sum: 0,
+            },
             total_samples: 0,
         };
         for s in shards {
@@ -125,6 +143,13 @@ impl MonitorSnapshot {
             }
             out.latency.count += s.latency.count;
             out.latency.sum += s.latency.sum;
+            for (dst, src) in
+                out.model_latency.buckets.iter_mut().zip(&s.model_latency.buckets)
+            {
+                *dst += src;
+            }
+            out.model_latency.count += s.model_latency.count;
+            out.model_latency.sum += s.model_latency.sum;
         }
         out
     }
@@ -144,6 +169,7 @@ pub struct ServingMonitor {
     flags: WindowedCounter,
     drifts: WindowedCounter,
     latency: WindowedHistogram,
+    model_latency: WindowedHistogram,
 }
 
 impl ServingMonitor {
@@ -159,6 +185,7 @@ impl ServingMonitor {
             flags: WindowedCounter::new(cfg),
             drifts: WindowedCounter::new(cfg),
             latency: WindowedHistogram::new(cfg),
+            model_latency: WindowedHistogram::new(cfg),
         }
     }
 
@@ -183,6 +210,7 @@ impl ServingMonitor {
             self.flags.inc_at(now_ns);
         }
         self.latency.record_at(now_ns, s.latency_ns);
+        self.model_latency.record_at(now_ns, s.model_latency_ns);
     }
 
     /// Records one integrity drift event at stream time `now_ns`.
@@ -203,6 +231,7 @@ impl ServingMonitor {
             flags: self.flags.sum_at(now_ns),
             drifts: self.drifts.sum_at(now_ns),
             latency: self.latency.merged_at(now_ns),
+            model_latency: self.model_latency.merged_at(now_ns),
             total_samples: self.samples.total(),
         }
     }
@@ -224,6 +253,7 @@ mod tests {
             verdict_attack: verdict,
             flagged_adversarial: flagged,
             latency_ns: 1000,
+            model_latency_ns: 800,
         }
     }
 
@@ -288,6 +318,8 @@ mod tests {
         assert_eq!(m.total_samples, 3);
         assert_eq!(m.latency.count, 3);
         assert_eq!(m.latency.sum, 3000);
+        assert_eq!(m.model_latency.count, 3);
+        assert_eq!(m.model_latency.sum, 2400);
         assert!(MonitorSnapshot::merged(&[]).samples == 0);
     }
 

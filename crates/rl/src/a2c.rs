@@ -2,7 +2,7 @@
 //! (paper §2.5.2: both 4-hidden-layer MLPs, actor lr 5e-4, critic lr
 //! 1e-3, γ = 0.99, softmax policy, MSE critic loss).
 
-use hmd_nn::{softmax_rows, Dense, Loss, Optimizer, Relu, Sequential, Tensor};
+use hmd_nn::{softmax_rows, Dense, InferScratch, Loss, Optimizer, Relu, Sequential, Tensor};
 use hmd_util::rng::prelude::*;
 
 use crate::env::Environment;
@@ -186,6 +186,51 @@ impl A2cAgent {
         let n = states.len() / self.state_dim;
         let out = self.critic.infer(&Tensor::from_vec(n, self.state_dim, states.to_vec()));
         (0..n).map(|r| out.get(r, 0)).collect()
+    }
+
+    /// Activation scratch sized for the critic at batches of up to
+    /// `max_rows` rows — warmup-time companion to
+    /// [`value_with`](Self::value_with) and
+    /// [`values_into`](Self::values_into).
+    #[must_use]
+    pub fn infer_scratch(&self, max_rows: usize) -> InferScratch {
+        InferScratch::for_net(&self.critic, self.state_dim, max_rows.max(1))
+    }
+
+    /// [`value`](Self::value) through caller-owned scratch: bit-identical
+    /// result, zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong width or `scratch` is too small.
+    #[must_use]
+    pub fn value_with(&self, state: &[f64], scratch: &mut InferScratch) -> f64 {
+        assert_eq!(state.len(), self.state_dim, "state width mismatch");
+        self.critic.infer_into(state, 1, self.state_dim, scratch)[0]
+    }
+
+    /// [`values`](Self::values) written into `out` (cleared first)
+    /// through caller-owned scratch: bit-identical results, zero heap
+    /// allocations when `out` has capacity for one value per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` is not a multiple of the state width or
+    /// `scratch` is too small for the batch.
+    pub fn values_into(&self, states: &[f64], scratch: &mut InferScratch, out: &mut Vec<f64>) {
+        assert!(
+            states.len().is_multiple_of(self.state_dim),
+            "state batch width mismatch: {} not a multiple of {}",
+            states.len(),
+            self.state_dim
+        );
+        out.clear();
+        if states.is_empty() {
+            return;
+        }
+        let n = states.len() / self.state_dim;
+        let vals = self.critic.infer_into(states, n, self.state_dim, scratch);
+        out.extend_from_slice(vals);
     }
 
     /// One actor-critic update from a single transition.

@@ -249,6 +249,51 @@ impl ConstraintController {
         Ok(probas.into_iter().map(|p| p >= 0.5).collect())
     }
 
+    /// [`predict_row`](Self::predict_row) through caller-owned scratch
+    /// for the selected model — identical verdict, zero heap allocations
+    /// once `scratch` came from that model's
+    /// [`make_scratch`](Classifier::make_scratch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors from the selected model.
+    pub fn predict_row_with(
+        &self,
+        models: &[Box<dyn Classifier>],
+        row: &[f64],
+        scratch: &mut hmd_ml::PredictScratch,
+    ) -> Result<bool, RlError> {
+        let p = models[self.selected_model()]
+            .predict_proba_row_with(row, scratch)
+            .map_err(|e| RlError::Model(e.to_string()))?;
+        Ok(p >= 0.5)
+    }
+
+    /// [`predict_batch`](Self::predict_batch) written into `out`
+    /// (cleared first), with `probs` as the probability buffer —
+    /// identical verdicts, zero heap allocations when both buffers have
+    /// capacity for one entry per row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors from the selected model.
+    pub fn predict_batch_into(
+        &self,
+        models: &[Box<dyn Classifier>],
+        rows: &[f64],
+        width: usize,
+        scratch: &mut hmd_ml::PredictScratch,
+        probs: &mut Vec<f64>,
+        out: &mut Vec<bool>,
+    ) -> Result<(), RlError> {
+        models[self.selected_model()]
+            .predict_proba_into(rows, width, scratch, probs)
+            .map_err(|e| RlError::Model(e.to_string()))?;
+        out.clear();
+        out.extend(probs.iter().map(|&p| p >= 0.5));
+        Ok(())
+    }
+
     /// Builds the paper's 14-tuple MDP state for one sample: the 4 HPC
     /// features, the five model votes, and the five per-model constraint
     /// scores (the run-time variables the reward policy conditions on).

@@ -251,6 +251,60 @@ impl AdversarialPredictor {
         flags
     }
 
+    /// Activation scratch sized for the critic at batches of up to
+    /// `max_rows` rows — warmup-time companion to the `_with`/`_into`
+    /// decision paths below.
+    #[must_use]
+    pub fn infer_scratch(&self, max_rows: usize) -> hmd_nn::InferScratch {
+        self.agent.infer_scratch(max_rows)
+    }
+
+    /// [`is_adversarial`](Self::is_adversarial) through caller-owned
+    /// scratch: identical decision and telemetry, zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width or `scratch` is too small.
+    #[must_use]
+    pub fn is_adversarial_with(&self, row: &[f64], scratch: &mut hmd_nn::InferScratch) -> bool {
+        let flagged = self.agent.value_with(row, scratch) > self.threshold;
+        if hmd_telemetry::enabled() {
+            hmd_telemetry::metrics::counter("rl.predictor.decisions").inc();
+            if flagged {
+                hmd_telemetry::metrics::counter("rl.predictor.flags").inc();
+            }
+        }
+        flagged
+    }
+
+    /// [`is_adversarial_batch`](Self::is_adversarial_batch) written into
+    /// `flags` (cleared first), with `values` as the critic-value buffer:
+    /// identical decisions and telemetry, zero heap allocations when both
+    /// buffers have capacity for one entry per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the training width or
+    /// `scratch` is too small for the batch.
+    pub fn is_adversarial_batch_into(
+        &self,
+        rows: &[f64],
+        scratch: &mut hmd_nn::InferScratch,
+        values: &mut Vec<f64>,
+        flags: &mut Vec<bool>,
+    ) {
+        self.agent.values_into(rows, scratch, values);
+        flags.clear();
+        flags.extend(values.iter().map(|&v| v > self.threshold));
+        if hmd_telemetry::enabled() && !flags.is_empty() {
+            hmd_telemetry::metrics::counter("rl.predictor.decisions").add(flags.len() as u64);
+            let flagged = flags.iter().filter(|&&f| f).count() as u64;
+            if flagged > 0 {
+                hmd_telemetry::metrics::counter("rl.predictor.flags").add(flagged);
+            }
+        }
+    }
+
     /// The decision threshold in use.
     #[must_use]
     pub fn threshold(&self) -> f64 {

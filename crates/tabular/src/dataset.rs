@@ -234,6 +234,14 @@ impl Dataset {
         Ok(())
     }
 
+    /// Reserves capacity for at least `additional_rows` more rows so a
+    /// bounded buffer (e.g. the detector's quarantine) can absorb them
+    /// without reallocating on the hot path.
+    pub fn reserve(&mut self, additional_rows: usize) {
+        self.data.reserve(additional_rows * self.n_features);
+        self.labels.reserve(additional_rows);
+    }
+
     /// Removes the `n` oldest rows (and their labels) in insertion
     /// order — the eviction primitive for bounded ring-style buffers
     /// such as the detector's quarantine. Removing more rows than exist

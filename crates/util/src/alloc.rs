@@ -1,0 +1,135 @@
+//! A counting global allocator for allocation-freedom tests and
+//! benchmarks.
+//!
+//! [`CountingAllocator`] wraps the system allocator and counts every
+//! allocation (and allocated byte) behind relaxed atomics. Register it
+//! in a test binary or benchmark:
+//!
+//! ```ignore
+//! use hmd_util::alloc::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0, "hot path allocated");
+//! ```
+//!
+//! The counters are process-global per registered allocator instance and
+//! include allocations from *all* threads, so allocation-freedom
+//! assertions should pin background work (or measure deltas on a quiesced
+//! process). When not registered as `#[global_allocator]` the type is
+//! inert — it costs nothing to ship in the library.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`] delegating to [`System`] while counting calls.
+///
+/// `realloc` counts as one allocation (it may move), `dealloc` is
+/// tracked separately so leak-shaped deltas remain visible.
+#[derive(Debug)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh allocator with zeroed counters.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `alloc`/`realloc` calls since process start.
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total `dealloc` calls since process start.
+    #[must_use]
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested by `alloc`/`realloc` since process start.
+    #[must_use]
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: pure delegation to `System`; the counters are relaxed atomics
+// with no side effects on the allocation itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_through_the_global_alloc_interface() {
+        let a = CountingAllocator::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        // SAFETY: valid layout; freed with the same layout below.
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p = a.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            let grown = Layout::from_size_align(128, 8).unwrap();
+            a.dealloc(p, grown);
+            let z = a.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(*z, 0);
+            a.dealloc(z, layout);
+        }
+        assert_eq!(a.allocations(), 3);
+        assert_eq!(a.deallocations(), 2);
+        assert_eq!(a.bytes_allocated(), 64 + 128 + 64);
+    }
+
+    #[test]
+    fn fresh_allocator_is_zeroed() {
+        let a = CountingAllocator::default();
+        assert_eq!(a.allocations(), 0);
+        assert_eq!(a.deallocations(), 0);
+        assert_eq!(a.bytes_allocated(), 0);
+    }
+}

@@ -170,6 +170,29 @@ impl Harness {
         self.run(id, Some(throughput), f);
     }
 
+    /// Records a directly measured scalar (e.g. allocations per window)
+    /// under `id` in the same record schema as a timed benchmark: every
+    /// statistic equals `value`, the deviation is zero. This lets
+    /// non-timing regression gauges ride the existing `BENCH_*.json`
+    /// comparison tooling unchanged.
+    pub fn record_value(&mut self, id: &str, value: f64) {
+        println!("{}/{id}: value {value}", self.name);
+        self.records.push(Record {
+            id: id.to_owned(),
+            iters_per_sample: 1,
+            samples: 1,
+            stats: Stats {
+                mean_ns: value,
+                median_ns: value,
+                p95_ns: value,
+                min_ns: value,
+                max_ns: value,
+                std_dev_ns: 0.0,
+            },
+            throughput: None,
+        });
+    }
+
     fn run<T>(&mut self, id: &str, throughput: Option<Throughput>, mut f: impl FnMut() -> T) {
         // Warm-up doubles as calibration: count how many iterations fit
         // in the warm-up window to size the timed samples.
@@ -359,6 +382,26 @@ mod tests {
             "bytes"
         );
         assert!(benches[1].get("bytes_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_value_round_trips_as_degenerate_stats() {
+        let dir = std::env::temp_dir().join(format!("hmd_bench_value_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut h = Harness::new("valuetest").sample_size(3).out_dir(&dir);
+        h.record_value("allocs_per_window", 0.0);
+        h.record_value("allocs_per_window_legacy", 17.0);
+        let path = h.finish();
+        let doc = load(&path).expect("parse emitted file");
+        let benches = doc.get("benches").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 2);
+        for (b, want) in benches.iter().zip([0.0, 17.0]) {
+            for key in ["median_ns", "p95_ns", "mean_ns", "min_ns", "max_ns"] {
+                assert_eq!(b.get(key).unwrap().as_f64().unwrap(), want, "{key}");
+            }
+            assert_eq!(b.get("std_dev_ns").unwrap().as_f64().unwrap(), 0.0);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

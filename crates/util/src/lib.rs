@@ -28,6 +28,7 @@
 //! same-seed runs byte-identical regardless of platform, `rand` version
 //! or registry availability.
 
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod par;

@@ -32,4 +32,6 @@ pub use hmd_sim as sim;
 pub use hmd_tabular as tabular;
 pub use hmd_telemetry as telemetry;
 
-pub use serving::{Burst, FleetSession, ServingConfig, ServingOutcome, ServingSession};
+pub use serving::{
+    Burst, CalibrationReport, FleetSession, ServingConfig, ServingOutcome, ServingSession,
+};

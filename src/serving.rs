@@ -34,20 +34,32 @@
 //!
 //! Monitoring observes and never feeds back: the verdict stream (pinned
 //! by [`ServingOutcome::digest`]) is byte-identical with monitoring on
-//! or off, traced or untraced, batched or scalar, at any thread count —
-//! `tests/determinism.rs` asserts it. Batching preserves verdicts
-//! bit-for-bit because the blocked matmul's per-element accumulation
-//! order is row-count-invariant.
+//! or off, traced or untraced, batched or scalar, arena or allocating,
+//! at any thread count — `tests/determinism.rs` asserts it. Batching
+//! preserves verdicts bit-for-bit because the blocked matmul's
+//! per-element accumulation order is row-count-invariant.
+//!
+//! # Allocation-free steady state
+//!
+//! Every session warms up a per-shard [`hmd_core::InferArena`] sized
+//! from the model topology and [`ServingConfig::batch`]; with
+//! [`ServingConfig::arena`] on (the default), classification runs
+//! entirely inside those preallocated buffers. With a replay ring
+//! ([`ServingConfig::replay`]) standing in for live traffic synthesis
+//! the whole steady-state loop — draw, classify, monitor, alert, and
+//! integrity checks included — performs zero heap allocations per
+//! window; `tests/alloc.rs` proves it under a counting global
+//! allocator.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use hmd_core::framework::SERVING_BASELINE;
-use hmd_core::{CoreError, Framework, FrameworkConfig, ServingArtifacts, Verdict};
+use hmd_core::{CoreError, Framework, FrameworkConfig, InferArena, ServingArtifacts, Verdict};
 use hmd_ml::{BinaryMetrics, ConfusionMatrix};
 use hmd_obs::{
     default_rules, render_metrics_fleet, AlertEngine, HttpServer, MonitorSnapshot, Response,
-    SampleRecord, ServingMonitor, SloRule, WindowConfig,
+    SampleRecord, ServingMonitor, SloKind, SloRule, WindowConfig,
 };
 use hmd_rl::ConstraintKind;
 use hmd_sim::{StreamConfig, WindowStream};
@@ -112,6 +124,19 @@ pub struct ServingConfig {
     /// goes through one blocked matmul. Verdicts are identical at any
     /// batch size.
     pub batch: usize,
+    /// Route classification through the warmed-up per-shard
+    /// [`InferArena`] (zero steady-state heap allocations) instead of
+    /// the allocating detector paths. Verdicts are bit-identical either
+    /// way; the switch exists so the determinism suite and benchmarks
+    /// can compare the two paths.
+    pub arena: bool,
+    /// When nonzero, pre-draw this many samples at construction and
+    /// cycle through them instead of synthesizing live traffic. The
+    /// replay ring removes the stream generator's per-app refill
+    /// allocations from the loop, making the whole steady state
+    /// allocation-free — the mode `tests/alloc.rs` and the substrates
+    /// benchmark measure. Zero (the default) streams live traffic.
+    pub replay: usize,
 }
 
 /// The stream seed of shard `i` in a fleet: shard 0 keeps the base seed
@@ -151,6 +176,68 @@ impl ServingConfig {
             calibration_samples: 200,
             stream_seed: seed ^ 0x5452_4146, // "TRAF"
             batch: 1,
+            arena: true,
+            replay: 0,
+        }
+    }
+}
+
+/// What the deployment-traffic calibration pass observed: the
+/// detector's confusion over clean (non-injected) streamed windows plus
+/// how often the adversarial predictor flagged them. Besides
+/// re-recording the integrity baseline, this is the evidence the
+/// adaptive SLO derivation reads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CalibrationReport {
+    /// Confusion of the detector over the calibration stream.
+    pub matrix: ConfusionMatrix,
+    /// Calibration windows the adversarial predictor flagged.
+    pub flagged: usize,
+    /// Calibration windows classified.
+    pub samples: usize,
+}
+
+impl CalibrationReport {
+    /// Fraction of clean calibration traffic flagged as adversarial —
+    /// the predictor's live false-flag floor.
+    #[must_use]
+    pub fn flag_rate(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.samples as f64
+        }
+    }
+
+    /// The detection-rate floor this deployment can honestly promise:
+    /// calibrated true-positive rate minus slack, clamped to [0.30,
+    /// 0.60] so a lucky calibration run cannot demand perfection and an
+    /// unlucky one cannot excuse collapse.
+    #[must_use]
+    pub fn detection_floor(&self) -> f64 {
+        (BinaryMetrics::from_confusion(&self.matrix).tpr - 0.15).clamp(0.30, 0.60)
+    }
+
+    /// The adversarial-flag-rate ceiling: a margin above the calibrated
+    /// clean-traffic flag rate, clamped to [0.20, 0.45]. Below the base
+    /// rate the alert would latch on healthy traffic; far above it an
+    /// attack campaign would go unnoticed.
+    #[must_use]
+    pub fn flag_ceiling(&self) -> f64 {
+        3.0f64.mul_add(self.flag_rate(), 0.1).clamp(0.20, 0.45)
+    }
+
+    /// Rewrites the detection-rate floor and flag-rate ceiling of a
+    /// rule set in place with the calibrated thresholds, leaving every
+    /// other rule (latency, drift) untouched.
+    pub fn adapt_rules(&self, rules: &mut [SloRule]) {
+        for rule in rules {
+            match &mut rule.kind {
+                SloKind::DetectionRateFloor(v) => *v = self.detection_floor(),
+                SloKind::FlagRateCeiling(v) => *v = self.flag_ceiling(),
+                _ => {}
+            }
         }
     }
 }
@@ -206,6 +293,18 @@ pub struct ServingSession {
     batch_rows: Vec<f64>,
     /// Ground truth per batched sample, parallel to `batch_rows`.
     batch_truth: Vec<bool>,
+    /// The warmed-up per-shard inference arena (see
+    /// [`ServingConfig::arena`]).
+    arena: InferArena,
+    /// What calibration observed, when it ran (see
+    /// [`ServingConfig::calibration_samples`]).
+    calibration: Option<CalibrationReport>,
+    /// Pre-drawn replay traffic, `replay × width` row-major (see
+    /// [`ServingConfig::replay`]).
+    replay_rows: Vec<f64>,
+    /// Ground truth per replay row.
+    replay_truth: Vec<bool>,
+    replay_cursor: usize,
     rng: StdRng,
     adv_cursor: usize,
     processed: usize,
@@ -237,7 +336,7 @@ impl ServingSession {
     ///
     /// Rejects a stream that does not carry every engineered feature.
     pub fn with_artifacts(
-        cfg: ServingConfig,
+        mut cfg: ServingConfig,
         artifacts: Arc<ServingArtifacts>,
     ) -> Result<Self, CoreError> {
         let stream = WindowStream::new(StreamConfig {
@@ -257,10 +356,18 @@ impl ServingSession {
             .map(|want| stream_names.iter().position(|n| n == want))
             .collect::<Option<_>>()
             .ok_or(CoreError::MissingFeature)?;
-        let scratch = vec![0.0; feature_idx.len()];
-        if cfg.calibration_samples > 0 {
-            calibrate(&artifacts, &cfg, &feature_idx)?;
-        }
+        let width = feature_idx.len();
+        let scratch = vec![0.0; width];
+        let calibration = if cfg.calibration_samples > 0 {
+            let report = calibrate(&artifacts, &cfg, &feature_idx)?;
+            // adaptive SLOs: replace the stock detection-rate floor and
+            // flag-rate ceiling with thresholds this deployment's own
+            // calibration traffic supports
+            report.adapt_rules(&mut cfg.rules);
+            Some(report)
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             monitor: ServingMonitor::new(cfg.window),
             engine: Mutex::new(AlertEngine::new(cfg.rules.clone())),
@@ -268,14 +375,20 @@ impl ServingSession {
             quit: AtomicBool::new(false),
         });
         let rng = StdRng::seed_from_u64(cfg.stream_seed ^ 0x414456); // "ADV"
-        Ok(Self {
+        let arena = artifacts.detector.warmup(width, cfg.batch.max(1));
+        let mut session = Self {
+            batch_rows: Vec::with_capacity(cfg.batch.max(1) * width),
+            batch_truth: Vec::with_capacity(cfg.batch.max(1)),
+            replay_rows: Vec::with_capacity(cfg.replay * width),
+            replay_truth: Vec::with_capacity(cfg.replay),
+            replay_cursor: 0,
             cfg,
             artifacts,
             stream,
             feature_idx,
             scratch,
-            batch_rows: Vec::new(),
-            batch_truth: Vec::new(),
+            arena,
+            calibration,
             rng,
             adv_cursor: 0,
             processed: 0,
@@ -284,7 +397,13 @@ impl ServingSession {
             drift_events: 0,
             shared,
             http: None,
-        })
+        };
+        for k in 0..session.cfg.replay {
+            let truth = session.draw_sample(k)?;
+            session.replay_rows.extend_from_slice(&session.scratch);
+            session.replay_truth.push(truth);
+        }
+        Ok(session)
     }
 
     /// Starts the HTTP endpoint (use port 0 for an ephemeral port) and
@@ -334,17 +453,39 @@ impl ServingSession {
         Ok(w.is_malware())
     }
 
+    /// Fills `scratch` with the traffic for sample `idx`: the pre-drawn
+    /// replay ring when one exists (a `memcpy`, no allocation), live
+    /// synthesis otherwise.
+    fn next_sample(&mut self, idx: usize) -> Result<bool, CoreError> {
+        if self.replay_truth.is_empty() {
+            return self.draw_sample(idx);
+        }
+        let width = self.scratch.len();
+        let k = self.replay_cursor % self.replay_truth.len();
+        self.replay_cursor += 1;
+        self.scratch.copy_from_slice(&self.replay_rows[k * width..(k + 1) * width]);
+        Ok(self.replay_truth[k])
+    }
+
     /// The bookkeeping half of one sample: digest, counters, clock and
     /// (when enabled) monitoring — identical between the scalar and
-    /// batched paths.
-    fn record_verdict(&mut self, truth_attack: bool, verdict: Verdict, latency_ns: u64) {
+    /// batched paths. `latency_ns` is end-to-end (traffic draw included),
+    /// `model_latency_ns` covers classification only — the quantity the
+    /// latency SLO gates on.
+    fn record_verdict(
+        &mut self,
+        truth_attack: bool,
+        verdict: Verdict,
+        latency_ns: u64,
+        model_latency_ns: u64,
+    ) {
         self.digest = fnv1a_step(self.digest, verdict);
         self.verdicts[verdict_slot(verdict)] += 1;
         self.processed += 1;
         let now_ns = self.processed as u64 * self.cfg.tick_ns;
         self.shared.t_ns.store(now_ns, Ordering::Relaxed);
         if self.cfg.monitoring {
-            self.observe(now_ns, truth_attack, verdict, latency_ns);
+            self.observe(now_ns, truth_attack, verdict, latency_ns, model_latency_ns);
         }
     }
 
@@ -357,11 +498,21 @@ impl ServingSession {
         if self.processed >= self.cfg.samples {
             return Ok(false);
         }
-        let truth_attack = self.draw_sample(self.processed)?;
-        let t0 = clock::now_ns();
-        let verdict = self.artifacts.detector.classify(&self.scratch)?;
-        let latency_ns = clock::now_ns().saturating_sub(t0);
-        self.record_verdict(truth_attack, verdict, latency_ns);
+        let t_start = clock::now_ns();
+        let truth_attack = self.next_sample(self.processed)?;
+        let t_model = clock::now_ns();
+        let verdict = if self.cfg.arena {
+            self.artifacts.detector.classify_into(&self.scratch, &mut self.arena)?
+        } else {
+            self.artifacts.detector.classify(&self.scratch)?
+        };
+        let t_end = clock::now_ns();
+        self.record_verdict(
+            truth_attack,
+            verdict,
+            t_end.saturating_sub(t_start),
+            t_end.saturating_sub(t_model),
+        );
         Ok(true)
     }
 
@@ -385,30 +536,56 @@ impl ServingSession {
             return Ok(usize::from(self.step()?));
         }
         let width = self.feature_idx.len();
+        let t_start = clock::now_ns();
         self.batch_rows.clear();
         self.batch_truth.clear();
         for k in 0..n {
-            let truth = self.draw_sample(self.processed + k)?;
+            let truth = self.next_sample(self.processed + k)?;
             self.batch_rows.extend_from_slice(&self.scratch);
             self.batch_truth.push(truth);
         }
-        let t0 = clock::now_ns();
-        let verdicts = self.artifacts.detector.classify_batch(&self.batch_rows, width)?;
-        // amortized per-sample latency: the histogram stays comparable
-        // across batch sizes
-        let latency_ns = clock::now_ns().saturating_sub(t0) / n as u64;
-        let truths = std::mem::take(&mut self.batch_truth);
-        for (&truth, verdict) in truths.iter().zip(verdicts) {
-            self.record_verdict(truth, verdict, latency_ns);
+        let t_model = clock::now_ns();
+        if self.cfg.arena {
+            self.artifacts.detector.classify_batch_into(&self.batch_rows, width, &mut self.arena)?;
+            let t_end = clock::now_ns();
+            // amortized per-sample latencies: the histograms stay
+            // comparable across batch sizes
+            let latency_ns = t_end.saturating_sub(t_start) / n as u64;
+            let model_latency_ns = t_end.saturating_sub(t_model) / n as u64;
+            for k in 0..n {
+                let verdict = self.arena.verdicts()[k];
+                let truth = self.batch_truth[k];
+                self.record_verdict(truth, verdict, latency_ns, model_latency_ns);
+            }
+        } else {
+            let verdicts = self.artifacts.detector.classify_batch(&self.batch_rows, width)?;
+            let t_end = clock::now_ns();
+            let latency_ns = t_end.saturating_sub(t_start) / n as u64;
+            let model_latency_ns = t_end.saturating_sub(t_model) / n as u64;
+            let truths = std::mem::take(&mut self.batch_truth);
+            for (&truth, verdict) in truths.iter().zip(verdicts) {
+                self.record_verdict(truth, verdict, latency_ns, model_latency_ns);
+            }
+            self.batch_truth = truths;
         }
-        self.batch_truth = truths;
         Ok(n)
     }
 
     /// The monitoring half of one step: window recording, periodic
     /// alert evaluation, periodic integrity assessment with drift
-    /// escalation.
-    fn observe(&mut self, now_ns: u64, truth_attack: bool, verdict: Verdict, latency_ns: u64) {
+    /// escalation. Steady state (no drift, no alert edges) allocates
+    /// nothing: the windows are preallocated rings, snapshots live on
+    /// the stack, and the integrity check runs through the allocation-
+    /// free stability probe unless tracing wants the full
+    /// [`DriftEvent`](hmd_integrity) record.
+    fn observe(
+        &mut self,
+        now_ns: u64,
+        truth_attack: bool,
+        verdict: Verdict,
+        latency_ns: u64,
+        model_latency_ns: u64,
+    ) {
         self.shared.monitor.record_at(
             now_ns,
             SampleRecord {
@@ -416,6 +593,7 @@ impl ServingSession {
                 verdict_attack: verdict.is_attack(),
                 flagged_adversarial: verdict == Verdict::AdversarialAttack,
                 latency_ns,
+                model_latency_ns,
             },
         );
         if self.processed.is_multiple_of(self.cfg.evaluate_every) {
@@ -426,9 +604,17 @@ impl ServingSession {
             let snap = self.shared.monitor.snapshot_at(now_ns);
             let matrix = confusion_of(&snap);
             if matrix.total() > 0 {
-                let event =
-                    self.artifacts.monitor.assess_confusion(SERVING_BASELINE, &matrix);
-                if !event.is_stable() {
+                let stable = if hmd_telemetry::enabled() {
+                    // full assessment: emits the integrity.drift
+                    // telemetry event with per-metric deltas
+                    self.artifacts.monitor.assess_confusion(SERVING_BASELINE, &matrix).is_stable()
+                } else {
+                    self.artifacts
+                        .monitor
+                        .confusion_is_stable(SERVING_BASELINE, &matrix)
+                        .unwrap_or(false)
+                };
+                if !stable {
                     // escalate: metric drift becomes a windowed event the
                     // DriftCeiling SLO rule can fire on
                     self.shared.monitor.record_drift_at(now_ns);
@@ -467,6 +653,20 @@ impl ServingSession {
     #[must_use]
     pub fn snapshot(&self) -> MonitorSnapshot {
         self.shared.monitor.snapshot_at(self.shared.t_ns.load(Ordering::Relaxed))
+    }
+
+    /// The SLO rules this session's alert engine enforces — the
+    /// calibration-adapted set when calibration ran, the configured set
+    /// otherwise.
+    #[must_use]
+    pub fn slo_rules(&self) -> &[SloRule] {
+        &self.cfg.rules
+    }
+
+    /// What the calibration pass observed, when one ran.
+    #[must_use]
+    pub fn calibration(&self) -> Option<&CalibrationReport> {
+        self.calibration.as_ref()
     }
 
     /// Whether a client requested shutdown via `/quit`.
@@ -546,12 +746,15 @@ impl FleetSession {
         n_shards: usize,
         artifacts: Arc<ServingArtifacts>,
     ) -> Result<Self, CoreError> {
-        let mut shards = Vec::with_capacity(n_shards.max(1));
+        let mut shards: Vec<ServingSession> = Vec::with_capacity(n_shards.max(1));
         for i in 0..n_shards.max(1) {
             let mut shard_cfg = cfg.clone();
             shard_cfg.stream_seed = shard_stream_seed(cfg.stream_seed, i);
             if i > 0 {
                 shard_cfg.calibration_samples = 0;
+                // every shard enforces the SLO thresholds shard 0's
+                // calibration derived — one fleet, one contract
+                shard_cfg.rules = shards[0].cfg.rules.clone();
             }
             shards.push(ServingSession::with_artifacts(shard_cfg, Arc::clone(&artifacts))?);
         }
@@ -659,14 +862,16 @@ impl Drop for FleetSession {
 
 /// Re-records the integrity baseline from the detector's confusion on a
 /// held-out slice of clean deployment traffic (separate stream seed, so
-/// serving replays none of it). The offline test-split baseline is
-/// optimistic — with multiple windows per app instance the split leaks —
-/// and would keep the drift alert latched on healthy live traffic.
+/// serving replays none of it) and reports what it saw, so the adaptive
+/// SLO derivation can read the same evidence. The offline test-split
+/// baseline is optimistic — with multiple windows per app instance the
+/// split leaks — and would keep the drift alert latched on healthy live
+/// traffic.
 fn calibrate(
     artifacts: &ServingArtifacts,
     cfg: &ServingConfig,
     feature_idx: &[usize],
-) -> Result<(), CoreError> {
+) -> Result<CalibrationReport, CoreError> {
     let _span = hmd_telemetry::span("serving.calibrate");
     let mut stream = WindowStream::new(StreamConfig {
         malware_fraction: cfg.malware_fraction,
@@ -679,14 +884,16 @@ fn calibrate(
     });
     let mut row = vec![0.0; feature_idx.len()];
     let mut matrix = ConfusionMatrix::default();
+    let mut flagged = 0;
     for _ in 0..cfg.calibration_samples {
         let w = stream.next().expect("stream is endless");
         for (dst, &src) in row.iter_mut().zip(feature_idx) {
             *dst = w.values[src];
         }
         artifacts.bundle.scaler.transform_row(&mut row)?;
-        let attack = artifacts.detector.classify(&row)?.is_attack();
-        match (w.is_malware(), attack) {
+        let verdict = artifacts.detector.classify(&row)?;
+        flagged += usize::from(verdict == Verdict::AdversarialAttack);
+        match (w.is_malware(), verdict.is_attack()) {
             (true, true) => matrix.tp += 1,
             (true, false) => matrix.fn_ += 1,
             (false, true) => matrix.fp += 1,
@@ -697,7 +904,7 @@ fn calibrate(
     artifacts
         .monitor
         .record_baseline(SERVING_BASELINE, BinaryMetrics::from_confusion(&matrix));
-    Ok(())
+    Ok(CalibrationReport { matrix, flagged, samples: cfg.calibration_samples })
 }
 
 /// HTTP dispatch for the serving endpoints, shared between single
@@ -790,6 +997,7 @@ fn live_snapshot_json(shards: &[Arc<Shared>], artifacts: &ServingArtifacts) -> J
         ("accuracy".to_owned(), opt(merged.accuracy())),
         ("false_positive_rate".to_owned(), opt(merged.false_positive_rate())),
         ("latency_p95_ms".to_owned(), Json::Float(merged.latency_p95_ms())),
+        ("model_latency_p95_ms".to_owned(), Json::Float(merged.model_latency_p95_ms())),
         ("healthy".to_owned(), Json::Bool(healthy)),
         ("alert_transitions".to_owned(), Json::UInt(transitions)),
         ("quarantined".to_owned(), Json::UInt(artifacts.detector.quarantined() as u64)),

@@ -1,0 +1,75 @@
+//! Allocation-freedom of the serving steady state, proven under a
+//! counting global allocator: once a session is warmed up (arena built,
+//! windows settled, alert engine past its initial transitions, replay
+//! ring standing in for live traffic synthesis), classifying a window —
+//! monitoring, alert evaluation and integrity checks included — must
+//! perform **zero** heap allocations, on both the scalar and the
+//! batched path.
+//!
+//! The counting allocator is process-global, so this integration test
+//! lives in its own binary: no sibling test's allocations can bleed
+//! into the measured deltas, and the worker-thread override pins all
+//! work to the measuring thread.
+
+use hmd_util::alloc::CountingAllocator;
+use hmd_util::par;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Builds a replay-ring session around shared artifacts: uniform
+/// traffic (no burst), arena path, `batch` samples per detector call.
+fn replay_session(
+    base: &hmd::ServingConfig,
+    artifacts: &std::sync::Arc<hmd::core::ServingArtifacts>,
+    batch: usize,
+) -> hmd::ServingSession {
+    let mut cfg = base.clone();
+    cfg.samples = 900;
+    cfg.replay = 128;
+    cfg.burst = None;
+    cfg.batch = batch;
+    cfg.calibration_samples = 0; // baseline calibrated by the training session
+    hmd::ServingSession::with_artifacts(cfg, artifacts.clone()).expect("assemble session")
+}
+
+#[test]
+fn serving_steady_state_allocates_nothing() {
+    // single worker: the delta below must attribute every allocation to
+    // the serving loop, and quick-config matmuls stay below the
+    // parallel substrate's spawn threshold anyway
+    par::set_thread_override(Some(1));
+    let mut base = hmd::ServingConfig::quick(19);
+    let trainer = hmd::ServingSession::start(base.clone()).expect("train");
+    let artifacts = trainer.artifacts_handle();
+    // reuse the calibration-derived SLO thresholds (as fleet shards
+    // do): they sit a margin away from this deployment's live rates,
+    // so the alert engine stays edge-free — stock thresholds can
+    // chatter against replay traffic, and every edge allocates
+    base.rules = trainer.slo_rules().to_vec();
+    drop(trainer);
+
+    // scalar (batch 1) and batched (batch 8) paths measured separately
+    for batch in [1usize, 8] {
+        let mut session = replay_session(&base, &artifacts, batch);
+        // warm up: fill the sliding windows twice over and let the
+        // alert engine cross its initial fire/resolve edges
+        while session.outcome().processed < 500 {
+            assert!(session.step_batch().expect("warmup step") > 0, "budget spent in warmup");
+        }
+        let processed_before = session.outcome().processed;
+        let allocs_before = ALLOC.allocations();
+        let bytes_before = ALLOC.bytes_allocated();
+        while session.step_batch().expect("steady-state step") > 0 {}
+        let allocs = ALLOC.allocations() - allocs_before;
+        let bytes = ALLOC.bytes_allocated() - bytes_before;
+        let windows = session.outcome().processed - processed_before;
+        assert!(windows >= 300, "measured too few windows: {windows}");
+        assert_eq!(
+            allocs, 0,
+            "batch {batch}: {allocs} allocations ({bytes} bytes) across {windows} \
+             steady-state windows — the hot path must not touch the heap"
+        );
+    }
+    par::set_thread_override(None);
+}

@@ -174,13 +174,16 @@ fn serving_monitoring_does_not_change_verdicts() {
     assert_eq!(off.alert_transitions, 0);
 }
 
-/// The batched predict path is bit-identical to the scalar path: the
-/// blocked matmul's per-output-element accumulation order is
-/// row-count-invariant, so grouping samples into batches (at any worker
-/// thread count) must not move a single verdict. The FNV digest over
-/// the verdict stream pins the whole sequence, not just the counts.
+/// The batched predict path is bit-identical to the scalar path, and
+/// the arena-backed (allocation-free) paths are bit-identical to the
+/// legacy allocating paths: the blocked matmul's per-output-element
+/// accumulation order is row-count-invariant and the arena kernels
+/// replay the exact float operation order, so neither grouping samples
+/// into batches nor routing through preallocated buffers (at any worker
+/// thread count) may move a single verdict. The FNV digest over the
+/// verdict stream pins the whole sequence, not just the counts.
 #[test]
-fn serving_batch_size_and_thread_count_are_verdict_invariant() {
+fn serving_batch_size_thread_count_and_arena_are_verdict_invariant() {
     // train once, share the artifacts across every configuration
     let base = {
         let mut cfg = hmd::ServingConfig::quick(13);
@@ -189,9 +192,10 @@ fn serving_batch_size_and_thread_count_are_verdict_invariant() {
     };
     let artifacts = hmd::ServingSession::start(base.clone()).expect("train").artifacts_handle();
 
-    let run = |batch: usize| {
+    let run = |batch: usize, arena: bool| {
         let mut cfg = base.clone();
         cfg.batch = batch;
+        cfg.arena = arena;
         // the baseline was calibrated by the training session above;
         // recalibrating per run would only repeat the same work
         cfg.calibration_samples = 0;
@@ -204,17 +208,19 @@ fn serving_batch_size_and_thread_count_are_verdict_invariant() {
     for threads in [1usize, 4] {
         par::set_thread_override(Some(threads));
         for batch in [1usize, 7, 64] {
-            outcomes.push((threads, batch, run(batch)));
+            for arena in [true, false] {
+                outcomes.push((threads, batch, arena, run(batch, arena)));
+            }
         }
     }
     par::set_thread_override(None);
 
-    let (_, _, reference) = &outcomes[0];
+    let (_, _, _, reference) = &outcomes[0];
     assert_eq!(reference.processed, 250);
-    for (threads, batch, outcome) in &outcomes {
+    for (threads, batch, arena, outcome) in &outcomes {
         assert_eq!(
             outcome.digest, reference.digest,
-            "digest moved at batch {batch}, {threads} thread(s)"
+            "digest moved at batch {batch}, {threads} thread(s), arena={arena}"
         );
         assert_eq!(outcome.verdicts, reference.verdicts);
         assert_eq!(outcome.drift_events, reference.drift_events);
