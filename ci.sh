@@ -60,9 +60,12 @@ echo "== serving observability gate =="
 # scrape and validate every endpoint. The burst must have produced
 # alert fire+resolve transitions, the exposition must be well-formed
 # with all serving series present, and the per-shard labeled series
-# must sum to the fleet aggregate.
+# must sum to the fleet aggregate. --retrain-every 200 schedules two
+# retraining rounds (boundaries at 200 and 400 of 600), so the run must
+# also complete at least one quarantine-driven model hot-swap and land
+# on generation 2.
 ./target/release/serve --samples 600 --seed 7 --shards 2 --batch 16 \
-    --linger-secs 300 \
+    --retrain-every 200 --linger-secs 300 \
     > "$TRACE_DIR/serve.out" 2> "$TRACE_DIR/serve.err" &
 SERVE_PID=$!
 for _ in $(seq 1 300); do
@@ -74,7 +77,8 @@ done
 SERVE_ADDR="$(sed -n 's/^SERVE_ADDR //p' "$TRACE_DIR/serve.out")"
 [ -n "$SERVE_ADDR" ] || { echo "ERROR: serve never printed SERVE_ADDR" >&2; exit 1; }
 cargo run --release --offline -p hmd-bench --bin obs_check -- \
-    "$SERVE_ADDR" --wait-samples 1200 --expect-transitions 4 --expect-shards 2 --quit
+    "$SERVE_ADDR" --wait-samples 1200 --expect-transitions 4 --expect-shards 2 \
+    --expect-generation 2 --quit
 wait "$SERVE_PID"
 SERVE_PID=""
 

@@ -40,6 +40,9 @@ const REQUIRED_SERIES: &[&str] = &[
     "hmd_serving_model_latency_p99",
     "hmd_serving_alert_transitions_total",
     "hmd_serving_healthy",
+    "hmd_serving_model_generation",
+    "hmd_serving_model_swaps_total",
+    "hmd_serving_retrain_absorbed_total",
 ];
 
 struct Args {
@@ -47,6 +50,7 @@ struct Args {
     wait_samples: Option<f64>,
     expect_transitions: u64,
     expect_shards: Option<usize>,
+    expect_generation: Option<f64>,
     quit: bool,
 }
 
@@ -54,7 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut raw = std::env::args().skip(1);
     let Some(target) = raw.next() else {
         return Err("usage: obs_check <addr> [--wait-samples N] [--expect-transitions N] \
-                    [--expect-shards N] [--quit]"
+                    [--expect-shards N] [--expect-generation N] [--quit]"
             .into());
     };
     let mut args = Args {
@@ -62,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         wait_samples: None,
         expect_transitions: 0,
         expect_shards: None,
+        expect_generation: None,
         quit: false,
     };
     while let Some(flag) = raw.next() {
@@ -80,6 +85,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = raw.next().ok_or("--expect-shards needs a value")?;
                 args.expect_shards =
                     Some(v.parse().map_err(|_| format!("bad --expect-shards: {v:?}"))?);
+            }
+            "--expect-generation" => {
+                let v = raw.next().ok_or("--expect-generation needs a value")?;
+                args.expect_generation =
+                    Some(v.parse().map_err(|_| format!("bad --expect-generation: {v:?}"))?);
             }
             "--quit" => args.quit = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -178,6 +188,17 @@ fn run(args: &Args) -> Result<(), String> {
     if let Some(want) = args.expect_shards {
         check_shards(&page, want)?;
         println!("obs_check: /metrics carries {want} label-separated shard(s)");
+    }
+    if let Some(want) = args.expect_generation {
+        let generation = series_value(&page, "hmd_serving_model_generation").unwrap_or(0.0);
+        let swaps = series_value(&page, "hmd_serving_model_swaps_total").unwrap_or(0.0);
+        if generation < want {
+            return Err(format!("expected model generation >= {want}, saw {generation}"));
+        }
+        if want > 0.0 && swaps < 1.0 {
+            return Err(format!("expected >= 1 model swap at generation {generation}, saw {swaps}"));
+        }
+        println!("obs_check: model generation {generation} after {swaps} hot-swap(s)");
     }
     println!(
         "obs_check: /metrics OK ({} lines, {} required series, {transitions} transitions)",

@@ -6,7 +6,7 @@ use hmd_ml::Classifier;
 use hmd_rl::{AdversarialPredictor, ConstraintController};
 use hmd_tabular::{Class, Dataset};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::CoreError;
 
@@ -87,7 +87,10 @@ impl InferArena {
 /// (the paper's feedback loop), everything else is routed to the ML model
 /// the constraint controller selected.
 pub struct AdaptiveDetector {
-    predictor: AdversarialPredictor,
+    /// Shared: retraining rounds refit the classical zoo but keep the
+    /// deployed adversarial predictor, so successive detector
+    /// generations hold the same predictor through an `Arc`.
+    predictor: Arc<AdversarialPredictor>,
     controller: ConstraintController,
     models: Vec<Box<dyn Classifier>>,
     /// Flagged samples awaiting the next adversarial-training round.
@@ -129,6 +132,24 @@ impl AdaptiveDetector {
         models: Vec<Box<dyn Classifier>>,
         feature_names: Vec<String>,
     ) -> Result<Self, CoreError> {
+        Self::with_shared_predictor(Arc::new(predictor), controller, models, feature_names)
+    }
+
+    /// Like [`new`](Self::new), but sharing an already-deployed
+    /// adversarial predictor — the retraining loop assembles each
+    /// refreshed detector generation around the same predictor
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] if `models` is empty or
+    /// `feature_names` is.
+    pub fn with_shared_predictor(
+        predictor: Arc<AdversarialPredictor>,
+        controller: ConstraintController,
+        models: Vec<Box<dyn Classifier>>,
+        feature_names: Vec<String>,
+    ) -> Result<Self, CoreError> {
         if models.is_empty() {
             return Err(CoreError::Invalid("detector needs at least one model"));
         }
@@ -144,11 +165,56 @@ impl AdaptiveDetector {
         })
     }
 
+    /// A handle to the deployed adversarial predictor, for assembling
+    /// the next detector generation around it.
+    #[must_use]
+    pub fn predictor_handle(&self) -> Arc<AdversarialPredictor> {
+        Arc::clone(&self.predictor)
+    }
+
+    /// The trained constraint controller (cloneable; carries its model
+    /// selection, so a refreshed generation keeps the same routing).
+    #[must_use]
+    pub fn controller(&self) -> &ConstraintController {
+        &self.controller
+    }
+
+    /// The deployed model zoo, in controller routing order.
+    #[must_use]
+    pub fn models(&self) -> &[Box<dyn Classifier>] {
+        &self.models
+    }
+
     /// Rebounds the quarantine ring. A cap of 0 disables eviction
-    /// (unbounded buffer); shrinking the cap evicts on the next push,
-    /// not immediately.
+    /// (unbounded buffer); shrinking the cap below the current fill
+    /// evicts the oldest excess rows immediately, counting them like
+    /// any ring eviction.
     pub fn set_quarantine_cap(&self, cap: usize) {
         self.quarantine_cap.store(cap, Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        let mut guard = self.quarantine_guard();
+        Self::evict_over_cap(&mut guard, cap, &self.evicted);
+    }
+
+    /// The current quarantine ring bound (0 = unbounded).
+    #[must_use]
+    pub fn quarantine_cap(&self) -> usize {
+        self.quarantine_cap.load(Ordering::Relaxed)
+    }
+
+    /// Evicts oldest-first down to `cap` rows, counting evictions.
+    fn evict_over_cap(guard: &mut Dataset, cap: usize, evicted: &AtomicU64) {
+        if guard.len() <= cap {
+            return;
+        }
+        let excess = guard.len() - cap;
+        guard.pop_front(excess);
+        evicted.fetch_add(excess as u64, Ordering::Relaxed);
+        if hmd_telemetry::enabled() {
+            hmd_telemetry::metrics::counter("serving.quarantine_evicted").add(excess as u64);
+        }
     }
 
     /// Lifetime count of quarantined rows evicted by the ring bound.
@@ -164,14 +230,8 @@ impl AdaptiveDetector {
         let mut guard = self.quarantine_guard();
         guard.push(row, Class::Adversarial).map_err(CoreError::from)?;
         let cap = self.quarantine_cap.load(Ordering::Relaxed);
-        if cap > 0 && guard.len() > cap {
-            let excess = guard.len() - cap;
-            guard.pop_front(excess);
-            self.evicted.fetch_add(excess as u64, Ordering::Relaxed);
-            if hmd_telemetry::enabled() {
-                hmd_telemetry::metrics::counter("serving.quarantine_evicted")
-                    .add(excess as u64);
-            }
+        if cap > 0 {
+            Self::evict_over_cap(&mut guard, cap, &self.evicted);
         }
         Ok(())
     }
@@ -526,6 +586,34 @@ mod tests {
         let kept = detector.take_quarantine();
         assert_eq!(kept.row(0).unwrap(), flagged_rows[flagged_rows.len() - 2]);
         assert_eq!(kept.row(1).unwrap(), flagged_rows[flagged_rows.len() - 1]);
+
+        // lowering the cap below the current fill evicts immediately —
+        // the ring must never sit over-cap waiting for the next push
+        detector.set_quarantine_cap(0);
+        for row in &flagged_rows {
+            detector.classify(row).unwrap();
+        }
+        assert_eq!(detector.quarantined(), flagged_rows.len());
+        let evicted_before = detector.quarantine_evicted();
+        detector.set_quarantine_cap(1);
+        assert_eq!(detector.quarantined(), 1, "shrink must evict at once");
+        assert_eq!(
+            detector.quarantine_evicted() - evicted_before,
+            flagged_rows.len() as u64 - 1
+        );
+        assert_eq!(detector.quarantine_cap(), 1);
+        let kept = detector.take_quarantine();
+        assert_eq!(kept.row(0).unwrap(), flagged_rows[flagged_rows.len() - 1]);
+
+        // the refreshed-generation constructor shares the predictor and
+        // reproduces the original verdicts
+        let rebuilt = AdaptiveDetector::with_shared_predictor(
+            detector.predictor_handle(),
+            detector.controller().clone(),
+            hmd_ml::classical_models(),
+            bundle.feature_names.clone(),
+        );
+        assert!(rebuilt.is_ok(), "shared-predictor assembly failed");
     }
 
     #[test]

@@ -52,8 +52,10 @@ pub struct DataBundle {
     pub feature_names: Vec<String>,
 }
 
-/// Artifacts of the attack-generation phase.
-#[derive(Debug)]
+/// Artifacts of the attack-generation phase. Cloneable so a retraining
+/// round can carry the fitted attack and its pools into the next
+/// serving-artifacts generation without regenerating them.
+#[derive(Clone, Debug)]
 pub struct AttackArtifacts {
     /// The fitted LowProFool attack (owns the imperceptibility
     /// evaluator).
@@ -448,6 +450,10 @@ pub struct ServingArtifacts {
     pub monitor: MetricMonitor,
     /// The constraint the controller was trained under.
     pub kind: ConstraintKind,
+    /// The merged `[Malware, Benign, Adversarial]` training database the
+    /// detector's models were fitted on — the set retraining rounds
+    /// extend with drained quarantine samples.
+    pub training: Dataset,
 }
 
 /// The baseline name [`Framework::prepare_serving`] records the
@@ -523,7 +529,7 @@ impl Framework {
         let monitor = MetricMonitor::new(self.config.integrity_tolerance);
         monitor.record_baseline(SERVING_BASELINE, BinaryMetrics::from_confusion(&matrix));
 
-        Ok(ServingArtifacts { bundle, attacks, detector, monitor, kind })
+        Ok(ServingArtifacts { bundle, attacks, detector, monitor, kind, training: merged_train })
     }
 
     /// One round of the run-time feedback loop (Figure 1): merges a
@@ -642,6 +648,48 @@ mod tests {
             Framework::retraining_round(&mut models, &mut training, &empty).unwrap(),
             0
         );
+    }
+
+    /// The serving retrainer's exact sequence: an *over-cap* quarantine
+    /// (ring already evicted oldest rows) drains to exactly the cap and
+    /// is absorbed in full; the immediately following round sees the
+    /// just-drained (empty) ring and must be a no-op.
+    #[test]
+    fn retraining_round_handles_over_cap_and_just_drained_quarantine() {
+        let artifacts = quick().prepare_serving(ConstraintKind::BestDetection).unwrap();
+        let detector = &artifacts.detector;
+        detector.set_quarantine_cap(8);
+        let mut flagged = 0usize;
+        for (row, _) in &artifacts.attacks.test_result.adversarial {
+            if detector.classify(row).unwrap() == crate::Verdict::AdversarialAttack {
+                flagged += 1;
+            }
+        }
+        assert!(flagged > 8, "need an over-cap quarantine, flagged only {flagged}");
+        assert_eq!(detector.quarantined(), 8, "ring must hold exactly the cap");
+        assert_eq!(detector.quarantine_evicted(), (flagged - 8) as u64);
+
+        let mut training = artifacts.training.clone();
+        let mut models: Vec<Box<dyn Classifier>> =
+            vec![Box::new(hmd_ml::DecisionTree::new())];
+        let targets = training.binary_targets(Class::is_attack);
+        models[0].fit(&training, &targets).unwrap();
+
+        let before = training.len();
+        let drained = detector.take_quarantine();
+        assert_eq!(drained.len(), 8);
+        let absorbed =
+            Framework::retraining_round(&mut models, &mut training, &drained).unwrap();
+        assert_eq!(absorbed, 8);
+        assert_eq!(training.len(), before + 8);
+
+        // a second round right after the drain sees an empty ring: no-op
+        let empty = detector.take_quarantine();
+        assert!(empty.is_empty());
+        let absorbed =
+            Framework::retraining_round(&mut models, &mut training, &empty).unwrap();
+        assert_eq!(absorbed, 0);
+        assert_eq!(training.len(), before + 8, "no-op round must not touch the set");
     }
 
     #[test]

@@ -165,6 +165,22 @@ impl AlertEngine {
         &self.rules
     }
 
+    /// Replaces the rule set in place — the model-promotion path uses
+    /// this when a retraining round re-derives the SLO calibration.
+    /// When the new set has the same shape (same rule names, in order)
+    /// only the thresholds move: firing state and the transition
+    /// counter carry over, so a hot-swap never fabricates or swallows
+    /// an edge. A differently shaped set resets firing state instead
+    /// (the old levels are meaningless for new rules).
+    pub fn set_rules(&mut self, rules: &[SloRule]) {
+        let same_shape = rules.len() == self.rules.len()
+            && rules.iter().zip(&self.rules).all(|(new, old)| new.name == old.name);
+        self.rules = rules.to_vec();
+        if !same_shape {
+            self.firing = vec![false; self.rules.len()];
+        }
+    }
+
     /// Evaluates every rule against `snap` and returns only the edges.
     /// Fire/resolve edges also emit a gated `obs.alert` telemetry event,
     /// so alert history lands in the exported `TELEMETRY_*.json`.
@@ -295,6 +311,29 @@ mod tests {
         assert!(!edges[0].firing);
         assert!(e.healthy());
         assert_eq!(e.transitions(), 2);
+    }
+
+    #[test]
+    fn set_rules_keeps_firing_state_for_same_shape_threshold_updates() {
+        let m = ServingMonitor::new(WindowConfig::new(4, 10 * MS));
+        let mut e = AlertEngine::new(vec![flag_rule(0.5, 1)]);
+        feed(&m, 0, 10, true);
+        assert_eq!(e.evaluate(&m.snapshot_at(0)).len(), 1);
+        assert!(!e.healthy());
+
+        // same shape, looser threshold: still firing until re-evaluated,
+        // and the re-evaluation emits exactly one resolve edge
+        e.set_rules(&[flag_rule(2.0, 1)]);
+        assert!(!e.healthy(), "threshold update must not silently resolve");
+        let edges = e.evaluate(&m.snapshot_at(0));
+        assert_eq!(edges.len(), 1);
+        assert!(!edges[0].firing);
+        assert_eq!(e.transitions(), 2, "transition counter must stay monotonic");
+
+        // a differently shaped set resets the levels
+        e.set_rules(&[flag_rule(0.5, 1), flag_rule(0.9, 1)]);
+        assert!(e.healthy());
+        assert_eq!(e.rules().len(), 2);
     }
 
     #[test]

@@ -170,6 +170,34 @@ fn render_page(snap: &MonitorSnapshot, engines: &[&AlertEngine], shards: &[Monit
     out
 }
 
+/// Appends the model-lifecycle series the serving endpoint exposes: the
+/// serving model generation (bumped at every retraining boundary, 0
+/// until the first), the promotions that actually swapped refreshed
+/// models in, and the quarantined rows absorbed into the training
+/// database. Always rendered — a deployment with retraining disabled
+/// reports a flat generation 0, so dashboards and `obs_check` can rely
+/// on the series existing.
+pub fn append_promotion_series(out: &mut String, generation: u64, swaps: u64, absorbed: u64) {
+    gauge(
+        out,
+        "hmd_serving_model_generation",
+        "Model generation currently serving (0 = initial training).",
+        to_f64(generation),
+    );
+    counter(
+        out,
+        "hmd_serving_model_swaps_total",
+        "Retraining promotions that hot-swapped refreshed models in.",
+        swaps,
+    );
+    counter(
+        out,
+        "hmd_serving_retrain_absorbed_total",
+        "Quarantined samples absorbed into the training set by retraining rounds.",
+        absorbed,
+    );
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn to_f64(v: u64) -> f64 {
     v as f64
@@ -289,6 +317,21 @@ mod tests {
             "hmd_serving_shard_detection_rate{shard=\"1\"} 0",
             "hmd_serving_latency_ns_bucket{le=\"+Inf\"} 50",
             "hmd_serving_healthy 1",
+        ] {
+            assert!(p.contains(needle), "missing {needle:?} in:\n{p}");
+        }
+        validate_exposition(&p).unwrap();
+    }
+
+    #[test]
+    fn promotion_series_render_and_validate() {
+        let mut p = String::new();
+        append_promotion_series(&mut p, 3, 2, 41);
+        for needle in [
+            "hmd_serving_model_generation 3",
+            "# TYPE hmd_serving_model_swaps_total counter",
+            "hmd_serving_model_swaps_total 2",
+            "hmd_serving_retrain_absorbed_total 41",
         ] {
             assert!(p.contains(needle), "missing {needle:?} in:\n{p}");
         }

@@ -28,6 +28,11 @@ const MAX_HEADER_LINES: usize = 128;
 /// Most requests served over one keep-alive connection before the
 /// server closes it — bounds how long one client can pin a worker.
 const MAX_KEEPALIVE_REQUESTS: usize = 32;
+/// Largest declared request body the server will drain. Bodies are
+/// never interpreted, but a kept-alive request's body must be consumed
+/// so its bytes are not misparsed as the next request line; anything
+/// larger is answered 413 and the connection closed.
+const MAX_BODY_BYTES: u64 = 64 * 1024;
 /// Connections serving concurrently unless overridden in `start_with`.
 /// The handler is CPU-light (rendering a metrics page); workers mostly
 /// block on client IO, so a small fixed pool beats a per-core count.
@@ -36,7 +41,8 @@ const DEFAULT_WORKERS: usize = 4;
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// A parsed request: the method and path of the request line. Headers
-/// are read and discarded; bodies are not supported.
+/// are read and discarded; bodies are drained (bounded) but never
+/// interpreted.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, …
@@ -82,7 +88,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Content Too Large",
         414 => "URI Too Long",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -230,7 +238,12 @@ fn serve_conn(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
                 }
             }
             Err(Some(status)) => {
-                write_response(&stream, &Response::status(status, "bad request\n"), false)?;
+                let body = match status {
+                    413 => "content too large\n",
+                    501 => "transfer encodings are not supported\n",
+                    _ => "bad request\n",
+                };
+                write_response(&stream, &Response::status(status, body), false)?;
                 break;
             }
             // the client finished with the connection (EOF or idle past
@@ -251,10 +264,12 @@ fn serve_conn(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Parses the request line and headers. Returns the request plus
-/// whether the client allows connection reuse; `Err(Some(status))` is
-/// the HTTP status to answer protocol errors with, `Err(None)` a clean
-/// end-of-stream before the request line started.
+/// Parses the request line and headers, then drains the declared body
+/// so a kept-alive connection stays framed at the next request line.
+/// Returns the request plus whether the client allows connection reuse;
+/// `Err(Some(status))` is the HTTP status to answer protocol errors
+/// with, `Err(None)` a clean end-of-stream before the request line
+/// started.
 fn read_request<R: BufRead>(reader: &mut R) -> Result<(Request, bool), Option<u16>> {
     let line = read_line_bounded(reader, MAX_REQUEST_LINE, true)?;
     let mut parts = line.split_whitespace();
@@ -267,6 +282,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<(Request, bool), Option<u1
     }
     // keep-alive is the HTTP/1.1 default; HTTP/1.0 must ask for it
     let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length: Option<u64> = None;
     let mut terminated = false;
     for _ in 0..MAX_HEADER_LINES {
         let header = read_line_bounded(reader, MAX_REQUEST_LINE, false)?;
@@ -274,21 +290,56 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<(Request, bool), Option<u1
             terminated = true;
             break;
         }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("connection") {
-                let value = value.trim();
-                if value.eq_ignore_ascii_case("close") {
+        let Some((name, value)) = header.split_once(':') else { continue };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            // the value is a comma-separated token list ("keep-alive,
+            // Upgrade"); tokens match case-insensitively, later tokens
+            // win on (nonsensical) conflicts
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
                     keep_alive = false;
-                } else if value.eq_ignore_ascii_case("keep-alive") {
+                } else if token.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
             }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            let Ok(n) = value.parse::<u64>() else { return Err(Some(400)) };
+            // duplicate headers must agree, else the framing is ambiguous
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err(Some(400));
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // a chunked body would desync the connection if ignored;
+            // refuse rather than misparse
+            return Err(Some(501));
         }
     }
     if !terminated {
         // a header section that never ends within the bound is a
         // protocol violation, not a request to silently serve
         return Err(Some(400));
+    }
+    // drain the declared body: its bytes are part of *this* request, and
+    // leaving them buffered would misparse them as the next request line
+    if let Some(declared) = content_length {
+        if declared > MAX_BODY_BYTES {
+            return Err(Some(413));
+        }
+        let mut remaining = usize::try_from(declared).map_err(|_| Some(413))?;
+        let mut chunk = [0u8; 512];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            match reader.read(&mut chunk[..take]) {
+                // EOF, timeout or reset before the declared length: the
+                // body was truncated mid-request
+                Ok(0) | Err(_) => return Err(Some(400)),
+                Ok(n) => remaining -= n,
+            }
+        }
     }
     Ok((Request { method: method.to_owned(), path: path.to_owned() }, keep_alive))
 }
@@ -471,6 +522,89 @@ mod tests {
         let mut rest = String::new();
         reader.read_to_string(&mut rest).expect("server closed");
         assert!(rest.is_empty(), "unexpected trailing data: {rest}");
+    }
+
+    /// The keep-alive desync regression: a kept-alive POST carrying a
+    /// body used to leave the body bytes buffered, where they were
+    /// misparsed as the next request line (400 instead of serving the
+    /// follow-up). The body must be drained before answering.
+    #[test]
+    fn keep_alive_request_body_is_drained_not_misparsed() {
+        let server = start_echo();
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(&stream);
+        (&stream)
+            .write_all(
+                b"POST /hello HTTP/1.1\r\nHost: x\r\nContent-Length: 17\r\n\r\n\
+                  GET /spoofed-body",
+            )
+            .expect("write post");
+        let (head, _) = read_one_response(&mut reader);
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        // the same connection must still be framed at a request boundary
+        (&stream).write_all(b"GET /hello HTTP/1.1\r\nHost: x\r\n\r\n").expect("write get");
+        let (head, body) = read_one_response(&mut reader);
+        assert!(head.starts_with("HTTP/1.1 200"), "body bytes desynced the connection: {head}");
+        assert_eq!(body, "world\n");
+    }
+
+    #[test]
+    fn oversized_body_is_413_and_closes() {
+        let server = start_echo();
+        let reply = roundtrip(
+            server.addr(),
+            "POST /hello HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        assert!(reply.contains("Connection: close"), "{reply}");
+    }
+
+    #[test]
+    fn bad_and_conflicting_content_lengths_are_400() {
+        let server = start_echo();
+        let reply =
+            roundtrip(server.addr(), "GET /hello HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = roundtrip(
+            server.addr(),
+            "GET /hello HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nabc",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_with_501() {
+        let server = start_echo();
+        let reply = roundtrip(
+            server.addr(),
+            "POST /hello HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 501"), "{reply}");
+    }
+
+    /// `Connection` carries a token *list*; `keep-alive, Upgrade` used
+    /// to match neither exact string and fall through to the version
+    /// default.
+    #[test]
+    fn connection_header_token_lists_are_parsed() {
+        let server = start_echo();
+        // HTTP/1.0 defaults to close, so honoring keep-alive here
+        // proves the token (not the whole value) matched
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(&stream);
+        (&stream)
+            .write_all(b"GET /hello HTTP/1.0\r\nConnection: Keep-Alive, Upgrade\r\n\r\n")
+            .expect("write");
+        let (head, body) = read_one_response(&mut reader);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert_eq!(body, "world\n");
+        // and a close token buried in a list closes an HTTP/1.1 request
+        (&stream)
+            .write_all(b"GET /hello HTTP/1.1\r\nConnection: Upgrade, CLOSE\r\n\r\n")
+            .expect("write");
+        let (head, _) = read_one_response(&mut reader);
+        assert!(head.contains("Connection: close"), "{head}");
     }
 
     #[test]

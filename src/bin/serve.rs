@@ -12,13 +12,16 @@
 //!       [--burst START,END,FRACTION] [--window-slots N] [--slot-ms MS]
 //!       [--kind fast_inference|small_footprint|best_detection]
 //!       [--shards N] [--batch N] [--http-workers N]
-//!       [--linger-secs S] [--no-monitoring]
+//!       [--retrain-every N] [--linger-secs S] [--no-monitoring]
 //! ```
 //!
 //! `--shards N` runs N independently seeded serving shards (one OS
 //! thread each) behind one merged endpoint; `--batch N` classifies N
 //! samples per detector call (verdicts are identical at any batch
-//! size); `--http-workers N` sizes the endpoint's connection pool.
+//! size); `--http-workers N` sizes the endpoint's connection pool;
+//! `--retrain-every N` closes the arms-race loop, draining the
+//! quarantine into a retraining round and hot-swapping the refreshed
+//! models every N samples per shard.
 
 use std::time::{Duration, Instant};
 
@@ -38,6 +41,7 @@ struct Args {
     shards: usize,
     batch: usize,
     http_workers: usize,
+    retrain_every: usize,
     linger_secs: u64,
     monitoring: bool,
 }
@@ -49,7 +53,7 @@ fn usage(problem: &str) -> ! {
          [--burst START,END,FRACTION] [--window-slots N] [--slot-ms MS] \
          [--kind fast_inference|small_footprint|best_detection] \
          [--shards N] [--batch N] [--http-workers N] \
-         [--linger-secs S] [--no-monitoring]"
+         [--retrain-every N] [--linger-secs S] [--no-monitoring]"
     );
     std::process::exit(2);
 }
@@ -83,6 +87,7 @@ fn parse_args() -> Args {
         shards: 1,
         batch: 1,
         http_workers: 4,
+        retrain_every: 0,
         linger_secs: 600,
         monitoring: true,
     };
@@ -111,6 +116,7 @@ fn parse_args() -> Args {
             "--shards" => args.shards = parse("--shards", it.next()),
             "--batch" => args.batch = parse("--batch", it.next()),
             "--http-workers" => args.http_workers = parse("--http-workers", it.next()),
+            "--retrain-every" => args.retrain_every = parse("--retrain-every", it.next()),
             "--linger-secs" => args.linger_secs = parse("--linger-secs", it.next()),
             "--no-monitoring" => args.monitoring = false,
             "--help" | "-h" => usage("help requested"),
@@ -139,6 +145,7 @@ fn main() {
     }
 
     cfg.batch = args.batch.max(1);
+    cfg.retrain_every = args.retrain_every;
 
     eprintln!("serve: training pipeline (seed {})...", args.seed);
     let mut fleet = match FleetSession::start(&cfg, args.shards) {
@@ -177,13 +184,15 @@ fn main() {
     for (i, outcome) in outcomes.iter().enumerate() {
         eprintln!(
             "serve: shard {i}: processed {} samples (digest {:016x}); verdicts \
-             adv/malware/benign = {:?}; alert transitions {}; drift events {}; healthy {}",
+             adv/malware/benign = {:?}; alert transitions {}; drift events {}; healthy {}; \
+             model generation {}",
             outcome.processed,
             outcome.digest,
             outcome.verdicts,
             outcome.alert_transitions,
             outcome.drift_events,
-            outcome.healthy
+            outcome.healthy,
+            outcome.generation
         );
     }
     let snap = fleet.snapshot();

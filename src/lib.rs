@@ -33,5 +33,6 @@ pub use hmd_tabular as tabular;
 pub use hmd_telemetry as telemetry;
 
 pub use serving::{
-    Burst, CalibrationReport, FleetSession, ServingConfig, ServingOutcome, ServingSession,
+    Burst, CalibrationReport, FleetSession, ModelHub, ServingConfig, ServingOutcome,
+    ServingSession,
 };

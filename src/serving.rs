@@ -23,6 +23,20 @@
 //! single [`HttpServer`] answering `/metrics`, `/healthz`,
 //! `/snapshot.json` and `/quit` from a worker pool with keep-alive.
 //!
+//! # Model lifecycle
+//!
+//! With [`ServingConfig::retrain_every`] set, the fleet closes the
+//! paper's arms-race loop (Figure 1) online: a [`ModelHub`] coordinates
+//! a background retrainer thread that drains the shared quarantine ring
+//! at seeded sample boundaries, absorbs it into the living training
+//! database ([`Framework::retraining_round`]), refits the model zoo,
+//! re-derives the SLO calibration, re-hashes the promoted models into a
+//! [`ModelRegistry`], and atomically publishes the refreshed
+//! [`ServingArtifacts`] as the next generation. Shards rendezvous at
+//! each boundary and hot-swap their `Arc` (re-warming their inference
+//! arenas) without dropping a window; `/metrics` exposes the deployed
+//! generation and swap count.
+//!
 //! # Stream time
 //!
 //! Each shard advances a logical clock by [`ServingConfig::tick_ns`]
@@ -52,15 +66,20 @@
 //! allocator.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 
 use hmd_core::framework::SERVING_BASELINE;
-use hmd_core::{CoreError, Framework, FrameworkConfig, InferArena, ServingArtifacts, Verdict};
-use hmd_ml::{BinaryMetrics, ConfusionMatrix};
-use hmd_obs::{
-    default_rules, render_metrics_fleet, AlertEngine, HttpServer, MonitorSnapshot, Response,
-    SampleRecord, ServingMonitor, SloKind, SloRule, WindowConfig,
+use hmd_core::{
+    AdaptiveDetector, CoreError, Framework, FrameworkConfig, InferArena, ServingArtifacts, Verdict,
 };
+use hmd_integrity::{MetricMonitor, ModelRegistry};
+use hmd_ml::{classical_models, BinaryMetrics, Classifier, ConfusionMatrix};
+use hmd_obs::{
+    append_promotion_series, default_rules, render_metrics_fleet, AlertEngine, HttpServer,
+    MonitorSnapshot, Response, SampleRecord, ServingMonitor, SloKind, SloRule, WindowConfig,
+};
+use hmd_tabular::Dataset;
 use hmd_rl::ConstraintKind;
 use hmd_sim::{StreamConfig, WindowStream};
 use hmd_telemetry::clock;
@@ -137,6 +156,14 @@ pub struct ServingConfig {
     /// allocation-free — the mode `tests/alloc.rs` and the substrates
     /// benchmark measure. Zero (the default) streams live traffic.
     pub replay: usize,
+    /// When nonzero, run a quarantine-draining retraining round every
+    /// this many samples per shard: shards rendezvous at each boundary
+    /// while a background retrainer absorbs the drained quarantine into
+    /// the training database, refits the zoo and hot-swaps the
+    /// refreshed artifacts as the next model generation (see the module
+    /// docs). The swap schedule is a pure function of the seed. Zero
+    /// (the default) serves generation 0 forever.
+    pub retrain_every: usize,
 }
 
 /// The stream seed of shard `i` in a fleet: shard 0 keeps the base seed
@@ -178,6 +205,7 @@ impl ServingConfig {
             batch: 1,
             arena: true,
             replay: 0,
+            retrain_every: 0,
         }
     }
 }
@@ -254,11 +282,371 @@ struct Shared {
 }
 
 impl Shared {
-    fn engine(&self) -> std::sync::MutexGuard<'_, AlertEngine> {
+    fn engine(&self) -> MutexGuard<'_, AlertEngine> {
         // evaluate() can only panic on a poisoned telemetry sink, never
         // mid-update of the firing vector
         self.engine.lock().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Rendezvous state guarded by the hub's barrier mutex.
+#[derive(Debug)]
+struct HubBarrier {
+    /// Shards currently registered with the hub.
+    active: usize,
+    /// Shards waiting at the current retraining boundary.
+    arrived: usize,
+    /// Highest generation published so far.
+    published: usize,
+    /// The SLO rule set of the published generation (recalibrated at
+    /// every swap when the config carries a calibration budget).
+    rules: Vec<SloRule>,
+    /// The living training database retraining rounds extend.
+    training: Dataset,
+    /// A failed round poisons the loop: every waiter unblocks with the
+    /// error instead of silently serving a stale generation.
+    failed: Option<CoreError>,
+}
+
+/// The model-lifecycle coordinator behind a retraining fleet: the
+/// generation-tagged publication slot every shard reads at its
+/// retraining boundaries, the rendezvous state the shards and the
+/// background retrainer synchronize on, and the integrity registry
+/// re-hashed at every promotion.
+///
+/// # Swap protocol
+///
+/// The schedule is seeded, not timed: with `retrain_every = E`, sample
+/// `k` of every shard must be classified by generation `⌊k/E⌋`. A shard
+/// reaching a boundary arrives at the barrier; once every active shard
+/// has arrived, the retrainer drains the shared quarantine (sorted into
+/// a canonical order, because shards race pushing into the ring), runs
+/// [`Framework::retraining_round`], assembles fresh [`ServingArtifacts`]
+/// around the *shared* adversarial predictor and the *cloned*
+/// constraint controller (selection preserved; latency is never
+/// re-profiled, which would be wall-clock and break determinism),
+/// re-derives the SLO calibration, re-hashes the promoted zoo into the
+/// [`ModelRegistry`] under its generation tag, publishes, and wakes the
+/// shards — which swap their `Arc`, re-warm their arenas, and resume.
+/// No window is dropped: boundary samples wait for the publication
+/// instead of being skipped, and between boundaries the only cost is
+/// one modulo check per batch.
+#[derive(Debug)]
+pub struct ModelHub {
+    /// The published artifacts generation — tiny critical sections only.
+    current: Mutex<Arc<ServingArtifacts>>,
+    barrier: Mutex<HubBarrier>,
+    arrivals: Condvar,
+    /// Published generation number, mirrored out of the barrier for
+    /// lock-free scraping.
+    generation: AtomicU64,
+    /// Promotions that actually swapped models (a boundary with an
+    /// empty quarantine bumps the generation without swapping).
+    swaps: AtomicU64,
+    /// Quarantined rows absorbed into the training database, lifetime.
+    absorbed: AtomicU64,
+    /// Eviction counts of retired detector generations, folded in at
+    /// the swap moment so the exposed total never dips.
+    evicted_carry: AtomicU64,
+    registry: ModelRegistry,
+    retrain_every: usize,
+    /// Rounds the sample budget schedules: `⌈samples/every⌉ - 1` —
+    /// there is no boundary at the final sample.
+    rounds: usize,
+    /// Template for per-generation recalibration (stream seed is
+    /// re-derived per generation).
+    cal_cfg: ServingConfig,
+    feature_idx: Vec<usize>,
+}
+
+impl ModelHub {
+    fn new(
+        cfg: &ServingConfig,
+        artifacts: &Arc<ServingArtifacts>,
+        feature_idx: &[usize],
+    ) -> Result<Arc<Self>, CoreError> {
+        let rounds = if cfg.retrain_every == 0 || cfg.samples == 0 {
+            0
+        } else {
+            (cfg.samples - 1) / cfg.retrain_every
+        };
+        let registry = ModelRegistry::new();
+        register_generation(&registry, artifacts, 0)?;
+        Ok(Arc::new(Self {
+            current: Mutex::new(Arc::clone(artifacts)),
+            barrier: Mutex::new(HubBarrier {
+                active: 0,
+                arrived: 0,
+                published: 0,
+                rules: cfg.rules.clone(),
+                training: artifacts.training.clone(),
+                failed: None,
+            }),
+            arrivals: Condvar::new(),
+            generation: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            absorbed: AtomicU64::new(0),
+            evicted_carry: AtomicU64::new(0),
+            registry,
+            retrain_every: cfg.retrain_every,
+            rounds,
+            cal_cfg: cfg.clone(),
+            feature_idx: feature_idx.to_vec(),
+        }))
+    }
+
+    fn lock_barrier(&self) -> MutexGuard<'_, HubBarrier> {
+        self.barrier.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The currently published artifacts generation.
+    #[must_use]
+    pub fn current(&self) -> Arc<ServingArtifacts> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The published model generation (0 until the first promotion).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Promotions that swapped a refreshed model zoo in.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Quarantined rows absorbed into the training database, lifetime.
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime quarantine evictions across every detector generation.
+    #[must_use]
+    pub fn quarantine_evicted(&self) -> u64 {
+        self.evicted_carry.load(Ordering::Relaxed) + self.current().detector.quarantine_evicted()
+    }
+
+    /// The integrity registry re-hashed at every promotion: one record
+    /// per deployed model, `deployed_at` = its generation.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The retraining period, in samples per shard.
+    #[must_use]
+    pub fn retrain_every(&self) -> usize {
+        self.retrain_every
+    }
+
+    /// How many retraining rounds the sample budget schedules.
+    #[must_use]
+    pub fn scheduled_rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn register_shard(&self) {
+        self.lock_barrier().active += 1;
+    }
+
+    fn retire_shard(&self) {
+        let mut b = self.lock_barrier();
+        b.active = b.active.saturating_sub(1);
+        drop(b);
+        self.arrivals.notify_all();
+    }
+
+    /// Blocks a shard at a retraining boundary until generation `want`
+    /// is published, then returns the published artifacts and rules.
+    fn await_generation(
+        &self,
+        want: usize,
+    ) -> Result<(Arc<ServingArtifacts>, Vec<SloRule>), CoreError> {
+        let mut b = self.lock_barrier();
+        if b.published < want && b.failed.is_none() {
+            b.arrived += 1;
+            self.arrivals.notify_all();
+            while b.published < want && b.failed.is_none() {
+                b = self.arrivals.wait(b).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if let Some(e) = &b.failed {
+            return Err(e.clone());
+        }
+        Ok((self.current(), b.rules.clone()))
+    }
+
+    /// The retrainer thread body: wait for every active shard to arrive
+    /// at the next boundary, run the round, publish, repeat until the
+    /// schedule is exhausted, a round fails, or every shard retires.
+    fn retrainer_loop(&self) {
+        let mut b = self.lock_barrier();
+        loop {
+            if b.failed.is_some() || b.published >= self.rounds || b.active == 0 {
+                break;
+            }
+            if b.arrived < b.active {
+                b = self.arrivals.wait(b).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            let generation = b.published + 1;
+            if let Err(e) = self.run_round(&mut b, generation) {
+                b.failed = Some(e);
+            }
+            b.published = generation;
+            b.arrived = 0;
+            self.generation.store(generation as u64, Ordering::Relaxed);
+            self.arrivals.notify_all();
+        }
+        drop(b);
+        self.arrivals.notify_all();
+    }
+
+    /// One retraining round: drain → absorb → refit → recalibrate →
+    /// re-hash → swap. Every active shard is parked at the barrier
+    /// while this runs, so the quarantine ring is quiescent.
+    fn run_round(&self, b: &mut HubBarrier, generation: usize) -> Result<(), CoreError> {
+        let _span = hmd_telemetry::span("serving.retraining_round");
+        let old = self.current();
+        let mut absorbed = 0usize;
+        let mut swapped = false;
+        // an empty ring means this boundary has nothing to learn from:
+        // the generation still advances (the schedule is seeded, not
+        // conditional) but the deployed models are untouched
+        if old.detector.quarantined() > 0 {
+            let drained = canonical_quarantine_order(&old.detector.take_quarantine())?;
+            let mut models = classical_models();
+            absorbed = Framework::retraining_round(&mut models, &mut b.training, &drained)?;
+            let detector = AdaptiveDetector::with_shared_predictor(
+                old.detector.predictor_handle(),
+                old.detector.controller().clone(),
+                models,
+                old.bundle.feature_names.clone(),
+            )?;
+            detector.set_quarantine_cap(old.detector.quarantine_cap());
+            let monitor = MetricMonitor::new(self.cal_cfg.framework.integrity_tolerance);
+            let fresh = Arc::new(ServingArtifacts {
+                bundle: old.bundle.clone(),
+                attacks: old.attacks.clone(),
+                detector,
+                monitor,
+                kind: old.kind,
+                training: b.training.clone(),
+            });
+            if self.cal_cfg.calibration_samples > 0 {
+                // re-derive the SLO calibration for the refreshed
+                // detector on a per-generation stream, recording its
+                // integrity baseline and rewriting the adaptive
+                // thresholds the shards will install at pickup
+                let mut cal = self.cal_cfg.clone();
+                cal.stream_seed = generation_seed(self.cal_cfg.stream_seed, generation);
+                let report = calibrate(&fresh, &cal, &self.feature_idx)?;
+                report.adapt_rules(&mut b.rules);
+            } else if let Some(baseline) = old.monitor.baseline(SERVING_BASELINE) {
+                // no calibration budget: the prior baseline carries over
+                fresh.monitor.record_baseline(SERVING_BASELINE, baseline);
+            }
+            // the promoted zoo is re-hashed under its generation tag
+            // before any shard can serve it
+            register_generation(&self.registry, &fresh, generation as u64)?;
+            {
+                let mut current = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+                // the retiring detector's eviction count folds into the
+                // carry at the same moment the Arc swaps, so the
+                // exposed total never double-counts or dips
+                self.evicted_carry
+                    .fetch_add(current.detector.quarantine_evicted(), Ordering::Relaxed);
+                *current = fresh;
+            }
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+            self.absorbed.fetch_add(absorbed as u64, Ordering::Relaxed);
+            swapped = true;
+        }
+        if hmd_telemetry::enabled() {
+            hmd_telemetry::event(
+                "serving.model_promotion",
+                Json::Obj(vec![
+                    ("generation".to_owned(), Json::UInt(generation as u64)),
+                    ("swapped".to_owned(), Json::Bool(swapped)),
+                    ("absorbed".to_owned(), Json::UInt(absorbed as u64)),
+                    ("training_rows".to_owned(), Json::UInt(b.training.len() as u64)),
+                ]),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Spawns the hub's background retrainer. Exactly one per hub; spawned
+/// only after every shard registered (a hub with zero active shards
+/// exits immediately).
+fn spawn_retrainer(hub: Arc<ModelHub>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("hmd-serving-retrainer".into())
+        .spawn(move || hub.retrainer_loop())
+        .expect("spawn retrainer thread")
+}
+
+/// The recalibration stream seed of a generation — decorrelated from
+/// the base calibration stream and from the shard streams (which use
+/// the golden-ratio constant).
+fn generation_seed(base: u64, generation: usize) -> u64 {
+    base ^ (generation as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// The canonical retraining order of a drained quarantine:
+/// lexicographic over feature values. Shards race pushing into the
+/// shared ring, so arrival order is scheduler-dependent; sorting makes
+/// the merged training set — and every model refit on it — a pure
+/// function of the *set* of quarantined rows.
+fn canonical_quarantine_order(q: &Dataset) -> Result<Dataset, CoreError> {
+    let mut idx: Vec<usize> = (0..q.len()).collect();
+    idx.sort_by(|&a, &b| match (q.row(a), q.row(b)) {
+        (Ok(ra), Ok(rb)) => ra
+            .iter()
+            .zip(rb)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal),
+        _ => std::cmp::Ordering::Equal,
+    });
+    Ok(q.subset(&idx)?)
+}
+
+/// Number of probe rows hashed into each model fingerprint.
+const FINGERPRINT_PROBE_ROWS: usize = 32;
+
+/// Behavioral fingerprint of one model: its probability surface over a
+/// fixed probe of training rows, serialized little-endian. The zoo has
+/// no byte-level serialization; what serving trusts *is* the
+/// probability surface, so hashing it catches any change in deployed
+/// behavior.
+fn model_fingerprint(model: &dyn Classifier, probe: &Dataset) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(probe.len() * 8);
+    for (row, _) in probe {
+        let p = model.predict_proba_row(row).unwrap_or(f64::NAN);
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    bytes
+}
+
+/// Registers every deployed model of a generation in the integrity
+/// registry, `deployed_at` = the generation number.
+fn register_generation(
+    registry: &ModelRegistry,
+    artifacts: &ServingArtifacts,
+    generation: u64,
+) -> Result<(), CoreError> {
+    let probe_idx: Vec<usize> =
+        (0..artifacts.bundle.train.len().min(FINGERPRINT_PROBE_ROWS)).collect();
+    let probe = artifacts.bundle.train.subset(&probe_idx)?;
+    for model in artifacts.detector.models() {
+        registry.register(model.name(), &model_fingerprint(model.as_ref(), &probe), generation);
+    }
+    Ok(())
 }
 
 /// Summary of a finished (or in-flight) session.
@@ -276,6 +664,9 @@ pub struct ServingOutcome {
     pub healthy: bool,
     /// Integrity drift events escalated into the window.
     pub drift_events: u64,
+    /// The model generation this shard finished on (0 when retraining
+    /// is off).
+    pub generation: u64,
 }
 
 /// A streaming detection session — one shard of the serving loop. See
@@ -313,6 +704,16 @@ pub struct ServingSession {
     drift_events: u64,
     shared: Arc<Shared>,
     http: Option<HttpServer>,
+    /// The model-lifecycle hub, when retraining is on (see
+    /// [`ServingConfig::retrain_every`]).
+    hub: Option<Arc<ModelHub>>,
+    /// The model generation this shard currently serves.
+    generation: usize,
+    /// The hub's retrainer thread, owned by whichever session (or
+    /// fleet) created the hub; joined on drop.
+    retrainer: Option<JoinHandle<()>>,
+    /// Whether this shard already deregistered from the hub.
+    retired: bool,
 }
 
 impl ServingSession {
@@ -336,8 +737,26 @@ impl ServingSession {
     ///
     /// Rejects a stream that does not carry every engineered feature.
     pub fn with_artifacts(
+        cfg: ServingConfig,
+        artifacts: Arc<ServingArtifacts>,
+    ) -> Result<Self, CoreError> {
+        let mut session = Self::assemble(cfg, artifacts, None)?;
+        // a standalone session owns its hub's retrainer thread; fleet
+        // shards are assembled with a shared hub and the fleet owns it
+        if let Some(hub) = &session.hub {
+            session.retrainer = Some(spawn_retrainer(Arc::clone(hub)));
+        }
+        Ok(session)
+    }
+
+    /// Builds the session around `artifacts`, creating a [`ModelHub`]
+    /// when retraining is on and none was handed in (fleet shards share
+    /// the first shard's). Never spawns the retrainer — callers do,
+    /// after every shard has registered.
+    fn assemble(
         mut cfg: ServingConfig,
         artifacts: Arc<ServingArtifacts>,
+        hub: Option<Arc<ModelHub>>,
     ) -> Result<Self, CoreError> {
         let stream = WindowStream::new(StreamConfig {
             malware_fraction: cfg.malware_fraction,
@@ -368,6 +787,18 @@ impl ServingSession {
         } else {
             None
         };
+        // hub creation happens after calibration so the hub's initial
+        // rule set is the calibration-adapted one
+        let hub = match hub {
+            Some(h) => Some(h),
+            None if cfg.retrain_every > 0 => {
+                Some(ModelHub::new(&cfg, &artifacts, &feature_idx)?)
+            }
+            None => None,
+        };
+        if let Some(h) = &hub {
+            h.register_shard();
+        }
         let shared = Arc::new(Shared {
             monitor: ServingMonitor::new(cfg.window),
             engine: Mutex::new(AlertEngine::new(cfg.rules.clone())),
@@ -397,6 +828,10 @@ impl ServingSession {
             drift_events: 0,
             shared,
             http: None,
+            hub,
+            generation: 0,
+            retrainer: None,
+            retired: false,
         };
         for k in 0..session.cfg.replay {
             let truth = session.draw_sample(k)?;
@@ -414,15 +849,52 @@ impl ServingSession {
     ///
     /// Propagates bind failures.
     pub fn serve_http(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
-        let shards = vec![Arc::clone(&self.shared)];
-        let artifacts = Arc::clone(&self.artifacts);
+        let state = EndpointState {
+            shards: vec![Arc::clone(&self.shared)],
+            artifacts: Arc::clone(&self.artifacts),
+            hub: self.hub.clone(),
+        };
         let server = HttpServer::start(
             addr,
-            Arc::new(move |req: &hmd_obs::Request| handle(&shards, &artifacts, &req.path)),
+            Arc::new(move |req: &hmd_obs::Request| handle(&state, &req.path)),
         )?;
         let bound = server.addr();
         self.http = Some(server);
         Ok(bound)
+    }
+
+    /// At a retraining boundary (`processed` a positive multiple of the
+    /// hub's period, short of the budget), rendezvous with the
+    /// retrainer and adopt the published generation: swap the artifacts
+    /// `Arc`, re-warm the inference arena for the refreshed models, and
+    /// install the re-derived SLO thresholds. Between boundaries this
+    /// is one modulo check.
+    fn sync_generation(&mut self) -> Result<(), CoreError> {
+        let Some(hub) = &self.hub else { return Ok(()) };
+        let every = hub.retrain_every;
+        if every == 0
+            || self.processed == 0
+            || self.processed >= self.cfg.samples
+            || !self.processed.is_multiple_of(every)
+        {
+            return Ok(());
+        }
+        let want = self.processed / every;
+        if want <= self.generation {
+            return Ok(());
+        }
+        let (artifacts, rules) = Arc::clone(hub).await_generation(want)?;
+        if !Arc::ptr_eq(&artifacts, &self.artifacts) {
+            // hot-swap: the refreshed detector needs a freshly warmed
+            // arena (scratch is sized per model instance)
+            self.artifacts = artifacts;
+            self.arena =
+                self.artifacts.detector.warmup(self.feature_idx.len(), self.cfg.batch.max(1));
+        }
+        self.shared.engine().set_rules(&rules);
+        self.cfg.rules = rules;
+        self.generation = want;
+        Ok(())
     }
 
     /// Draws the traffic for sample `idx` into `scratch` (engineered,
@@ -498,6 +970,7 @@ impl ServingSession {
         if self.processed >= self.cfg.samples {
             return Ok(false);
         }
+        self.sync_generation()?;
         let t_start = clock::now_ns();
         let truth_attack = self.next_sample(self.processed)?;
         let t_model = clock::now_ns();
@@ -528,11 +1001,23 @@ impl ServingSession {
     /// Propagates detector failures.
     pub fn step_batch(&mut self) -> Result<usize, CoreError> {
         let remaining = self.cfg.samples.saturating_sub(self.processed);
-        let n = self.cfg.batch.max(1).min(remaining);
-        if n == 0 {
+        if remaining == 0 {
             return Ok(0);
         }
+        self.sync_generation()?;
+        let mut n = self.cfg.batch.max(1).min(remaining);
+        if let Some(hub) = &self.hub {
+            if hub.retrain_every > 0 {
+                // never straddle a retraining boundary: every sample of
+                // a batch is classified by one model generation, which
+                // keeps the verdict stream batch-size-invariant under
+                // retraining
+                n = n.min(hub.retrain_every - self.processed % hub.retrain_every);
+            }
+        }
         if n == 1 {
+            // step() re-checks the boundary; this shard just synced, so
+            // it will not block again
             return Ok(usize::from(self.step()?));
         }
         let width = self.feature_idx.len();
@@ -646,6 +1131,7 @@ impl ServingSession {
             alert_transitions: engine.transitions(),
             healthy: engine.healthy(),
             drift_events: self.drift_events,
+            generation: self.generation as u64,
         }
     }
 
@@ -695,10 +1181,47 @@ impl ServingSession {
         Arc::clone(&self.artifacts)
     }
 
+    /// The model generation this shard currently serves (0 when
+    /// retraining is off or before the first promotion).
+    #[must_use]
+    pub fn model_generation(&self) -> u64 {
+        self.generation as u64
+    }
+
+    /// The model-lifecycle hub, when retraining is on.
+    #[must_use]
+    pub fn hub(&self) -> Option<&Arc<ModelHub>> {
+        self.hub.as_ref()
+    }
+
+    /// Deregisters from the hub (idempotent), so the retrainer never
+    /// waits on a shard that stopped stepping.
+    fn retire(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.retired = true;
+        if let Some(hub) = &self.hub {
+            hub.retire_shard();
+        }
+    }
+
     /// Stops the HTTP endpoint (if running). Called on drop as well.
     pub fn finish(&mut self) {
         if let Some(mut server) = self.http.take() {
             server.shutdown();
+        }
+    }
+}
+
+impl Drop for ServingSession {
+    fn drop(&mut self) {
+        self.finish();
+        self.retire();
+        // joining is safe: with this shard retired, the retrainer
+        // cannot be waiting on it
+        if let Some(t) = self.retrainer.take() {
+            let _ = t.join();
         }
     }
 }
@@ -717,6 +1240,12 @@ impl ServingSession {
 pub struct FleetSession {
     shards: Vec<ServingSession>,
     artifacts: Arc<ServingArtifacts>,
+    /// The fleet-wide model hub, when retraining is on (created by
+    /// shard 0, shared by every shard).
+    hub: Option<Arc<ModelHub>>,
+    /// The fleet's retrainer thread; joined on drop after every shard
+    /// retired.
+    retrainer: Option<JoinHandle<()>>,
     http: Option<HttpServer>,
 }
 
@@ -747,6 +1276,7 @@ impl FleetSession {
         artifacts: Arc<ServingArtifacts>,
     ) -> Result<Self, CoreError> {
         let mut shards: Vec<ServingSession> = Vec::with_capacity(n_shards.max(1));
+        let mut hub: Option<Arc<ModelHub>> = None;
         for i in 0..n_shards.max(1) {
             let mut shard_cfg = cfg.clone();
             shard_cfg.stream_seed = shard_stream_seed(cfg.stream_seed, i);
@@ -756,9 +1286,18 @@ impl FleetSession {
                 // calibration derived — one fleet, one contract
                 shard_cfg.rules = shards[0].cfg.rules.clone();
             }
-            shards.push(ServingSession::with_artifacts(shard_cfg, Arc::clone(&artifacts))?);
+            let shard = ServingSession::assemble(shard_cfg, Arc::clone(&artifacts), hub.clone())?;
+            if hub.is_none() {
+                // shard 0 created the fleet's hub (when retraining is
+                // on); every later shard registers with the same one
+                hub = shard.hub.clone();
+            }
+            shards.push(shard);
         }
-        Ok(Self { shards, artifacts, http: None })
+        // one retrainer per fleet, spawned only after every shard
+        // registered — a hub with zero active shards exits immediately
+        let retrainer = hub.as_ref().map(|h| spawn_retrainer(Arc::clone(h)));
+        Ok(Self { shards, artifacts, hub, retrainer, http: None })
     }
 
     /// Starts the merged HTTP endpoint with `workers` pool threads.
@@ -772,12 +1311,14 @@ impl FleetSession {
         addr: &str,
         workers: usize,
     ) -> std::io::Result<std::net::SocketAddr> {
-        let shards: Vec<Arc<Shared>> =
-            self.shards.iter().map(|s| Arc::clone(&s.shared)).collect();
-        let artifacts = Arc::clone(&self.artifacts);
+        let state = EndpointState {
+            shards: self.shards.iter().map(|s| Arc::clone(&s.shared)).collect(),
+            artifacts: Arc::clone(&self.artifacts),
+            hub: self.hub.clone(),
+        };
         let server = HttpServer::start_with(
             addr,
-            Arc::new(move |req: &hmd_obs::Request| handle(&shards, &artifacts, &req.path)),
+            Arc::new(move |req: &hmd_obs::Request| handle(&state, &req.path)),
             workers,
         )?;
         let bound = server.addr();
@@ -798,8 +1339,16 @@ impl FleetSession {
                 .iter_mut()
                 .map(|sess| {
                     scope.spawn(move || {
-                        while !sess.quit_requested() && sess.step_batch()? > 0 {}
-                        Ok(sess.outcome())
+                        let run = (|| -> Result<(), CoreError> {
+                            while !sess.quit_requested() && sess.step_batch()? > 0 {}
+                            Ok(())
+                        })();
+                        // retire whether the loop completed, quit, or
+                        // errored — sibling shards parked at a
+                        // retraining boundary must not wait on a shard
+                        // that stopped stepping
+                        sess.retire();
+                        run.map(|()| sess.outcome())
                     })
                 })
                 .collect();
@@ -840,10 +1389,17 @@ impl FleetSession {
         self.http.as_ref().map(HttpServer::addr)
     }
 
-    /// The shared trained artifacts.
+    /// The shared trained artifacts (generation 0; under retraining the
+    /// live generation is [`hub`](Self::hub)`.current()`).
     #[must_use]
     pub fn artifacts(&self) -> &ServingArtifacts {
         &self.artifacts
+    }
+
+    /// The fleet-wide model hub, when retraining is on.
+    #[must_use]
+    pub fn hub(&self) -> Option<&Arc<ModelHub>> {
+        self.hub.as_ref()
     }
 
     /// Stops the HTTP endpoint (if running).
@@ -857,6 +1413,12 @@ impl FleetSession {
 impl Drop for FleetSession {
     fn drop(&mut self) {
         self.finish();
+        // retire every shard before joining the retrainer: it exits
+        // once no active shard remains
+        self.shards.clear();
+        if let Some(t) = self.retrainer.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -907,9 +1469,47 @@ fn calibrate(
     Ok(CalibrationReport { matrix, flagged, samples: cfg.calibration_samples })
 }
 
+/// What the HTTP endpoints read: per-shard monitor state plus the
+/// model-lifecycle source — the hub when retraining is on (so scrapes
+/// follow promotions), the fixed generation-0 artifacts otherwise.
+#[derive(Debug)]
+struct EndpointState {
+    shards: Vec<Arc<Shared>>,
+    artifacts: Arc<ServingArtifacts>,
+    hub: Option<Arc<ModelHub>>,
+}
+
+impl EndpointState {
+    /// The artifacts generation a scrape should describe.
+    fn artifacts(&self) -> Arc<ServingArtifacts> {
+        self.hub.as_ref().map_or_else(|| Arc::clone(&self.artifacts), |h| h.current())
+    }
+
+    fn generation(&self) -> u64 {
+        self.hub.as_ref().map_or(0, |h| h.generation())
+    }
+
+    fn swaps(&self) -> u64 {
+        self.hub.as_ref().map_or(0, |h| h.swaps())
+    }
+
+    fn absorbed(&self) -> u64 {
+        self.hub.as_ref().map_or(0, |h| h.absorbed())
+    }
+
+    /// Lifetime quarantine evictions — across generations when a hub
+    /// tracks the retired detectors' counts.
+    fn quarantine_evicted(&self) -> u64 {
+        self.hub
+            .as_ref()
+            .map_or_else(|| self.artifacts.detector.quarantine_evicted(), |h| h.quarantine_evicted())
+    }
+}
+
 /// HTTP dispatch for the serving endpoints, shared between single
 /// sessions (one shard) and fleets (many).
-fn handle(shards: &[Arc<Shared>], artifacts: &ServingArtifacts, path: &str) -> Response {
+fn handle(state: &EndpointState, path: &str) -> Response {
+    let shards = &state.shards;
     match path {
         "/metrics" => {
             let snaps = shard_snapshots(shards);
@@ -917,7 +1517,8 @@ fn handle(shards: &[Arc<Shared>], artifacts: &ServingArtifacts, path: &str) -> R
             let engine_refs: Vec<&AlertEngine> = engines.iter().map(|g| &**g).collect();
             let mut page = render_metrics_fleet(&snaps, &engine_refs);
             drop(engines);
-            append_quarantine_series(&mut page, artifacts);
+            append_promotion_series(&mut page, state.generation(), state.swaps(), state.absorbed());
+            append_quarantine_series(&mut page, state);
             Response::ok(page)
         }
         "/healthz" => {
@@ -927,7 +1528,7 @@ fn handle(shards: &[Arc<Shared>], artifacts: &ServingArtifacts, path: &str) -> R
                 Response::status(503, "critical SLO firing\n")
             }
         }
-        "/snapshot.json" => Response::json(live_snapshot_json(shards, artifacts).to_string()),
+        "/snapshot.json" => Response::json(live_snapshot_json(state).to_string()),
         "/quit" => {
             for s in shards {
                 s.quit.store(true, Ordering::SeqCst);
@@ -947,22 +1548,24 @@ fn shard_snapshots(shards: &[Arc<Shared>]) -> Vec<MonitorSnapshot> {
 }
 
 /// Appends the shared quarantine-ring series to a rendered page: the
-/// buffer lives on the detector (one per fleet), not on a shard.
-fn append_quarantine_series(page: &mut String, artifacts: &ServingArtifacts) {
+/// buffer lives on the detector (one per fleet), not on a shard. Under
+/// retraining the eviction counter spans generations and the fill gauge
+/// reads the live one.
+fn append_quarantine_series(page: &mut String, state: &EndpointState) {
     use std::fmt::Write as _;
     let _ = writeln!(
         page,
         "# HELP hmd_serving_quarantine_evicted_total Quarantined rows evicted oldest-first by the ring bound.\n\
          # TYPE hmd_serving_quarantine_evicted_total counter\n\
          hmd_serving_quarantine_evicted_total {}",
-        artifacts.detector.quarantine_evicted()
+        state.quarantine_evicted()
     );
     let _ = writeln!(
         page,
         "# HELP hmd_serving_quarantined Rows currently held in the quarantine ring.\n\
          # TYPE hmd_serving_quarantined gauge\n\
          hmd_serving_quarantined {}",
-        artifacts.detector.quarantined()
+        state.artifacts().detector.quarantined()
     );
 }
 
@@ -971,7 +1574,9 @@ fn append_quarantine_series(page: &mut String, artifacts: &ServingArtifacts) {
 /// telemetry snapshot rides along under `"telemetry"` — previously it
 /// was the *only* content, which left the endpoint empty (`{}`-ish)
 /// whenever `HMD_TRACE` was off and ignored the live monitor entirely.
-fn live_snapshot_json(shards: &[Arc<Shared>], artifacts: &ServingArtifacts) -> Json {
+fn live_snapshot_json(state: &EndpointState) -> Json {
+    let shards = &state.shards;
+    let artifacts = state.artifacts();
     let snaps = shard_snapshots(shards);
     let merged = MonitorSnapshot::merged(&snaps);
     let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
@@ -1001,10 +1606,10 @@ fn live_snapshot_json(shards: &[Arc<Shared>], artifacts: &ServingArtifacts) -> J
         ("healthy".to_owned(), Json::Bool(healthy)),
         ("alert_transitions".to_owned(), Json::UInt(transitions)),
         ("quarantined".to_owned(), Json::UInt(artifacts.detector.quarantined() as u64)),
-        (
-            "quarantine_evicted".to_owned(),
-            Json::UInt(artifacts.detector.quarantine_evicted()),
-        ),
+        ("quarantine_evicted".to_owned(), Json::UInt(state.quarantine_evicted())),
+        ("model_generation".to_owned(), Json::UInt(state.generation())),
+        ("model_swaps".to_owned(), Json::UInt(state.swaps())),
+        ("retrain_absorbed".to_owned(), Json::UInt(state.absorbed())),
     ];
     if hmd_telemetry::enabled() {
         fields.push(("telemetry".to_owned(), hmd_telemetry::snapshot_json("serving")));

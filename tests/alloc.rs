@@ -71,5 +71,71 @@ fn serving_steady_state_allocates_nothing() {
              steady-state windows — the hot path must not touch the heap"
         );
     }
+
+    // Retraining on: the rounds themselves allocate (drain, refit,
+    // re-hash — all while the shard is parked at the boundary), but the
+    // steady state *between* rounds must stay at zero allocations per
+    // window even though the shard now serves hot-swapped generation-1
+    // artifacts through a re-warmed arena. This phase shares the test
+    // fn because the counting allocator is process-global: a sibling
+    // test's allocations would bleed into the deltas.
+    {
+        use hmd::obs::{Severity, SloKind, SloRule};
+        let mut cfg = base.clone();
+        // thresholds no live rate can cross: post-swap windowed rates
+        // shift with the refreshed models, and every alert edge
+        // allocates a transition record
+        cfg.rules = vec![
+            SloRule {
+                name: "quiet_latency",
+                kind: SloKind::LatencyP95CeilingMs(1e9),
+                severity: Severity::Warning,
+                min_samples: 1,
+            },
+            SloRule {
+                name: "quiet_detection",
+                kind: SloKind::DetectionRateFloor(0.01),
+                severity: Severity::Critical,
+                min_samples: 1,
+            },
+            SloRule {
+                name: "quiet_flags",
+                kind: SloKind::FlagRateCeiling(0.99),
+                severity: Severity::Critical,
+                min_samples: 1,
+            },
+            SloRule {
+                name: "quiet_drift",
+                kind: SloKind::DriftCeiling(u64::MAX),
+                severity: Severity::Critical,
+                min_samples: 1,
+            },
+        ];
+        cfg.retrain_every = 400; // boundaries at 400 and 800 of 900
+        let mut session = replay_session(&cfg, &artifacts, 8);
+        // warm past the first boundary: the round runs (and allocates)
+        // while the shard waits, the shard swaps + re-warms its arena,
+        // then the windows refill on generation-1 verdicts
+        while session.outcome().processed < 520 {
+            assert!(session.step_batch().expect("warmup step") > 0, "budget spent in warmup");
+        }
+        assert!(session.model_generation() >= 1, "first boundary must promote a generation");
+        let allocs_before = ALLOC.allocations();
+        let bytes_before = ALLOC.bytes_allocated();
+        // measure strictly between boundaries: stop short of 800 so the
+        // second round's (legitimate) allocations stay out of the delta
+        while session.outcome().processed < 760 {
+            assert!(session.step_batch().expect("steady-state step") > 0, "budget spent early");
+        }
+        let allocs = ALLOC.allocations() - allocs_before;
+        let bytes = ALLOC.bytes_allocated() - bytes_before;
+        let windows = session.outcome().processed - 520;
+        assert!(windows >= 200, "measured too few post-swap windows: {windows}");
+        assert_eq!(
+            allocs, 0,
+            "{allocs} allocations ({bytes} bytes) across {windows} post-swap windows — \
+             serving a hot-swapped generation must stay allocation-free between rounds"
+        );
+    }
     par::set_thread_override(None);
 }

@@ -228,6 +228,108 @@ fn serving_batch_size_thread_count_and_arena_are_verdict_invariant() {
     }
 }
 
+/// The arms-race loop is a pure function of the seed: with
+/// `retrain_every` on, the swap schedule, the post-swap verdict stream
+/// and the hub's promotion statistics are byte-identical across reruns,
+/// at any batch size, thread count, and arena mode. Batches never
+/// straddle a retraining boundary, every round drains the quarantine in
+/// a canonical order, and the controller is cloned (never re-profiled),
+/// so nothing wall-clock leaks into the digest.
+#[test]
+fn serving_retraining_schedule_and_digests_are_seed_deterministic() {
+    let base = {
+        let mut cfg = hmd::ServingConfig::quick(23);
+        cfg.samples = 240;
+        cfg
+    };
+    let artifacts = hmd::ServingSession::start(base.clone()).expect("train").artifacts_handle();
+
+    // boundaries at 80 (mid-burst: quarantine is non-empty, so the
+    // round swaps models) and 160 → the run must finish on generation 2
+    let run = |batch: usize, arena: bool| {
+        let mut cfg = base.clone();
+        cfg.retrain_every = 80;
+        cfg.batch = batch;
+        cfg.arena = arena;
+        cfg.calibration_samples = 0;
+        let mut session =
+            hmd::ServingSession::with_artifacts(cfg, artifacts.clone()).expect("assemble");
+        let outcome = session.run_to_completion().expect("run");
+        let hub = session.hub().expect("retraining session has a hub");
+        (outcome, hub.generation(), hub.swaps(), hub.absorbed())
+    };
+
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 4] {
+        par::set_thread_override(Some(threads));
+        for batch in [1usize, 7, 64] {
+            for arena in [true, false] {
+                outcomes.push((threads, batch, arena, run(batch, arena)));
+            }
+        }
+    }
+    // exact rerun of the first configuration: same bytes again
+    par::set_thread_override(Some(1));
+    outcomes.push((1, 1, true, run(1, true)));
+    par::set_thread_override(None);
+
+    let (_, _, _, reference) = &outcomes[0];
+    let (outcome, generation, swaps, absorbed) = reference;
+    assert_eq!(outcome.processed, 240);
+    assert_eq!(*generation, 2, "240 samples at retrain_every 80 schedule two rounds");
+    assert_eq!(outcome.generation, 2);
+    assert!(*swaps >= 1, "the mid-burst boundary must swap models");
+    assert!(*absorbed >= 1, "a swap absorbs at least one quarantined row");
+    for (threads, batch, arena, got) in &outcomes {
+        let (o, g, s, a) = got;
+        assert_eq!(
+            o.digest, outcome.digest,
+            "retraining digest moved at batch {batch}, {threads} thread(s), arena={arena}"
+        );
+        assert_eq!(o.verdicts, outcome.verdicts);
+        assert_eq!(o.drift_events, outcome.drift_events);
+        assert_eq!(o.alert_transitions, outcome.alert_transitions);
+        assert_eq!((g, s, a), (generation, swaps, absorbed), "promotion stats moved");
+    }
+}
+
+/// A retraining fleet reruns byte-identically: shards race pushing into
+/// the shared quarantine ring, but each round sorts the drained rows
+/// into a canonical order before absorbing them, so per-shard digests
+/// and the hub's promotion statistics survive any scheduler interleave.
+/// Per-generation SLO recalibration is part of the pinned surface.
+#[test]
+fn fleet_retraining_rerun_is_byte_identical() {
+    let mut cfg = hmd::ServingConfig::quick(29);
+    cfg.samples = 160;
+    cfg.retrain_every = 60; // boundaries at 60 (mid-burst) and 120
+    let trainer = hmd::ServingSession::start(cfg.clone()).expect("train");
+    let artifacts = trainer.artifacts_handle();
+    drop(trainer);
+
+    let run = || {
+        let mut fleet = hmd::FleetSession::with_artifacts(&cfg, 3, artifacts.clone()).expect("fleet");
+        let outcomes = fleet.run().expect("fleet run");
+        let hub = fleet.hub().expect("retraining fleet has a hub");
+        let stats = (hub.generation(), hub.swaps(), hub.absorbed());
+        (outcomes, stats)
+    };
+    let (a, a_stats) = run();
+    let (b, b_stats) = run();
+    assert_eq!(a.len(), 3);
+    assert_eq!(a_stats.0, 2, "160 samples at retrain_every 60 schedule two rounds");
+    assert!(a_stats.1 >= 1, "the mid-burst boundary must swap models");
+    assert_eq!(a_stats, b_stats, "fleet promotion stats diverged across reruns");
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.processed, 160, "shard {i} dropped windows");
+        assert_eq!(x.generation, 2, "shard {i} finished on the wrong generation");
+        assert_eq!(x.digest, y.digest, "shard {i} digest diverged across reruns");
+        assert_eq!(x.verdicts, y.verdicts, "shard {i} verdicts diverged across reruns");
+        assert_eq!(x.drift_events, y.drift_events);
+        assert_eq!(x.alert_transitions, y.alert_transitions);
+    }
+}
+
 /// Shard 0 of a fleet replays the exact single-session stream: same
 /// base seed, same digest. Other shards decorrelate.
 #[test]

@@ -206,3 +206,97 @@ fn fleet_merged_endpoint_with_concurrent_keepalive_scrapers() {
     assert!(fleet.quit_requested(), "/quit must reach every shard");
     fleet.finish();
 }
+
+/// The arms-race loop under live scrape load: a two-shard fleet crosses
+/// two retraining boundaries (the first mid-burst, so the round drains
+/// a non-empty quarantine and hot-swaps the zoo) while a scraper
+/// hammers `/metrics` and `/snapshot.json` across the promotions. No
+/// scrape may error, the generation series must climb monotonically to
+/// the scheduled final generation, no shard may drop a window, and the
+/// integrity registry must have re-hashed the promoted models under
+/// their generation tag.
+#[test]
+fn model_hot_swap_under_scrape_load() {
+    let mut cfg = ServingConfig::quick(31);
+    cfg.samples = 400;
+    cfg.batch = 8;
+    cfg.retrain_every = 150; // boundaries at 150 (mid-burst) and 300
+    let mut fleet = FleetSession::start(&cfg, 2).expect("training succeeds");
+    let addr = fleet.serve_http("127.0.0.1:0", 4).expect("bind ephemeral port");
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let outcomes = std::thread::scope(|scope| {
+        let scraper = scope.spawn(|| {
+            let mut generations: Vec<f64> = Vec::new();
+            loop {
+                // check-then-scrape: the last pass runs after the fleet
+                // finished, so at least one scrape sees the final state
+                let stop = done.load(std::sync::atomic::Ordering::SeqCst);
+                let (status, page) = get(&addr, "/metrics");
+                assert_eq!(status, 200, "scrape failed mid-promotion");
+                validate_exposition(&page).expect("well-formed exposition across promotions");
+                let generation = page
+                    .lines()
+                    .find_map(|l| l.strip_prefix("hmd_serving_model_generation "))
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+                    .expect("generation series present");
+                generations.push(generation);
+                let (status, body) = get(&addr, "/snapshot.json");
+                assert_eq!(status, 200, "snapshot failed mid-promotion");
+                Json::parse(&body).expect("snapshot stays valid JSON across promotions");
+                if stop {
+                    break;
+                }
+            }
+            generations
+        });
+        let outcomes = fleet.run().expect("fleet run across hot-swaps");
+        done.store(true, std::sync::atomic::Ordering::SeqCst);
+        let generations = scraper.join().expect("scraper thread");
+        assert!(!generations.is_empty());
+        assert!(
+            generations.windows(2).all(|w| w[0] <= w[1]),
+            "generation series must be monotonic: {generations:?}"
+        );
+        outcomes
+    });
+
+    // zero dropped windows across both promotions, both shards finish
+    // on the final scheduled generation
+    assert_eq!(outcomes.len(), 2);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.processed, 400, "shard {i} dropped windows across a swap");
+        assert_eq!(outcome.verdicts.iter().sum::<u64>(), 400, "shard {i} verdict counts");
+        assert_eq!(outcome.generation, 2, "shard {i} finished on the wrong generation");
+    }
+
+    let hub = fleet.hub().expect("retraining fleet has a hub");
+    assert_eq!(hub.generation(), 2);
+    assert!(hub.swaps() >= 1, "the mid-burst boundary must swap models");
+    assert!(hub.absorbed() >= 1, "a swap absorbs quarantined rows");
+
+    // final exposition reflects the completed schedule
+    let (status, page) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(page.contains("hmd_serving_model_generation 2"), "final generation in:\n{page}");
+    let swaps = page
+        .lines()
+        .find_map(|l| l.strip_prefix("hmd_serving_model_swaps_total "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .expect("swap counter present");
+    assert!(swaps >= 1.0, "swap counter must record the promotion");
+
+    // the registry was re-hashed at promotion: every deployed model
+    // carries a generation-tagged record, and at least one was promoted
+    // past generation 0
+    let registry = hub.registry();
+    let names = registry.model_names();
+    assert_eq!(names.len(), fleet.artifacts().detector.models().len());
+    let max_deployed =
+        names.iter().map(|n| registry.record(n).expect("record").deployed_at).max().unwrap();
+    assert!((1..=2).contains(&max_deployed), "promoted models must be tagged with their generation");
+
+    let (status, _) = get(&addr, "/quit");
+    assert_eq!(status, 200);
+    fleet.finish();
+}
