@@ -63,7 +63,9 @@ echo "== serving observability gate =="
 # must sum to the fleet aggregate. --retrain-every 200 schedules two
 # retraining rounds (boundaries at 200 and 400 of 600), so the run must
 # also complete at least one quarantine-driven model hot-swap and land
-# on generation 2.
+# on generation 2. The seeded burst trips SLO alerts, so the flight
+# recorder must have captured at least one incident bundle; the first
+# one is saved for the forensic replay gate below.
 ./target/release/serve --samples 600 --seed 7 --shards 2 --batch 16 \
     --retrain-every 200 --linger-secs 300 \
     > "$TRACE_DIR/serve.out" 2> "$TRACE_DIR/serve.err" &
@@ -78,9 +80,17 @@ SERVE_ADDR="$(sed -n 's/^SERVE_ADDR //p' "$TRACE_DIR/serve.out")"
 [ -n "$SERVE_ADDR" ] || { echo "ERROR: serve never printed SERVE_ADDR" >&2; exit 1; }
 cargo run --release --offline -p hmd-bench --bin obs_check -- \
     "$SERVE_ADDR" --wait-samples 1200 --expect-transitions 4 --expect-shards 2 \
-    --expect-generation 2 --quit
+    --expect-generation 2 --expect-incident \
+    --save-incident "$TRACE_DIR/incident.json" --quit
 wait "$SERVE_PID"
 SERVE_PID=""
+
+echo "== forensic replay gate =="
+# Deterministic replay of the incident bundle captured above: rebuild
+# the artifacts at the pinned generation(s) from the recorded seed,
+# re-classify every captured window, and gate on a byte-identical
+# verdict digest (replay exits non-zero on any divergence).
+./target/release/replay "$TRACE_DIR/incident.json" --explain 4
 
 echo "== hermeticity: dependency tree must be workspace-only =="
 if cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep -q '[a-z]'; then

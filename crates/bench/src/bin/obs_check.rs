@@ -14,6 +14,13 @@
 //! `hmd_serving_shard_samples_total{shard="i"}` series, whose values
 //! sum to the aggregate `hmd_serving_samples_total`.
 //!
+//! `--expect-incident` validates the forensic pipeline: the
+//! `hmd_serving_incidents_total` counter must be ≥ 1, the `/incidents`
+//! index must list at least one bundle, and the first bundle fetched
+//! from `/incidents/<id>.json` must carry the `hmd-incident-v1` schema
+//! with a non-empty window array. `--save-incident PATH` writes that
+//! bundle to disk so the `replay` binary can re-execute it.
+//!
 //! Exits non-zero with a diagnostic on the first failure.
 
 use std::io::{Read, Write};
@@ -43,6 +50,8 @@ const REQUIRED_SERIES: &[&str] = &[
     "hmd_serving_model_generation",
     "hmd_serving_model_swaps_total",
     "hmd_serving_retrain_absorbed_total",
+    "hmd_serving_incidents_total",
+    "hmd_serving_calibration_quarantined_total",
 ];
 
 struct Args {
@@ -51,6 +60,8 @@ struct Args {
     expect_transitions: u64,
     expect_shards: Option<usize>,
     expect_generation: Option<f64>,
+    expect_incident: bool,
+    save_incident: Option<String>,
     quit: bool,
 }
 
@@ -58,7 +69,8 @@ fn parse_args() -> Result<Args, String> {
     let mut raw = std::env::args().skip(1);
     let Some(target) = raw.next() else {
         return Err("usage: obs_check <addr> [--wait-samples N] [--expect-transitions N] \
-                    [--expect-shards N] [--expect-generation N] [--quit]"
+                    [--expect-shards N] [--expect-generation N] [--expect-incident] \
+                    [--save-incident PATH] [--quit]"
             .into());
     };
     let mut args = Args {
@@ -67,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
         expect_transitions: 0,
         expect_shards: None,
         expect_generation: None,
+        expect_incident: false,
+        save_incident: None,
         quit: false,
     };
     while let Some(flag) = raw.next() {
@@ -90,6 +104,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = raw.next().ok_or("--expect-generation needs a value")?;
                 args.expect_generation =
                     Some(v.parse().map_err(|_| format!("bad --expect-generation: {v:?}"))?);
+            }
+            "--expect-incident" => args.expect_incident = true,
+            "--save-incident" => {
+                let v = raw.next().ok_or("--save-incident needs a path")?;
+                args.save_incident = Some(v);
             }
             "--quit" => args.quit = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -146,6 +165,78 @@ fn check_shards(page: &str, want: usize) -> Result<(), String> {
         .ok_or("/metrics is missing hmd_serving_samples_total")?;
     if (sum - aggregate).abs() > f64::EPSILON {
         return Err(format!("shard totals sum to {sum}, aggregate says {aggregate}"));
+    }
+    Ok(())
+}
+
+/// Validates the forensic pipeline: the incident counter, the
+/// `/incidents` index, and the schema of the first bundle. Optionally
+/// persists that bundle for an offline `replay` run.
+fn check_incidents(args: &Args, page: &str) -> Result<(), String> {
+    let captured = series_value(page, "hmd_serving_incidents_total").unwrap_or(0.0);
+    if captured < 1.0 {
+        return Err(format!("expected >= 1 captured incident, counter says {captured}"));
+    }
+
+    let (status, body) = get(&args.addr, "/incidents")?;
+    if status != 200 {
+        return Err(format!("/incidents returned {status}"));
+    }
+    let index = Json::parse(&body).map_err(|e| format!("/incidents is not valid JSON: {e:?}"))?;
+    let rows = index
+        .get("incidents")
+        .and_then(Json::as_arr)
+        .ok_or("/incidents is missing the incidents array")?;
+    if rows.is_empty() {
+        return Err("counter reports incidents but /incidents index is empty".into());
+    }
+    let total = index.get("total").and_then(Json::as_f64).unwrap_or(0.0);
+    if total < 1.0 {
+        return Err(format!("/incidents total says {total}, want >= 1"));
+    }
+    let id = rows[0]
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("/incidents rows are missing the id field")?
+        .to_owned();
+    println!(
+        "obs_check: /incidents OK ({} retained bundle(s), {total} captured, first {id})",
+        rows.len()
+    );
+
+    let (status, body) = get(&args.addr, &format!("/incidents/{id}.json"))?;
+    if status != 200 {
+        return Err(format!("/incidents/{id}.json returned {status}"));
+    }
+    let bundle =
+        Json::parse(&body).map_err(|e| format!("/incidents/{id}.json is not valid JSON: {e:?}"))?;
+    match bundle.get("schema").and_then(Json::as_str) {
+        Some("hmd-incident-v1") => {}
+        other => return Err(format!("bundle {id} schema is {other:?}, want hmd-incident-v1")),
+    }
+    let windows = bundle
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("bundle {id} is missing the windows array"))?;
+    if windows.is_empty() {
+        return Err(format!("bundle {id} holds no windows"));
+    }
+    for field in ["verdict_digest", "config", "triggers", "monitor"] {
+        if bundle.get(field).is_none() {
+            return Err(format!("bundle {id} is missing the {field} field"));
+        }
+    }
+    println!("obs_check: bundle {id} OK ({} windows, {} bytes)", windows.len(), body.len());
+
+    let (status, _) = get(&args.addr, "/incidents/no-such-incident.json")?;
+    if status != 404 {
+        return Err(format!("unknown incident id returned {status}, want 404"));
+    }
+
+    if let Some(path) = &args.save_incident {
+        std::fs::write(path, body.as_bytes())
+            .map_err(|e| format!("cannot write bundle to {path}: {e}"))?;
+        println!("obs_check: bundle {id} saved to {path}");
     }
     Ok(())
 }
@@ -216,8 +307,27 @@ fn run(args: &Args) -> Result<(), String> {
     if status != 200 {
         return Err(format!("/snapshot.json returned {status}"));
     }
-    Json::parse(&body).map_err(|e| format!("/snapshot.json is not valid JSON: {e:?}"))?;
-    println!("obs_check: /snapshot.json OK ({} bytes)", body.len());
+    let snapshot =
+        Json::parse(&body).map_err(|e| format!("/snapshot.json is not valid JSON: {e:?}"))?;
+    let slo_rules = snapshot
+        .get("slo")
+        .and_then(Json::as_arr)
+        .ok_or("/snapshot.json is missing the per-rule slo array")?;
+    if slo_rules.iter().any(|r| r.get("rule").is_none() || r.get("transitions").is_none()) {
+        return Err("/snapshot.json slo entries need rule + transitions".into());
+    }
+    if snapshot.get("incidents_total").is_none() {
+        return Err("/snapshot.json is missing incidents_total".into());
+    }
+    println!(
+        "obs_check: /snapshot.json OK ({} bytes, {} SLO rules)",
+        body.len(),
+        slo_rules.len()
+    );
+
+    if args.expect_incident || args.save_incident.is_some() {
+        check_incidents(args, &page)?;
+    }
 
     let (status, _) = get(&args.addr, "/no-such-route")?;
     if status != 404 {

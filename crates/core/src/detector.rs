@@ -80,6 +80,30 @@ impl InferArena {
     }
 }
 
+/// Everything the detector consulted (or would have consulted) while
+/// deciding one sample's verdict — the per-window forensic record
+/// [`AdaptiveDetector::classify_explain`] produces for incident replay.
+///
+/// Unlike the serving paths the explanation runs *every* zoo model, so
+/// an operator can read per-model disagreement on adversarially
+/// perturbed windows — the rows where the routed model's verdict is
+/// least trustworthy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplainTrace {
+    /// The adversarial predictor's feedback reward (critic value).
+    pub adv_score: f64,
+    /// The predictor's decision threshold on that score.
+    pub adv_threshold: f64,
+    /// Whether the predictor flagged the row (`adv_score > threshold`).
+    pub flagged: bool,
+    /// Index of the model the constraint controller routes to.
+    pub selected_model: usize,
+    /// Attack probability from every zoo model, in zoo order.
+    pub model_probs: Vec<f64>,
+    /// The verdict the serving paths produce for this row.
+    pub verdict: Verdict,
+}
+
 /// The deployed detector.
 ///
 /// Incoming samples flow through the adversarial predictor first; flagged
@@ -172,6 +196,13 @@ impl AdaptiveDetector {
         Arc::clone(&self.predictor)
     }
 
+    /// The deployed adversarial predictor, for read-only scoring (the
+    /// flight recorder reads the raw critic value per served window).
+    #[must_use]
+    pub fn predictor(&self) -> &AdversarialPredictor {
+        &self.predictor
+    }
+
     /// The trained constraint controller (cloneable; carries its model
     /// selection, so a refreshed generation keeps the same routing).
     #[must_use]
@@ -251,6 +282,39 @@ impl AdaptiveDetector {
             .predict_row(&self.models, row)
             .map_err(CoreError::from)?;
         Ok(if is_malware { Verdict::MalwareAttack } else { Verdict::Benign })
+    }
+
+    /// Explains one standardized HPC sample: the verdict the serving
+    /// paths produce plus every signal behind it — the predictor's raw
+    /// feedback reward against its threshold, the controller's routing
+    /// choice, and the attack probability of *every* zoo model (the
+    /// serving paths only consult the routed one).
+    ///
+    /// Read-only: unlike [`classify`](Self::classify) a flagged row is
+    /// *not* quarantined, so replaying an incident bundle through the
+    /// explanation path never feeds the forensic traffic back into the
+    /// retraining loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures.
+    pub fn classify_explain(&self, row: &[f64]) -> Result<ExplainTrace, CoreError> {
+        let adv_score = self.predictor.feedback_reward(row);
+        let adv_threshold = self.predictor.threshold();
+        let flagged = adv_score > adv_threshold;
+        let mut model_probs = Vec::with_capacity(self.models.len());
+        for model in &self.models {
+            model_probs.push(model.predict_proba_row(row).map_err(CoreError::from)?);
+        }
+        let selected_model = self.controller.selected_model();
+        let verdict = if flagged {
+            Verdict::AdversarialAttack
+        } else if model_probs[selected_model] >= 0.5 {
+            Verdict::MalwareAttack
+        } else {
+            Verdict::Benign
+        };
+        Ok(ExplainTrace { adv_score, adv_threshold, flagged, selected_model, model_probs, verdict })
     }
 
     /// Classifies a flat row-major batch of `width`-wide samples.
@@ -559,6 +623,21 @@ mod tests {
             );
         }
         assert!(detector.classify_batch_into(&flat, 0, &mut arena).is_err());
+
+        // the explanation path scores every zoo model, reproduces the
+        // serving verdict, and never touches the quarantine
+        let n_models = detector.models().len();
+        for (row, _) in benign.iter().take(4).chain(attacks.test_result.adversarial.iter().take(4))
+        {
+            let before = detector.quarantined();
+            let trace = detector.classify_explain(row).unwrap();
+            assert_eq!(detector.quarantined(), before, "explain must be read-only");
+            assert_eq!(trace.verdict, detector.classify(row).unwrap());
+            assert_eq!(trace.model_probs.len(), n_models);
+            assert_eq!(trace.flagged, trace.adv_score > trace.adv_threshold);
+            assert_eq!(trace.flagged, trace.verdict == Verdict::AdversarialAttack);
+            assert!(trace.selected_model < n_models);
+        }
 
         // ring eviction: past the cap the buffer keeps the newest rows
         // and counts evictions, instead of dropping wholesale

@@ -38,7 +38,7 @@ pub mod report;
 mod error;
 
 pub use config::{FeatureSelection, FrameworkConfig};
-pub use detector::{AdaptiveDetector, InferArena, Verdict};
+pub use detector::{AdaptiveDetector, ExplainTrace, InferArena, Verdict};
 pub use error::CoreError;
 pub use framework::{
     AttackArtifacts, DataBundle, Framework, ServingArtifacts, PAPER_TOP4, SERVING_BASELINE,

@@ -149,6 +149,9 @@ pub struct AlertEngine {
     rules: Vec<SloRule>,
     firing: Vec<bool>,
     transitions: u64,
+    /// Fire+resolve edges per rule, in evaluation order — the
+    /// `hmd_serving_alert_transitions_total{rule=...}` breakdown.
+    rule_transitions: Vec<u64>,
 }
 
 impl AlertEngine {
@@ -156,7 +159,7 @@ impl AlertEngine {
     #[must_use]
     pub fn new(rules: Vec<SloRule>) -> Self {
         let n = rules.len();
-        Self { rules, firing: vec![false; n], transitions: 0 }
+        Self { rules, firing: vec![false; n], transitions: 0, rule_transitions: vec![0; n] }
     }
 
     /// The rule set, in evaluation order.
@@ -177,7 +180,11 @@ impl AlertEngine {
             && rules.iter().zip(&self.rules).all(|(new, old)| new.name == old.name);
         self.rules = rules.to_vec();
         if !same_shape {
+            // the aggregate counter stays monotonic across reshapes;
+            // per-rule counts restart because the new rules are new
+            // series
             self.firing = vec![false; self.rules.len()];
+            self.rule_transitions = vec![0; self.rules.len()];
         }
     }
 
@@ -186,13 +193,14 @@ impl AlertEngine {
     /// so alert history lands in the exported `TELEMETRY_*.json`.
     pub fn evaluate(&mut self, snap: &MonitorSnapshot) -> Vec<AlertTransition> {
         let mut edges = Vec::new();
-        for (rule, firing) in self.rules.iter().zip(self.firing.iter_mut()) {
+        for (i, (rule, firing)) in self.rules.iter().zip(self.firing.iter_mut()).enumerate() {
             let Some(breached) = rule.breached(snap) else { continue };
             if breached == *firing {
                 continue;
             }
             *firing = breached;
             self.transitions += 1;
+            self.rule_transitions[i] += 1;
             let observed = observed_value(rule, snap);
             if hmd_telemetry::enabled() {
                 hmd_telemetry::event(
@@ -238,6 +246,13 @@ impl AlertEngine {
     #[must_use]
     pub fn transitions(&self) -> u64 {
         self.transitions
+    }
+
+    /// Fire+resolve edges per rule since construction (or since the
+    /// last rule-set reshape), parallel to [`rules`](Self::rules).
+    #[must_use]
+    pub fn rule_transitions(&self) -> &[u64] {
+        &self.rule_transitions
     }
 }
 
@@ -311,6 +326,7 @@ mod tests {
         assert!(!edges[0].firing);
         assert!(e.healthy());
         assert_eq!(e.transitions(), 2);
+        assert_eq!(e.rule_transitions(), &[2]);
     }
 
     #[test]
@@ -329,11 +345,14 @@ mod tests {
         assert_eq!(edges.len(), 1);
         assert!(!edges[0].firing);
         assert_eq!(e.transitions(), 2, "transition counter must stay monotonic");
+        assert_eq!(e.rule_transitions(), &[2], "same-shape swap keeps per-rule counts");
 
-        // a differently shaped set resets the levels
+        // a differently shaped set resets the levels and per-rule counts
         e.set_rules(&[flag_rule(0.5, 1), flag_rule(0.9, 1)]);
         assert!(e.healthy());
         assert_eq!(e.rules().len(), 2);
+        assert_eq!(e.rule_transitions(), &[0, 0]);
+        assert_eq!(e.transitions(), 2, "aggregate survives the reshape");
     }
 
     #[test]

@@ -151,12 +151,39 @@ fn render_page(snap: &MonitorSnapshot, engines: &[&AlertEngine], shards: &[Monit
             u8::from(firing)
         );
     }
+    // per-rule SLO state: the same level information as
+    // hmd_serving_alert_firing but keyed by rule alone, so dashboards
+    // can join it against the per-rule transition counters below
+    let _ = writeln!(out, "# HELP hmd_serving_slo_firing SLO rule state (1 = firing on any shard).");
+    let _ = writeln!(out, "# TYPE hmd_serving_slo_firing gauge");
+    for (i, rule) in engines[0].rules().iter().enumerate() {
+        let firing = engines.iter().any(|e| e.is_firing(i));
+        let _ = writeln!(
+            out,
+            "hmd_serving_slo_firing{{rule=\"{}\"}} {}",
+            rule.name,
+            u8::from(firing)
+        );
+    }
     counter(
         &mut out,
         "hmd_serving_alert_transitions_total",
         "Fire and resolve edges across all SLO rules and shards since startup.",
         engines.iter().map(|e| e.transitions()).sum(),
     );
+    // the per-rule breakdown of the aggregate above, summed across
+    // shards (fleet shards share one rule shape)
+    for (i, rule) in engines[0].rules().iter().enumerate() {
+        let total: u64 = engines
+            .iter()
+            .map(|e| e.rule_transitions().get(i).copied().unwrap_or(0))
+            .sum();
+        let _ = writeln!(
+            out,
+            "hmd_serving_alert_transitions_total{{rule=\"{}\"}} {total}",
+            rule.name
+        );
+    }
     gauge(
         &mut out,
         "hmd_serving_healthy",
@@ -195,6 +222,26 @@ pub fn append_promotion_series(out: &mut String, generation: u64, swaps: u64, ab
         "hmd_serving_retrain_absorbed_total",
         "Quarantined samples absorbed into the training set by retraining rounds.",
         absorbed,
+    );
+}
+
+/// Appends the forensics series: incident bundles captured on SLO fire
+/// edges (the flight-recorder snapshots `/incidents` serves) and the
+/// calibration-pass rows the adversarial predictor flagged. Always
+/// rendered — a deployment without incidents reports 0, so `obs_check`
+/// can rely on the series existing.
+pub fn append_incident_series(out: &mut String, incidents: u64, calibration_quarantined: u64) {
+    counter(
+        out,
+        "hmd_serving_incidents_total",
+        "Incident bundles captured on SLO alert fire edges.",
+        incidents,
+    );
+    counter(
+        out,
+        "hmd_serving_calibration_quarantined_total",
+        "Calibration-pass rows the adversarial predictor flagged (counted, never retrained).",
+        calibration_quarantined,
     );
 }
 
@@ -271,8 +318,25 @@ mod tests {
             "hmd_serving_model_latency_bucket{le=\"+Inf\"} 50",
             "hmd_serving_model_latency_p99",
             "hmd_serving_alert_firing{rule=\"detection_rate\",severity=\"critical\"} 0",
+            "hmd_serving_slo_firing{rule=\"detection_rate\"} 0",
+            "hmd_serving_slo_firing{rule=\"adversarial_flag_rate\"} 0",
+            "hmd_serving_alert_transitions_total{rule=\"latency_p95\"} 0",
             "hmd_serving_healthy 1",
             "hmd_serving_samples_total 50",
+        ] {
+            assert!(p.contains(needle), "missing {needle:?} in:\n{p}");
+        }
+        validate_exposition(&p).unwrap();
+    }
+
+    #[test]
+    fn incident_series_render_and_validate() {
+        let mut p = String::new();
+        append_incident_series(&mut p, 2, 17);
+        for needle in [
+            "# TYPE hmd_serving_incidents_total counter",
+            "hmd_serving_incidents_total 2",
+            "hmd_serving_calibration_quarantined_total 17",
         ] {
             assert!(p.contains(needle), "missing {needle:?} in:\n{p}");
         }

@@ -35,7 +35,10 @@ pub mod monitor;
 pub mod window;
 
 pub use alert::{default_rules, AlertEngine, AlertTransition, Severity, SloKind, SloRule};
-pub use expo::{append_promotion_series, render_metrics, render_metrics_fleet, validate_exposition};
+pub use expo::{
+    append_incident_series, append_promotion_series, render_metrics, render_metrics_fleet,
+    validate_exposition,
+};
 pub use http::{HttpServer, Request, Response};
 pub use monitor::{MonitorSnapshot, SampleRecord, ServingMonitor};
 pub use window::{WindowConfig, WindowedCounter, WindowedHistogram};

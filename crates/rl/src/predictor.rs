@@ -259,6 +259,19 @@ impl AdversarialPredictor {
         self.agent.infer_scratch(max_rows)
     }
 
+    /// [`feedback_reward`](Self::feedback_reward) through caller-owned
+    /// scratch: bit-identical critic value, zero heap allocations. The
+    /// flight recorder reads the raw score per served window, so this
+    /// path must stay off the heap like the decision paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width or `scratch` is too small.
+    #[must_use]
+    pub fn feedback_reward_with(&self, row: &[f64], scratch: &mut hmd_nn::InferScratch) -> f64 {
+        self.agent.value_with(row, scratch)
+    }
+
     /// [`is_adversarial`](Self::is_adversarial) through caller-owned
     /// scratch: identical decision and telemetry, zero heap allocations.
     ///

@@ -19,6 +19,7 @@
 //! See the [`core`] crate for the batch entry point (`core::Framework`)
 //! and [`serving`] for the long-running streaming mode.
 
+pub mod recorder;
 pub mod serving;
 
 pub use hmd_adversarial as adversarial;
@@ -32,6 +33,9 @@ pub use hmd_sim as sim;
 pub use hmd_tabular as tabular;
 pub use hmd_telemetry as telemetry;
 
+pub use recorder::{
+    FlightRecorder, IncidentBundle, IncidentMonitor, IncidentTrigger, IncidentWindow, WindowStamp,
+};
 pub use serving::{
     Burst, CalibrationReport, FleetSession, ModelHub, ServingConfig, ServingOutcome,
     ServingSession,

@@ -1,0 +1,741 @@
+//! Flight recorder + incident bundles: the serving loop's black box.
+//!
+//! Every shard keeps a [`FlightRecorder`] — a preallocated ring of the
+//! last N served windows (raw feature row, per-model probabilities,
+//! adversarial-predictor score, routing decision, verdict, model
+//! generation, model-only latency). Recording is allocation-free: the
+//! recorder owns its inference scratch (one critic scratch plus one
+//! [`PredictScratch`] per zoo model, sized at warmup exactly like the
+//! serving [`InferArena`](hmd_core::InferArena)), and every per-window
+//! write lands in flat buffers sized once at construction.
+//!
+//! When an SLO alert crosses a fire edge, the shard snapshots the ring
+//! plus its monitor/alert/generation state into an [`IncidentBundle`]:
+//! a seeded, JSON-serializable forensic record that pins everything a
+//! later [`replay`](../replay/index.html) run needs to re-execute the
+//! exact alert-tripping windows through the exact model generation and
+//! assert byte-identical verdicts. Floats round-trip exactly through
+//! `hmd_util::json` (shortest-representation `Display` + `from_str`),
+//! so the rows a bundle carries replay bit-for-bit.
+//!
+//! The verdict digest helpers ([`DIGEST_SEED`], [`digest_step`],
+//! [`verdict_digest`]) are the single definition of the FNV-1a verdict
+//! chain shared by the serving loop, the bundles and the replay
+//! binary.
+
+use hmd_core::{AdaptiveDetector, CoreError, Verdict};
+use hmd_ml::PredictScratch;
+use hmd_nn::InferScratch;
+use hmd_obs::{AlertTransition, MonitorSnapshot};
+use hmd_rl::ConstraintKind;
+use hmd_util::json::{field, Json, JsonError};
+
+use crate::serving::{Burst, ServingConfig};
+
+/// Schema tag written into every bundle; replay refuses anything else.
+pub const BUNDLE_SCHEMA: &str = "hmd-incident-v1";
+
+/// FNV-1a offset basis — the seed of every verdict digest chain.
+pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The digest slot of a verdict (paper ordering: adversarial, malware,
+/// benign).
+#[must_use]
+pub fn verdict_slot(v: Verdict) -> u64 {
+    match v {
+        Verdict::AdversarialAttack => 0,
+        Verdict::MalwareAttack => 1,
+        Verdict::Benign => 2,
+    }
+}
+
+/// Folds one verdict into an FNV-1a digest chain.
+#[must_use]
+pub fn digest_step(hash: u64, v: Verdict) -> u64 {
+    (hash ^ (verdict_slot(v) + 1)).wrapping_mul(0x0100_0000_01b3)
+}
+
+/// The digest of a whole verdict sequence, from [`DIGEST_SEED`].
+#[must_use]
+pub fn verdict_digest<I: IntoIterator<Item = Verdict>>(verdicts: I) -> u64 {
+    verdicts.into_iter().fold(DIGEST_SEED, digest_step)
+}
+
+/// The wire name of a verdict.
+#[must_use]
+pub fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::AdversarialAttack => "adversarial",
+        Verdict::MalwareAttack => "malware",
+        Verdict::Benign => "benign",
+    }
+}
+
+/// Parses a wire verdict name.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on an unknown name.
+pub fn parse_verdict(name: &str) -> Result<Verdict, JsonError> {
+    match name {
+        "adversarial" => Ok(Verdict::AdversarialAttack),
+        "malware" => Ok(Verdict::MalwareAttack),
+        "benign" => Ok(Verdict::Benign),
+        other => Err(JsonError::new(format!("unknown verdict {other:?}"))),
+    }
+}
+
+fn kind_key(kind: ConstraintKind) -> &'static str {
+    kind.key()
+}
+
+fn parse_kind(key: &str) -> Result<ConstraintKind, JsonError> {
+    ConstraintKind::ALL
+        .into_iter()
+        .find(|k| k.key() == key)
+        .ok_or_else(|| JsonError::new(format!("unknown constraint kind {key:?}")))
+}
+
+/// One served window as the flight recorder captured it: everything
+/// the replay binary needs to re-classify it bit-for-bit plus the
+/// evidence a human reads first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentWindow {
+    /// Zero-based shard sample index of this window.
+    pub sample: u64,
+    /// Stream time the window was served at.
+    pub t_ns: u64,
+    /// The verdict the serving loop emitted.
+    pub verdict: Verdict,
+    /// The adversarial predictor's critic value for the row.
+    pub adv_score: f64,
+    /// The model the UCB controller had routed to.
+    pub selected_model: usize,
+    /// Attack probability from every model in the zoo (paper order).
+    pub model_probs: Vec<f64>,
+    /// The model generation that served the window.
+    pub generation: u64,
+    /// Wall-clock model-only latency (informational; scrubbed when
+    /// bundles are compared for byte determinism).
+    pub model_latency_ns: u64,
+    /// The feature-selected, scaled input row.
+    pub row: Vec<f64>,
+}
+
+impl IncidentWindow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sample".to_owned(), Json::UInt(self.sample)),
+            ("t_ns".to_owned(), Json::UInt(self.t_ns)),
+            ("verdict".to_owned(), Json::Str(verdict_name(self.verdict).to_owned())),
+            ("adv_score".to_owned(), Json::Float(self.adv_score)),
+            ("selected_model".to_owned(), Json::UInt(self.selected_model as u64)),
+            (
+                "model_probs".to_owned(),
+                Json::Arr(self.model_probs.iter().map(|&p| Json::Float(p)).collect()),
+            ),
+            ("generation".to_owned(), Json::UInt(self.generation)),
+            ("model_latency_ns".to_owned(), Json::UInt(self.model_latency_ns)),
+            ("row".to_owned(), Json::Arr(self.row.iter().map(|&x| Json::Float(x)).collect())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let verdict = parse_verdict(&field::<String>(j, "verdict")?)?;
+        let arr_f64 = |name: &str| -> Result<Vec<f64>, JsonError> {
+            j.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| JsonError::new(format!("missing array {name:?}")))?
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| JsonError::new(format!("non-number in {name:?}"))))
+                .collect()
+        };
+        Ok(Self {
+            sample: field(j, "sample")?,
+            t_ns: field(j, "t_ns")?,
+            verdict,
+            adv_score: field(j, "adv_score")?,
+            selected_model: field(j, "selected_model")?,
+            model_probs: arr_f64("model_probs")?,
+            generation: field(j, "generation")?,
+            model_latency_ns: field(j, "model_latency_ns")?,
+            row: arr_f64("row")?,
+        })
+    }
+}
+
+/// One alert edge from the evaluation that captured the bundle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentTrigger {
+    /// The rule that transitioned.
+    pub rule: String,
+    /// `"warning"` or `"critical"`.
+    pub severity: String,
+    /// `true` = fired (at least one trigger always is), `false` =
+    /// resolved in the same evaluation.
+    pub firing: bool,
+    /// The observed value that drove the flip.
+    pub observed: f64,
+    /// The rule threshold at capture time (post-calibration).
+    pub threshold: f64,
+}
+
+impl IncidentTrigger {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".to_owned(), Json::Str(self.rule.clone())),
+            ("severity".to_owned(), Json::Str(self.severity.clone())),
+            ("firing".to_owned(), Json::Bool(self.firing)),
+            ("observed".to_owned(), Json::Float(self.observed)),
+            ("threshold".to_owned(), Json::Float(self.threshold)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            rule: field(j, "rule")?,
+            severity: field(j, "severity")?,
+            firing: field(j, "firing")?,
+            observed: field(j, "observed")?,
+            threshold: field(j, "threshold")?,
+        })
+    }
+}
+
+/// The monitor's windowed view at capture time (informational; the
+/// latency quantiles are wall-clock and scrubbed in byte-determinism
+/// comparisons).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncidentMonitor {
+    /// Samples in the sliding window.
+    pub samples: u64,
+    /// Windowed confusion: detected attacks.
+    pub tp: u64,
+    /// Windowed confusion: missed attacks.
+    pub fn_: u64,
+    /// Windowed confusion: false alarms.
+    pub fp: u64,
+    /// Windowed confusion: clean passes.
+    pub tn: u64,
+    /// Windowed adversarial flags.
+    pub flags: u64,
+    /// Windowed integrity drift events.
+    pub drifts: u64,
+    /// All-time processed samples.
+    pub total_samples: u64,
+    /// Windowed model-only latency p95 in milliseconds (wall-clock).
+    pub model_latency_p95_ms: f64,
+}
+
+impl IncidentMonitor {
+    /// Captures the bundle-facing summary of a monitor snapshot.
+    #[must_use]
+    pub fn capture(snap: &MonitorSnapshot) -> Self {
+        Self {
+            samples: snap.samples,
+            tp: snap.tp,
+            fn_: snap.fn_,
+            fp: snap.fp,
+            tn: snap.tn,
+            flags: snap.flags,
+            drifts: snap.drifts,
+            total_samples: snap.total_samples,
+            model_latency_p95_ms: snap.model_latency_p95_ms(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("samples".to_owned(), Json::UInt(self.samples)),
+            ("tp".to_owned(), Json::UInt(self.tp)),
+            ("fn".to_owned(), Json::UInt(self.fn_)),
+            ("fp".to_owned(), Json::UInt(self.fp)),
+            ("tn".to_owned(), Json::UInt(self.tn)),
+            ("flags".to_owned(), Json::UInt(self.flags)),
+            ("drifts".to_owned(), Json::UInt(self.drifts)),
+            ("total_samples".to_owned(), Json::UInt(self.total_samples)),
+            ("model_latency_p95_ms".to_owned(), Json::Float(self.model_latency_p95_ms)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            samples: field(j, "samples")?,
+            tp: field(j, "tp")?,
+            fn_: field(j, "fn")?,
+            fp: field(j, "fp")?,
+            tn: field(j, "tn")?,
+            flags: field(j, "flags")?,
+            drifts: field(j, "drifts")?,
+            total_samples: field(j, "total_samples")?,
+            model_latency_p95_ms: field(j, "model_latency_p95_ms")?,
+        })
+    }
+}
+
+/// Everything replay needs to rebuild the serving universe: the quick
+/// base seed plus every `ServingConfig` override the CLI and the test
+/// builders reach for. Applied over [`ServingConfig::quick`], this
+/// reproduces the original configuration exactly.
+fn config_to_json(cfg: &ServingConfig, shards: usize) -> Json {
+    let burst = match cfg.burst {
+        Some(b) => Json::Obj(vec![
+            ("start".to_owned(), Json::Float(b.start)),
+            ("end".to_owned(), Json::Float(b.end)),
+            ("adv_fraction".to_owned(), Json::Float(b.adv_fraction)),
+        ]),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("base_seed".to_owned(), Json::UInt(cfg.base_seed)),
+        ("kind".to_owned(), Json::Str(kind_key(cfg.kind).to_owned())),
+        ("samples".to_owned(), Json::UInt(cfg.samples as u64)),
+        ("malware_fraction".to_owned(), Json::Float(cfg.malware_fraction)),
+        ("adv_fraction".to_owned(), Json::Float(cfg.adv_fraction)),
+        ("burst".to_owned(), burst),
+        ("tick_ns".to_owned(), Json::UInt(cfg.tick_ns)),
+        ("window_slots".to_owned(), Json::UInt(cfg.window.slots as u64)),
+        ("window_slot_ns".to_owned(), Json::UInt(cfg.window.slot_ns)),
+        ("evaluate_every".to_owned(), Json::UInt(cfg.evaluate_every as u64)),
+        ("integrity_every".to_owned(), Json::UInt(cfg.integrity_every as u64)),
+        ("monitoring".to_owned(), Json::Bool(cfg.monitoring)),
+        ("calibration_samples".to_owned(), Json::UInt(cfg.calibration_samples as u64)),
+        ("stream_seed".to_owned(), Json::UInt(cfg.stream_seed)),
+        ("batch".to_owned(), Json::UInt(cfg.batch as u64)),
+        ("arena".to_owned(), Json::Bool(cfg.arena)),
+        ("replay".to_owned(), Json::UInt(cfg.replay as u64)),
+        ("retrain_every".to_owned(), Json::UInt(cfg.retrain_every as u64)),
+        ("recorder".to_owned(), Json::UInt(cfg.recorder as u64)),
+        ("shards".to_owned(), Json::UInt(shards as u64)),
+    ])
+}
+
+fn config_from_json(j: &Json) -> Result<(ServingConfig, usize), JsonError> {
+    let base_seed: u64 = field(j, "base_seed")?;
+    let mut cfg = ServingConfig::quick(base_seed);
+    cfg.kind = parse_kind(&field::<String>(j, "kind")?)?;
+    cfg.samples = field(j, "samples")?;
+    cfg.malware_fraction = field(j, "malware_fraction")?;
+    cfg.adv_fraction = field(j, "adv_fraction")?;
+    cfg.burst = match j.get("burst") {
+        None | Some(Json::Null) => None,
+        Some(b) => Some(Burst {
+            start: field(b, "start")?,
+            end: field(b, "end")?,
+            adv_fraction: field(b, "adv_fraction")?,
+        }),
+    };
+    cfg.tick_ns = field(j, "tick_ns")?;
+    cfg.window =
+        hmd_obs::WindowConfig::new(field(j, "window_slots")?, field(j, "window_slot_ns")?);
+    cfg.evaluate_every = field(j, "evaluate_every")?;
+    cfg.integrity_every = field(j, "integrity_every")?;
+    cfg.monitoring = field(j, "monitoring")?;
+    cfg.calibration_samples = field(j, "calibration_samples")?;
+    cfg.stream_seed = field(j, "stream_seed")?;
+    cfg.batch = field(j, "batch")?;
+    cfg.arena = field(j, "arena")?;
+    cfg.replay = field(j, "replay")?;
+    cfg.retrain_every = field(j, "retrain_every")?;
+    cfg.recorder = field(j, "recorder")?;
+    let shards: usize = field(j, "shards")?;
+    Ok((cfg, shards))
+}
+
+/// A forensic snapshot captured on an SLO alert fire edge: the flight
+/// recorder ring (oldest first) plus the monitor, alert and generation
+/// state at the moment of capture, and the seeded configuration replay
+/// needs to rebuild the exact serving universe.
+#[derive(Clone, Debug)]
+pub struct IncidentBundle {
+    /// Bundle id, `s<shard>-i<seq>` — unique within a fleet run.
+    pub id: String,
+    /// The shard that tripped.
+    pub shard: usize,
+    /// Zero-based incident sequence number on that shard.
+    pub seq: u64,
+    /// Stream time of the capturing alert evaluation.
+    pub t_ns: u64,
+    /// Shard samples processed when the bundle was captured.
+    pub sample_index: u64,
+    /// Model generation deployed at capture time.
+    pub generation: u64,
+    /// The shard's own traffic seed (informational; the `config`
+    /// section carries the fleet base seed replay rebuilds from).
+    pub stream_seed: u64,
+    /// FNV-1a digest over the recorded window verdicts, oldest first —
+    /// the value replay must reproduce byte-identically.
+    pub verdict_digest: u64,
+    /// The alert edges of the capturing evaluation (at least one fire).
+    pub triggers: Vec<IncidentTrigger>,
+    /// Every rule firing after the capturing evaluation.
+    pub alerts_firing: Vec<String>,
+    /// The monitor's windowed view at capture time.
+    pub monitor: IncidentMonitor,
+    /// Zoo model names, index-aligned with every window's
+    /// `model_probs` and `selected_model`.
+    pub model_names: Vec<String>,
+    /// The serving configuration (base seed + overrides).
+    pub config: ServingConfig,
+    /// Fleet shard count the configuration ran under.
+    pub shards: usize,
+    /// The recorded windows, oldest first.
+    pub windows: Vec<IncidentWindow>,
+}
+
+impl IncidentBundle {
+    /// Serializes the bundle to its canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_owned(), Json::Str(BUNDLE_SCHEMA.to_owned())),
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            ("shard".to_owned(), Json::UInt(self.shard as u64)),
+            ("seq".to_owned(), Json::UInt(self.seq)),
+            ("t_ns".to_owned(), Json::UInt(self.t_ns)),
+            ("sample_index".to_owned(), Json::UInt(self.sample_index)),
+            ("generation".to_owned(), Json::UInt(self.generation)),
+            ("stream_seed".to_owned(), Json::UInt(self.stream_seed)),
+            ("verdict_digest".to_owned(), Json::UInt(self.verdict_digest)),
+            (
+                "triggers".to_owned(),
+                Json::Arr(self.triggers.iter().map(IncidentTrigger::to_json).collect()),
+            ),
+            (
+                "alerts_firing".to_owned(),
+                Json::Arr(self.alerts_firing.iter().map(|r| Json::Str(r.clone())).collect()),
+            ),
+            ("monitor".to_owned(), self.monitor.to_json()),
+            (
+                "model_names".to_owned(),
+                Json::Arr(self.model_names.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+            ("config".to_owned(), config_to_json(&self.config, self.shards)),
+            (
+                "windows".to_owned(),
+                Json::Arr(self.windows.iter().map(IncidentWindow::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a bundle from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on a schema mismatch or any malformed or
+    /// missing field.
+    pub fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let schema: String = field(j, "schema")?;
+        if schema != BUNDLE_SCHEMA {
+            return Err(JsonError::new(format!(
+                "unsupported bundle schema {schema:?} (expected {BUNDLE_SCHEMA:?})"
+            )));
+        }
+        let arr = |name: &str| -> Result<&[Json], JsonError> {
+            j.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| JsonError::new(format!("missing array {name:?}")))
+        };
+        let triggers =
+            arr("triggers")?.iter().map(IncidentTrigger::from_json).collect::<Result<_, _>>()?;
+        let alerts_firing = arr("alerts_firing")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned).ok_or_else(|| JsonError::new("non-string rule")))
+            .collect::<Result<_, _>>()?;
+        let model_names = arr("model_names")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned).ok_or_else(|| JsonError::new("non-string name")))
+            .collect::<Result<_, _>>()?;
+        let windows =
+            arr("windows")?.iter().map(IncidentWindow::from_json).collect::<Result<_, _>>()?;
+        let monitor = IncidentMonitor::from_json(
+            j.get("monitor").ok_or_else(|| JsonError::new("missing monitor"))?,
+        )?;
+        let (config, shards) = config_from_json(
+            j.get("config").ok_or_else(|| JsonError::new("missing config"))?,
+        )?;
+        Ok(Self {
+            id: field(j, "id")?,
+            shard: field(j, "shard")?,
+            seq: field(j, "seq")?,
+            t_ns: field(j, "t_ns")?,
+            sample_index: field(j, "sample_index")?,
+            generation: field(j, "generation")?,
+            stream_seed: field(j, "stream_seed")?,
+            verdict_digest: field(j, "verdict_digest")?,
+            triggers,
+            alerts_firing,
+            monitor,
+            model_names,
+            config,
+            shards,
+            windows,
+        })
+    }
+
+    /// Parses a bundle from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON or a bad schema.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+/// Per-window scalar metadata the serving loop stamps onto a
+/// recording; grouped so [`FlightRecorder::record`] stays a
+/// (detector, row, verdict, stamp) call.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowStamp {
+    /// Zero-based index of the window in the shard's stream.
+    pub sample: u64,
+    /// Stream-clock timestamp of the window.
+    pub t_ns: u64,
+    /// Model generation that served the window.
+    pub generation: u64,
+    /// Wall-clock model-only classification latency.
+    pub model_latency_ns: u64,
+}
+
+/// The per-shard flight recorder: a preallocated ring of the last N
+/// served windows plus the inference scratch that lets it score every
+/// window against the adversarial predictor and the whole model zoo
+/// without a single heap allocation.
+///
+/// `head` is the next write slot; the ring holds `len ≤ cap` windows
+/// ending at the most recently recorded one.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    width: usize,
+    n_models: usize,
+    head: usize,
+    len: usize,
+    /// `cap × width` feature rows.
+    rows: Vec<f64>,
+    /// `cap × n_models` per-model attack probabilities.
+    probs: Vec<f64>,
+    adv_scores: Vec<f64>,
+    selected: Vec<usize>,
+    verdicts: Vec<Verdict>,
+    samples: Vec<u64>,
+    t_ns: Vec<u64>,
+    generations: Vec<u64>,
+    model_latency: Vec<u64>,
+    /// One-row critic scratch for the adversarial predictor.
+    critic: InferScratch,
+    /// One one-row scratch per zoo model.
+    model_scratch: Vec<PredictScratch>,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder for `cap` windows of `width` features, sizing
+    /// the inference scratch from the deployed detector's topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` or `width` is zero.
+    #[must_use]
+    pub fn warmup(detector: &AdaptiveDetector, width: usize, cap: usize) -> Self {
+        assert!(cap > 0, "flight recorder capacity must be positive");
+        assert!(width > 0, "flight recorder width must be positive");
+        let n_models = detector.models().len();
+        Self {
+            cap,
+            width,
+            n_models,
+            head: 0,
+            len: 0,
+            rows: vec![0.0; cap * width],
+            probs: vec![0.0; cap * n_models],
+            adv_scores: vec![0.0; cap],
+            selected: vec![0; cap],
+            verdicts: vec![Verdict::Benign; cap],
+            samples: vec![0; cap],
+            t_ns: vec![0; cap],
+            generations: vec![0; cap],
+            model_latency: vec![0; cap],
+            critic: detector.predictor().infer_scratch(1),
+            model_scratch: detector.models().iter().map(|m| m.make_scratch(1)).collect(),
+        }
+    }
+
+    /// Re-sizes the inference scratch against freshly hot-swapped
+    /// artifacts. Ring contents survive — incident history deliberately
+    /// crosses generation boundaries, which is why every window carries
+    /// its own generation tag.
+    pub fn rewarm(&mut self, detector: &AdaptiveDetector) {
+        debug_assert_eq!(detector.models().len(), self.n_models, "zoo shape changed under swap");
+        self.critic = detector.predictor().infer_scratch(1);
+        self.model_scratch = detector.models().iter().map(|m| m.make_scratch(1)).collect();
+    }
+
+    /// Records one served window. Allocation-free: scores the row
+    /// through the recorder-owned scratch and writes into the
+    /// preallocated ring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction failures (unfitted model — cannot
+    /// happen on promoted artifacts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not match the warmup width.
+    pub fn record(
+        &mut self,
+        detector: &AdaptiveDetector,
+        row: &[f64],
+        verdict: Verdict,
+        stamp: WindowStamp,
+    ) -> Result<(), CoreError> {
+        assert_eq!(row.len(), self.width, "row width changed under the recorder");
+        let slot = self.head;
+        self.rows[slot * self.width..(slot + 1) * self.width].copy_from_slice(row);
+        for (m, model) in detector.models().iter().enumerate() {
+            self.probs[slot * self.n_models + m] =
+                model.predict_proba_row_with(row, &mut self.model_scratch[m])?;
+        }
+        self.adv_scores[slot] =
+            detector.predictor().feedback_reward_with(row, &mut self.critic);
+        self.selected[slot] = detector.controller().selected_model();
+        self.verdicts[slot] = verdict;
+        self.samples[slot] = stamp.sample;
+        self.t_ns[slot] = stamp.t_ns;
+        self.generations[slot] = stamp.generation;
+        self.model_latency[slot] = stamp.model_latency_ns;
+        self.head = (self.head + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+        Ok(())
+    }
+
+    /// Windows currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ring capacity fixed at warmup.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// FNV-1a digest over the held verdicts, oldest first.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut hash = DIGEST_SEED;
+        for i in 0..self.len {
+            hash = digest_step(hash, self.verdicts[self.slot(i)]);
+        }
+        hash
+    }
+
+    /// The ring slot of logical window `i` (0 = oldest).
+    fn slot(&self, i: usize) -> usize {
+        (self.head + self.cap - self.len + i) % self.cap
+    }
+
+    /// Snapshots the ring into owned windows, oldest first. Allocates —
+    /// called only on alert fire edges, never per window.
+    #[must_use]
+    pub fn snapshot_windows(&self) -> Vec<IncidentWindow> {
+        (0..self.len)
+            .map(|i| {
+                let s = self.slot(i);
+                IncidentWindow {
+                    sample: self.samples[s],
+                    t_ns: self.t_ns[s],
+                    verdict: self.verdicts[s],
+                    adv_score: self.adv_scores[s],
+                    selected_model: self.selected[s],
+                    model_probs: self.probs[s * self.n_models..(s + 1) * self.n_models].to_vec(),
+                    generation: self.generations[s],
+                    model_latency_ns: self.model_latency[s],
+                    row: self.rows[s * self.width..(s + 1) * self.width].to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Converts the edges of one alert evaluation into bundle triggers,
+/// resolving each rule's current threshold from the engine rule set.
+#[must_use]
+pub fn triggers_from_edges(
+    edges: &[AlertTransition],
+    rules: &[hmd_obs::SloRule],
+) -> Vec<IncidentTrigger> {
+    edges
+        .iter()
+        .map(|e| IncidentTrigger {
+            rule: e.rule.to_owned(),
+            severity: e.severity.to_string(),
+            firing: e.firing,
+            observed: e.observed,
+            threshold: rules
+                .iter()
+                .find(|r| r.name == e.rule)
+                .map_or(f64::NAN, hmd_obs::SloRule::threshold),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_matches_manual_fold() {
+        let vs = [Verdict::Benign, Verdict::MalwareAttack, Verdict::AdversarialAttack];
+        let mut h = DIGEST_SEED;
+        for v in vs {
+            h = (h ^ (verdict_slot(v) + 1)).wrapping_mul(0x0100_0000_01b3);
+        }
+        assert_eq!(verdict_digest(vs), h);
+        assert_ne!(verdict_digest(vs), DIGEST_SEED);
+    }
+
+    #[test]
+    fn verdict_names_round_trip() {
+        for v in [Verdict::AdversarialAttack, Verdict::MalwareAttack, Verdict::Benign] {
+            assert_eq!(parse_verdict(verdict_name(v)).unwrap(), v);
+        }
+        assert!(parse_verdict("bogus").is_err());
+    }
+
+    #[test]
+    fn config_json_round_trips_through_quick_base() {
+        let mut cfg = ServingConfig::quick(41);
+        cfg.samples = 840;
+        cfg.batch = 7;
+        cfg.retrain_every = 280;
+        cfg.burst = Some(Burst { start: 0.25, end: 0.65, adv_fraction: 0.9 });
+        cfg.recorder = 16;
+        let j = config_to_json(&cfg, 3);
+        let (back, shards) = config_from_json(&j).unwrap();
+        assert_eq!(shards, 3);
+        assert_eq!(back.samples, cfg.samples);
+        assert_eq!(back.batch, cfg.batch);
+        assert_eq!(back.retrain_every, cfg.retrain_every);
+        assert_eq!(back.burst, cfg.burst);
+        assert_eq!(back.recorder, cfg.recorder);
+        assert_eq!(back.stream_seed, cfg.stream_seed);
+        assert_eq!(back.base_seed, cfg.base_seed);
+        // the framework config is rebuilt from the base seed
+        assert_eq!(back.framework.seed, cfg.framework.seed);
+    }
+
+    #[test]
+    fn bundle_parse_rejects_wrong_schema() {
+        let err = IncidentBundle::parse("{\"schema\":\"hmd-incident-v0\"}").unwrap_err();
+        assert!(err.to_string().contains("unsupported bundle schema"));
+    }
+}

@@ -76,8 +76,9 @@ use hmd_core::{
 use hmd_integrity::{MetricMonitor, ModelRegistry};
 use hmd_ml::{classical_models, BinaryMetrics, Classifier, ConfusionMatrix};
 use hmd_obs::{
-    append_promotion_series, default_rules, render_metrics_fleet, AlertEngine, HttpServer,
-    MonitorSnapshot, Response, SampleRecord, ServingMonitor, SloKind, SloRule, WindowConfig,
+    append_incident_series, append_promotion_series, default_rules, render_metrics_fleet,
+    AlertEngine, AlertTransition, HttpServer, MonitorSnapshot, Response, SampleRecord,
+    ServingMonitor, SloKind, SloRule, WindowConfig,
 };
 use hmd_tabular::Dataset;
 use hmd_rl::ConstraintKind;
@@ -85,6 +86,10 @@ use hmd_sim::{StreamConfig, WindowStream};
 use hmd_telemetry::clock;
 use hmd_util::json::Json;
 use hmd_util::rng::prelude::*;
+
+use crate::recorder::{
+    self, FlightRecorder, IncidentBundle, IncidentMonitor, IncidentTrigger,
+};
 
 /// A phase of elevated adversarial traffic.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -164,6 +169,23 @@ pub struct ServingConfig {
     /// docs). The swap schedule is a pure function of the seed. Zero
     /// (the default) serves generation 0 forever.
     pub retrain_every: usize,
+    /// The seed [`quick`](Self::quick) was built from — recorded into
+    /// incident bundles so forensic replay can rebuild the identical
+    /// configuration (`quick(base_seed)` + the bundle's overrides).
+    pub base_seed: u64,
+    /// Flight-recorder ring capacity: each shard keeps the last this
+    /// many served windows (row, per-model probabilities, critic score,
+    /// routing, verdict, generation, latency) in preallocated buffers
+    /// and snapshots them into an [`IncidentBundle`] on every SLO alert
+    /// fire edge. Recording is allocation-free. Zero disables the
+    /// recorder (and incident capture).
+    pub recorder: usize,
+    /// Retain every published artifacts generation on the hub so
+    /// [`ModelHub::artifacts_at`] can pin past generations after the
+    /// run — the replay binary's way back to the exact models that
+    /// served a bundle's windows. Off by default (it holds every
+    /// retired zoo alive).
+    pub retain_generations: bool,
 }
 
 /// The stream seed of shard `i` in a fleet: shard 0 keeps the base seed
@@ -206,6 +228,9 @@ impl ServingConfig {
             arena: true,
             replay: 0,
             retrain_every: 0,
+            base_seed: seed,
+            recorder: 64,
+            retain_generations: false,
         }
     }
 }
@@ -223,6 +248,11 @@ pub struct CalibrationReport {
     pub flagged: usize,
     /// Calibration windows classified.
     pub samples: usize,
+    /// Rows the calibration pass pushed into the quarantine ring (and
+    /// that were then discarded — calibration traffic is clean by
+    /// construction and must never enter retraining). Surfaced as
+    /// `hmd_serving_calibration_quarantined_total`.
+    pub quarantined: usize,
 }
 
 impl CalibrationReport {
@@ -270,6 +300,12 @@ impl CalibrationReport {
     }
 }
 
+/// The most recent incident bundles a shard retains; older bundles are
+/// evicted oldest-first. Incidents are rare (they require an alert fire
+/// edge), so the bound exists to survive a flapping rule, not steady
+/// state.
+const MAX_INCIDENTS_PER_SHARD: usize = 8;
+
 /// The state shared between the serving loop and HTTP scrape threads.
 #[derive(Debug)]
 struct Shared {
@@ -279,6 +315,14 @@ struct Shared {
     t_ns: AtomicU64,
     /// Set by the `/quit` endpoint.
     quit: AtomicBool,
+    /// Incident bundles captured on alert fire edges, oldest first,
+    /// bounded by [`MAX_INCIDENTS_PER_SHARD`].
+    incidents: Mutex<Vec<Arc<IncidentBundle>>>,
+    /// Lifetime incidents captured (eviction never decrements).
+    incidents_total: AtomicU64,
+    /// Clean calibration rows the adversarial predictor flagged on this
+    /// shard's calibration pass (quarantined, then discarded).
+    calibration_quarantined: AtomicU64,
 }
 
 impl Shared {
@@ -286,6 +330,20 @@ impl Shared {
         // evaluate() can only panic on a poisoned telemetry sink, never
         // mid-update of the firing vector
         self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn incidents(&self) -> MutexGuard<'_, Vec<Arc<IncidentBundle>>> {
+        self.incidents.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push_incident(&self, bundle: IncidentBundle) {
+        let mut store = self.incidents();
+        if store.len() == MAX_INCIDENTS_PER_SHARD {
+            store.remove(0);
+        }
+        store.push(Arc::new(bundle));
+        drop(store);
+        self.incidents_total.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -349,6 +407,15 @@ pub struct ModelHub {
     /// the swap moment so the exposed total never dips.
     evicted_carry: AtomicU64,
     registry: ModelRegistry,
+    /// Clean calibration rows the per-generation recalibration passes
+    /// flagged (quarantined, then discarded — see
+    /// [`CalibrationReport::quarantined`]).
+    cal_quarantined: AtomicU64,
+    /// Every published artifacts generation, index = generation, when
+    /// [`ServingConfig::retain_generations`] asks for it (forensic
+    /// replay pins past generations through this). Empty otherwise.
+    history: Mutex<Vec<Arc<ServingArtifacts>>>,
+    retain_generations: bool,
     retrain_every: usize,
     /// Rounds the sample budget schedules: `⌈samples/every⌉ - 1` —
     /// there is no boundary at the final sample.
@@ -388,6 +455,13 @@ impl ModelHub {
             absorbed: AtomicU64::new(0),
             evicted_carry: AtomicU64::new(0),
             registry,
+            cal_quarantined: AtomicU64::new(0),
+            history: Mutex::new(if cfg.retain_generations {
+                vec![Arc::clone(artifacts)]
+            } else {
+                Vec::new()
+            }),
+            retain_generations: cfg.retain_generations,
             retrain_every: cfg.retrain_every,
             rounds,
             cal_cfg: cfg.clone(),
@@ -434,6 +508,22 @@ impl ModelHub {
     #[must_use]
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// Clean calibration rows the recalibration passes flagged and
+    /// discarded, across every retraining round.
+    #[must_use]
+    pub fn calibration_quarantined(&self) -> u64 {
+        self.cal_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// The artifacts that served generation `g`, when the hub retains
+    /// history ([`ServingConfig::retain_generations`]); `None` for an
+    /// unknown generation or a hub that does not retain.
+    #[must_use]
+    pub fn artifacts_at(&self, g: u64) -> Option<Arc<ServingArtifacts>> {
+        let history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        usize::try_from(g).ok().and_then(|i| history.get(i).cloned())
     }
 
     /// The retraining period, in samples per shard.
@@ -544,6 +634,7 @@ impl ModelHub {
                 let mut cal = self.cal_cfg.clone();
                 cal.stream_seed = generation_seed(self.cal_cfg.stream_seed, generation);
                 let report = calibrate(&fresh, &cal, &self.feature_idx)?;
+                self.cal_quarantined.fetch_add(report.quarantined as u64, Ordering::Relaxed);
                 report.adapt_rules(&mut b.rules);
             } else if let Some(baseline) = old.monitor.baseline(SERVING_BASELINE) {
                 // no calibration budget: the prior baseline carries over
@@ -564,6 +655,13 @@ impl ModelHub {
             self.swaps.fetch_add(1, Ordering::Relaxed);
             self.absorbed.fetch_add(absorbed as u64, Ordering::Relaxed);
             swapped = true;
+        }
+        if self.retain_generations {
+            // history[g] = the artifacts serving generation g — the
+            // current ones even when an empty quarantine skipped the
+            // swap, so replay can pin any generation unconditionally
+            let current = self.current();
+            self.history.lock().unwrap_or_else(PoisonError::into_inner).push(current);
         }
         if hmd_telemetry::enabled() {
             hmd_telemetry::event(
@@ -714,6 +812,21 @@ pub struct ServingSession {
     retrainer: Option<JoinHandle<()>>,
     /// Whether this shard already deregistered from the hub.
     retired: bool,
+    /// The always-on flight recorder ring (see
+    /// [`ServingConfig::recorder`]); `None` when disabled.
+    recorder_ring: Option<FlightRecorder>,
+    /// This shard's index within its fleet (0 for a standalone
+    /// session) — stamped into incident bundle ids.
+    shard: usize,
+    /// Fleet width the shard runs under (1 standalone).
+    n_shards: usize,
+    /// The fleet base configuration's calibration budget. Shards > 0
+    /// run with `calibration_samples: 0` (shard 0 calibrates for the
+    /// fleet), but a bundle must record the *base* value replay
+    /// rebuilds from.
+    base_calibration_samples: usize,
+    /// Incidents captured by this shard so far (bundle sequence).
+    incident_seq: u64,
 }
 
 impl ServingSession {
@@ -740,7 +853,8 @@ impl ServingSession {
         cfg: ServingConfig,
         artifacts: Arc<ServingArtifacts>,
     ) -> Result<Self, CoreError> {
-        let mut session = Self::assemble(cfg, artifacts, None)?;
+        let base_calibration = cfg.calibration_samples;
+        let mut session = Self::assemble(cfg, artifacts, None, 0, 1, base_calibration)?;
         // a standalone session owns its hub's retrainer thread; fleet
         // shards are assembled with a shared hub and the fleet owns it
         if let Some(hub) = &session.hub {
@@ -757,6 +871,9 @@ impl ServingSession {
         mut cfg: ServingConfig,
         artifacts: Arc<ServingArtifacts>,
         hub: Option<Arc<ModelHub>>,
+        shard: usize,
+        n_shards: usize,
+        base_calibration_samples: usize,
     ) -> Result<Self, CoreError> {
         let stream = WindowStream::new(StreamConfig {
             malware_fraction: cfg.malware_fraction,
@@ -804,9 +921,16 @@ impl ServingSession {
             engine: Mutex::new(AlertEngine::new(cfg.rules.clone())),
             t_ns: AtomicU64::new(0),
             quit: AtomicBool::new(false),
+            incidents: Mutex::new(Vec::new()),
+            incidents_total: AtomicU64::new(0),
+            calibration_quarantined: AtomicU64::new(
+                calibration.map_or(0, |c| c.quarantined as u64),
+            ),
         });
         let rng = StdRng::seed_from_u64(cfg.stream_seed ^ 0x414456); // "ADV"
         let arena = artifacts.detector.warmup(width, cfg.batch.max(1));
+        let recorder_ring = (cfg.recorder > 0)
+            .then(|| FlightRecorder::warmup(&artifacts.detector, width, cfg.recorder));
         let mut session = Self {
             batch_rows: Vec::with_capacity(cfg.batch.max(1) * width),
             batch_truth: Vec::with_capacity(cfg.batch.max(1)),
@@ -823,7 +947,7 @@ impl ServingSession {
             rng,
             adv_cursor: 0,
             processed: 0,
-            digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+            digest: recorder::DIGEST_SEED,
             verdicts: [0; 3],
             drift_events: 0,
             shared,
@@ -832,6 +956,11 @@ impl ServingSession {
             generation: 0,
             retrainer: None,
             retired: false,
+            recorder_ring,
+            shard,
+            n_shards,
+            base_calibration_samples,
+            incident_seq: 0,
         };
         for k in 0..session.cfg.replay {
             let truth = session.draw_sample(k)?;
@@ -890,6 +1019,11 @@ impl ServingSession {
             self.artifacts = artifacts;
             self.arena =
                 self.artifacts.detector.warmup(self.feature_idx.len(), self.cfg.batch.max(1));
+            if let Some(ring) = &mut self.recorder_ring {
+                // fresh scratch for the refreshed zoo; ring contents
+                // survive the swap (windows carry their generation)
+                ring.rewarm(&self.artifacts.detector);
+            }
         }
         self.shared.engine().set_rules(&rules);
         self.cfg.rules = rules;
@@ -939,26 +1073,41 @@ impl ServingSession {
         Ok(self.replay_truth[k])
     }
 
-    /// The bookkeeping half of one sample: digest, counters, clock and
-    /// (when enabled) monitoring — identical between the scalar and
-    /// batched paths. `latency_ns` is end-to-end (traffic draw included),
-    /// `model_latency_ns` covers classification only — the quantity the
-    /// latency SLO gates on.
+    /// The bookkeeping half of one sample: digest, counters, clock,
+    /// flight-recorder write and (when enabled) monitoring — identical
+    /// between the scalar and batched paths. `latency_ns` is end-to-end
+    /// (traffic draw included), `model_latency_ns` covers
+    /// classification only — the quantity the latency SLO gates on.
+    /// `row` is the engineered, scaled input the verdict was served
+    /// for; the recorder re-scores it through its own preallocated
+    /// scratch, so the write is allocation-free.
     fn record_verdict(
         &mut self,
+        row: &[f64],
         truth_attack: bool,
         verdict: Verdict,
         latency_ns: u64,
         model_latency_ns: u64,
-    ) {
-        self.digest = fnv1a_step(self.digest, verdict);
-        self.verdicts[verdict_slot(verdict)] += 1;
+    ) -> Result<(), CoreError> {
+        self.digest = recorder::digest_step(self.digest, verdict);
+        self.verdicts[recorder::verdict_slot(verdict) as usize] += 1;
+        let sample = self.processed as u64;
         self.processed += 1;
         let now_ns = self.processed as u64 * self.cfg.tick_ns;
         self.shared.t_ns.store(now_ns, Ordering::Relaxed);
+        if let Some(ring) = &mut self.recorder_ring {
+            let stamp = recorder::WindowStamp {
+                sample,
+                t_ns: now_ns,
+                generation: self.generation as u64,
+                model_latency_ns,
+            };
+            ring.record(&self.artifacts.detector, row, verdict, stamp)?;
+        }
         if self.cfg.monitoring {
             self.observe(now_ns, truth_attack, verdict, latency_ns, model_latency_ns);
         }
+        Ok(())
     }
 
     /// Classifies one sample; returns `false` once the budget is spent.
@@ -980,12 +1129,19 @@ impl ServingSession {
             self.artifacts.detector.classify(&self.scratch)?
         };
         let t_end = clock::now_ns();
-        self.record_verdict(
+        // lend the scratch row out without allocating (mem::take leaves
+        // an empty Vec behind); record_verdict needs `&mut self` plus
+        // the row
+        let row = std::mem::take(&mut self.scratch);
+        let result = self.record_verdict(
+            &row,
             truth_attack,
             verdict,
             t_end.saturating_sub(t_start),
             t_end.saturating_sub(t_model),
         );
+        self.scratch = row;
+        result?;
         Ok(true)
     }
 
@@ -1037,21 +1193,49 @@ impl ServingSession {
             // comparable across batch sizes
             let latency_ns = t_end.saturating_sub(t_start) / n as u64;
             let model_latency_ns = t_end.saturating_sub(t_model) / n as u64;
+            // lend the batch buffers out allocation-free (see step())
+            let rows = std::mem::take(&mut self.batch_rows);
+            let truths = std::mem::take(&mut self.batch_truth);
+            let mut result = Ok(());
             for k in 0..n {
                 let verdict = self.arena.verdicts()[k];
-                let truth = self.batch_truth[k];
-                self.record_verdict(truth, verdict, latency_ns, model_latency_ns);
+                result = self.record_verdict(
+                    &rows[k * width..(k + 1) * width],
+                    truths[k],
+                    verdict,
+                    latency_ns,
+                    model_latency_ns,
+                );
+                if result.is_err() {
+                    break;
+                }
             }
+            self.batch_rows = rows;
+            self.batch_truth = truths;
+            result?;
         } else {
             let verdicts = self.artifacts.detector.classify_batch(&self.batch_rows, width)?;
             let t_end = clock::now_ns();
             let latency_ns = t_end.saturating_sub(t_start) / n as u64;
             let model_latency_ns = t_end.saturating_sub(t_model) / n as u64;
+            let rows = std::mem::take(&mut self.batch_rows);
             let truths = std::mem::take(&mut self.batch_truth);
-            for (&truth, verdict) in truths.iter().zip(verdicts) {
-                self.record_verdict(truth, verdict, latency_ns, model_latency_ns);
+            let mut result = Ok(());
+            for (k, (&truth, verdict)) in truths.iter().zip(verdicts).enumerate() {
+                result = self.record_verdict(
+                    &rows[k * width..(k + 1) * width],
+                    truth,
+                    verdict,
+                    latency_ns,
+                    model_latency_ns,
+                );
+                if result.is_err() {
+                    break;
+                }
             }
+            self.batch_rows = rows;
             self.batch_truth = truths;
+            result?;
         }
         Ok(n)
     }
@@ -1083,7 +1267,13 @@ impl ServingSession {
         );
         if self.processed.is_multiple_of(self.cfg.evaluate_every) {
             let snap = self.shared.monitor.snapshot_at(now_ns);
-            let _ = self.shared.engine().evaluate(&snap);
+            let edges = self.shared.engine().evaluate(&snap);
+            if edges.iter().any(|e| e.firing) {
+                // an alert just fired: snapshot the flight recorder and
+                // the shard's state into a forensic incident bundle.
+                // Allocates — fire edges are rare by construction.
+                self.capture_incident(now_ns, &snap, &edges);
+            }
         }
         if self.processed.is_multiple_of(self.cfg.integrity_every) {
             let snap = self.shared.monitor.snapshot_at(now_ns);
@@ -1107,6 +1297,56 @@ impl ServingSession {
                 }
             }
         }
+    }
+
+    /// Snapshots the flight recorder ring plus monitor/alert/generation
+    /// state into an [`IncidentBundle`] and stores it on the shard.
+    /// Runs only on alert fire edges; a disabled recorder
+    /// ([`ServingConfig::recorder`]` == 0`) captures nothing.
+    fn capture_incident(
+        &mut self,
+        now_ns: u64,
+        snap: &MonitorSnapshot,
+        edges: &[AlertTransition],
+    ) {
+        let Some(ring) = &self.recorder_ring else { return };
+        let triggers: Vec<IncidentTrigger> =
+            recorder::triggers_from_edges(edges, &self.cfg.rules);
+        let alerts_firing: Vec<String> =
+            self.shared.engine().firing().map(|r| r.name.to_owned()).collect();
+        // the bundle records the *fleet base* configuration: the shard's
+        // decorrelated stream seed folds back to the base (the XOR walk
+        // is an involution) and shards > 0 restore the base calibration
+        // budget their own config zeroed
+        let mut config = self.cfg.clone();
+        config.stream_seed = shard_stream_seed(self.cfg.stream_seed, self.shard);
+        config.calibration_samples = self.base_calibration_samples;
+        let seq = self.incident_seq;
+        self.incident_seq += 1;
+        let bundle = IncidentBundle {
+            id: format!("s{}-i{}", self.shard, seq),
+            shard: self.shard,
+            seq,
+            t_ns: now_ns,
+            sample_index: self.processed as u64,
+            generation: self.generation as u64,
+            stream_seed: self.cfg.stream_seed,
+            verdict_digest: ring.digest(),
+            triggers,
+            alerts_firing,
+            monitor: IncidentMonitor::capture(snap),
+            model_names: self
+                .artifacts
+                .detector
+                .models()
+                .iter()
+                .map(|m| m.name().to_owned())
+                .collect(),
+            config,
+            shards: self.n_shards,
+            windows: ring.snapshot_windows(),
+        };
+        self.shared.push_incident(bundle);
     }
 
     /// Runs [`step_batch`](Self::step_batch) until the budget is spent
@@ -1153,6 +1393,26 @@ impl ServingSession {
     #[must_use]
     pub fn calibration(&self) -> Option<&CalibrationReport> {
         self.calibration.as_ref()
+    }
+
+    /// The incident bundles this shard has captured (oldest first,
+    /// bounded — eviction drops the oldest).
+    #[must_use]
+    pub fn incidents(&self) -> Vec<Arc<IncidentBundle>> {
+        self.shared.incidents().clone()
+    }
+
+    /// Lifetime incidents captured by this shard (never decremented by
+    /// store eviction).
+    #[must_use]
+    pub fn incidents_total(&self) -> u64 {
+        self.shared.incidents_total.load(Ordering::Relaxed)
+    }
+
+    /// The flight recorder ring, when enabled.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder_ring.as_ref()
     }
 
     /// Whether a client requested shutdown via `/quit`.
@@ -1286,7 +1546,14 @@ impl FleetSession {
                 // calibration derived — one fleet, one contract
                 shard_cfg.rules = shards[0].cfg.rules.clone();
             }
-            let shard = ServingSession::assemble(shard_cfg, Arc::clone(&artifacts), hub.clone())?;
+            let shard = ServingSession::assemble(
+                shard_cfg,
+                Arc::clone(&artifacts),
+                hub.clone(),
+                i,
+                n_shards.max(1),
+                cfg.calibration_samples,
+            )?;
             if hub.is_none() {
                 // shard 0 created the fleet's hub (when retraining is
                 // on); every later shard registers with the same one
@@ -1462,11 +1729,15 @@ fn calibrate(
             (false, false) => matrix.tn += 1,
         }
     }
-    let _ = artifacts.detector.take_quarantine();
+    // calibration traffic is clean by construction: what the predictor
+    // quarantined here must never reach retraining, but silently
+    // discarding it hid the count — it is telemetry (the predictor's
+    // live false-flag behavior) and now rides the report
+    let quarantined = artifacts.detector.take_quarantine().len();
     artifacts
         .monitor
         .record_baseline(SERVING_BASELINE, BinaryMetrics::from_confusion(&matrix));
-    Ok(CalibrationReport { matrix, flagged, samples: cfg.calibration_samples })
+    Ok(CalibrationReport { matrix, flagged, samples: cfg.calibration_samples, quarantined })
 }
 
 /// What the HTTP endpoints read: per-shard monitor state plus the
@@ -1504,6 +1775,19 @@ impl EndpointState {
             .as_ref()
             .map_or_else(|| self.artifacts.detector.quarantine_evicted(), |h| h.quarantine_evicted())
     }
+
+    /// Lifetime incidents captured across every shard.
+    fn incidents_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.incidents_total.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Clean calibration rows flagged and discarded: the shards' own
+    /// calibration passes plus every hub recalibration round.
+    fn calibration_quarantined(&self) -> u64 {
+        let shards: u64 =
+            self.shards.iter().map(|s| s.calibration_quarantined.load(Ordering::Relaxed)).sum();
+        shards + self.hub.as_ref().map_or(0, |h| h.calibration_quarantined())
+    }
 }
 
 /// HTTP dispatch for the serving endpoints, shared between single
@@ -1519,6 +1803,11 @@ fn handle(state: &EndpointState, path: &str) -> Response {
             drop(engines);
             append_promotion_series(&mut page, state.generation(), state.swaps(), state.absorbed());
             append_quarantine_series(&mut page, state);
+            append_incident_series(
+                &mut page,
+                state.incidents_total(),
+                state.calibration_quarantined(),
+            );
             Response::ok(page)
         }
         "/healthz" => {
@@ -1529,14 +1818,69 @@ fn handle(state: &EndpointState, path: &str) -> Response {
             }
         }
         "/snapshot.json" => Response::json(live_snapshot_json(state).to_string()),
+        "/incidents" => Response::json(incident_index_json(state).to_string()),
         "/quit" => {
             for s in shards {
                 s.quit.store(true, Ordering::SeqCst);
             }
             Response::status(200, "shutting down\n")
         }
-        _ => Response::status(404, "unknown path\n"),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/incidents/") {
+                let bundle = rest
+                    .strip_suffix(".json")
+                    .and_then(|id| find_incident(state, id));
+                return match bundle {
+                    Some(b) => Response::json(b.to_json().to_string()),
+                    None => Response::status(404, "unknown incident\n"),
+                };
+            }
+            Response::status(404, "unknown path\n")
+        }
     }
+}
+
+/// The `/incidents` index: one summary row per retained bundle, across
+/// every shard, plus the lifetime capture counter (evicted bundles
+/// count but no longer list).
+fn incident_index_json(state: &EndpointState) -> Json {
+    let mut rows = Vec::new();
+    for shared in &state.shards {
+        for b in shared.incidents().iter() {
+            rows.push(Json::Obj(vec![
+                ("id".to_owned(), Json::Str(b.id.clone())),
+                ("shard".to_owned(), Json::UInt(b.shard as u64)),
+                ("seq".to_owned(), Json::UInt(b.seq)),
+                ("t_ns".to_owned(), Json::UInt(b.t_ns)),
+                ("sample_index".to_owned(), Json::UInt(b.sample_index)),
+                ("generation".to_owned(), Json::UInt(b.generation)),
+                ("windows".to_owned(), Json::UInt(b.windows.len() as u64)),
+                ("verdict_digest".to_owned(), Json::UInt(b.verdict_digest)),
+                (
+                    "triggers".to_owned(),
+                    Json::Arr(
+                        b.triggers
+                            .iter()
+                            .filter(|t| t.firing)
+                            .map(|t| Json::Str(t.rule.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+    Json::Obj(vec![
+        ("incidents".to_owned(), Json::Arr(rows)),
+        ("total".to_owned(), Json::UInt(state.incidents_total())),
+    ])
+}
+
+/// Looks an incident bundle up by id across every shard's store.
+fn find_incident(state: &EndpointState, id: &str) -> Option<Arc<IncidentBundle>> {
+    state
+        .shards
+        .iter()
+        .find_map(|shared| shared.incidents().iter().find(|b| b.id == id).cloned())
 }
 
 /// Per-shard windowed snapshots, each at its own published clock.
@@ -1581,10 +1925,29 @@ fn live_snapshot_json(state: &EndpointState) -> Json {
     let merged = MonitorSnapshot::merged(&snaps);
     let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
     let (mut transitions, mut healthy) = (0, true);
-    for s in shards {
-        let engine = s.engine();
-        transitions += engine.transitions();
-        healthy &= engine.healthy();
+    let mut slo: Vec<Json> = Vec::new();
+    {
+        let engines: Vec<_> = shards.iter().map(|s| s.engine()).collect();
+        for engine in &engines {
+            transitions += engine.transitions();
+            healthy &= engine.healthy();
+        }
+        // per-rule SLO state, fleet-merged: firing on any shard,
+        // transitions summed (engines share one rule shape)
+        for (i, rule) in engines[0].rules().iter().enumerate() {
+            let firing = engines.iter().any(|e| e.is_firing(i));
+            let rule_transitions: u64 = engines
+                .iter()
+                .map(|e| e.rule_transitions().get(i).copied().unwrap_or(0))
+                .sum();
+            slo.push(Json::Obj(vec![
+                ("rule".to_owned(), Json::Str(rule.name.to_owned())),
+                ("severity".to_owned(), Json::Str(rule.severity.to_string())),
+                ("threshold".to_owned(), Json::Float(rule.threshold())),
+                ("firing".to_owned(), Json::Bool(firing)),
+                ("transitions".to_owned(), Json::UInt(rule_transitions)),
+            ]));
+        }
     }
     let mut fields = vec![
         ("t_ns".to_owned(), Json::UInt(merged.t_ns)),
@@ -1610,6 +1973,12 @@ fn live_snapshot_json(state: &EndpointState) -> Json {
         ("model_generation".to_owned(), Json::UInt(state.generation())),
         ("model_swaps".to_owned(), Json::UInt(state.swaps())),
         ("retrain_absorbed".to_owned(), Json::UInt(state.absorbed())),
+        ("incidents_total".to_owned(), Json::UInt(state.incidents_total())),
+        (
+            "calibration_quarantined".to_owned(),
+            Json::UInt(state.calibration_quarantined()),
+        ),
+        ("slo".to_owned(), Json::Arr(slo)),
     ];
     if hmd_telemetry::enabled() {
         fields.push(("telemetry".to_owned(), hmd_telemetry::snapshot_json("serving")));
@@ -1628,14 +1997,3 @@ fn confusion_of(snap: &MonitorSnapshot) -> ConfusionMatrix {
     }
 }
 
-fn verdict_slot(v: Verdict) -> usize {
-    match v {
-        Verdict::AdversarialAttack => 0,
-        Verdict::MalwareAttack => 1,
-        Verdict::Benign => 2,
-    }
-}
-
-fn fnv1a_step(hash: u64, v: Verdict) -> u64 {
-    (hash ^ (verdict_slot(v) as u64 + 1)).wrapping_mul(0x0100_0000_01b3)
-}

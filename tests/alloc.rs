@@ -2,9 +2,11 @@
 //! counting global allocator: once a session is warmed up (arena built,
 //! windows settled, alert engine past its initial transitions, replay
 //! ring standing in for live traffic synthesis), classifying a window —
-//! monitoring, alert evaluation and integrity checks included — must
-//! perform **zero** heap allocations, on both the scalar and the
-//! batched path.
+//! monitoring, alert evaluation, integrity checks and the flight
+//! recorder (on at its default 64-window depth, re-capturing every
+//! window's row, probabilities and critic score into its preallocated
+//! ring) included — must perform **zero** heap allocations, on both the
+//! scalar and the batched path.
 //!
 //! The counting allocator is process-global, so this integration test
 //! lives in its own binary: no sibling test's allocations can bleed
@@ -65,6 +67,10 @@ fn serving_steady_state_allocates_nothing() {
         let bytes = ALLOC.bytes_allocated() - bytes_before;
         let windows = session.outcome().processed - processed_before;
         assert!(windows >= 300, "measured too few windows: {windows}");
+        // the flight recorder was live (and full) for every measured
+        // window: recording is part of the zero-allocation contract
+        let ring = session.flight_recorder().expect("recorder defaults on");
+        assert_eq!(ring.len(), ring.capacity(), "ring must be full after warmup");
         assert_eq!(
             allocs, 0,
             "batch {batch}: {allocs} allocations ({bytes} bytes) across {windows} \

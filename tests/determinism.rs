@@ -330,6 +330,94 @@ fn fleet_retraining_rerun_is_byte_identical() {
     }
 }
 
+/// Incident bundles are part of the determinism contract: on the same
+/// seed, each captured bundle serializes to identical bytes at any
+/// batch size, worker-thread count, and fleet width — the flight
+/// recorder ring sees the same verdict stream regardless of how the
+/// windows were grouped or scheduled, and shard 0 of a fleet replays
+/// the single-session stream exactly. Wall-clock latency fields and the
+/// grouping knobs themselves (batch, fleet width — recorded so replay
+/// can rebuild the run, legitimately different across configurations)
+/// are scrubbed; every seed-derived byte is pinned.
+#[test]
+fn incident_bundles_are_byte_identical_across_batch_threads_and_shards() {
+    let base = {
+        let mut cfg = hmd::ServingConfig::quick(19);
+        cfg.samples = 250; // lull + burst: the burst trips the SLO alerts
+        cfg
+    };
+    let artifacts = hmd::ServingSession::start(base.clone()).expect("train").artifacts_handle();
+
+    // shard 0's bundles of an n-shard fleet, serialized and scrubbed
+    let run = |batch: usize, shards: usize| -> Vec<String> {
+        let mut cfg = base.clone();
+        cfg.batch = batch;
+        cfg.calibration_samples = 0;
+        let mut fleet =
+            hmd::FleetSession::with_artifacts(&cfg, shards, artifacts.clone()).expect("fleet");
+        fleet.run().expect("fleet run");
+        fleet.shards()[0]
+            .incidents()
+            .iter()
+            .map(|b| {
+                // digest purity: the recorded digest is exactly the
+                // FNV fold of the recorded window verdicts
+                assert_eq!(
+                    b.verdict_digest,
+                    hmd::recorder::verdict_digest(b.windows.iter().map(|w| w.verdict)),
+                    "bundle {} digest does not match its own windows",
+                    b.id
+                );
+                scrub_incident(&b.to_json().to_string())
+            })
+            .collect()
+    };
+
+    let mut variants = Vec::new();
+    for threads in [1usize, 4] {
+        par::set_thread_override(Some(threads));
+        for batch in [1usize, 7] {
+            for shards in [1usize, 3] {
+                variants.push((threads, batch, shards, run(batch, shards)));
+            }
+        }
+    }
+    par::set_thread_override(None);
+
+    let (_, _, _, reference) = &variants[0];
+    assert!(!reference.is_empty(), "the seeded burst must capture at least one incident");
+    for (threads, batch, shards, got) in &variants {
+        assert_eq!(
+            got, reference,
+            "bundle bytes moved at batch {batch}, {threads} thread(s), {shards} shard(s)"
+        );
+    }
+}
+
+/// Replaces the wall-clock latency fields and the stream-grouping knobs
+/// (batch size, fleet width) of a serialized incident bundle with
+/// zeros, leaving all seed-derived content intact.
+fn scrub_incident(text: &str) -> String {
+    fn scrub(value: &mut Json) {
+        match value {
+            Json::Obj(fields) => {
+                for (key, v) in fields {
+                    if key.contains("latency") || key == "batch" || key == "shards" {
+                        *v = Json::UInt(0);
+                    } else {
+                        scrub(v);
+                    }
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(scrub),
+            _ => {}
+        }
+    }
+    let mut doc = Json::parse(text).expect("bundle is valid JSON");
+    scrub(&mut doc);
+    doc.to_string()
+}
+
 /// Shard 0 of a fleet replays the exact single-session stream: same
 /// base seed, same digest. Other shards decorrelate.
 #[test]

@@ -86,7 +86,48 @@ fn serving_breach_and_recovery_end_to_end() {
 
     let (status, body) = get(&addr, "/snapshot.json");
     assert_eq!(status, 200);
-    Json::parse(&body).expect("snapshot must be valid JSON");
+    let snap = Json::parse(&body).expect("snapshot must be valid JSON");
+    let slo = snap.get("slo").and_then(Json::as_arr).expect("snapshot carries the slo array");
+    assert!(!slo.is_empty(), "per-rule SLO state must be populated");
+    for rule in slo {
+        for key in ["rule", "severity", "threshold", "firing", "transitions"] {
+            assert!(rule.get(key).is_some(), "slo entry missing {key:?} in:\n{body}");
+        }
+    }
+    assert!(
+        snap.get("incidents_total").and_then(Json::as_f64).expect("incidents_total") >= 1.0,
+        "the burst must have captured incidents"
+    );
+
+    // the burst tripped alerts, so the flight recorder captured
+    // incident bundles: counter on /metrics, browsable index, and each
+    // bundle round-trips through the typed parser
+    for series in [
+        "hmd_serving_incidents_total",
+        "hmd_serving_calibration_quarantined_total",
+        "hmd_serving_slo_firing{rule=",
+        "hmd_serving_alert_transitions_total{rule=",
+    ] {
+        assert!(page.contains(series), "missing {series} in:\n{page}");
+    }
+    let (status, body) = get(&addr, "/incidents");
+    assert_eq!(status, 200);
+    let index = Json::parse(&body).expect("incident index must be valid JSON");
+    let rows = index.get("incidents").and_then(Json::as_arr).expect("incidents array");
+    assert!(!rows.is_empty(), "incident index must list the captured bundles");
+    let id = rows[0].get("id").and_then(Json::as_str).expect("bundle id").to_owned();
+    let (status, body) = get(&addr, &format!("/incidents/{id}.json"));
+    assert_eq!(status, 200, "bundle {id} must be fetchable");
+    let bundle = hmd::IncidentBundle::parse(&body).expect("bundle round-trips through the parser");
+    assert_eq!(bundle.id, id);
+    assert!(!bundle.windows.is_empty(), "bundle must carry the recorded windows");
+    assert_eq!(
+        bundle.verdict_digest,
+        hmd::recorder::verdict_digest(bundle.windows.iter().map(|w| w.verdict)),
+        "bundle digest must fold from its own windows"
+    );
+    let (status, _) = get(&addr, "/incidents/s9-i999.json");
+    assert_eq!(status, 404, "unknown incident ids must 404");
 
     let (status, _) = get(&addr, "/definitely-not-a-route");
     assert_eq!(status, 404);
@@ -299,4 +340,48 @@ fn model_hot_swap_under_scrape_load() {
     let (status, _) = get(&addr, "/quit");
     assert_eq!(status, 200);
     fleet.finish();
+}
+
+/// Ring wraparound: with a 16-deep flight recorder, an incident
+/// captured deep into the stream holds exactly the 16 most recent
+/// windows, in stream order, with consecutive sample indices ending at
+/// the capture point — older windows were overwritten in place.
+#[test]
+fn flight_recorder_ring_wraps_and_keeps_the_trailing_windows() {
+    let mut cfg = ServingConfig::quick(7);
+    cfg.samples = 250;
+    cfg.recorder = 16;
+    let mut session = ServingSession::start(cfg).expect("training succeeds");
+    while session.step().expect("step") {}
+
+    assert!(session.incidents_total() >= 1, "the seeded burst must trip an alert");
+    let ring = session.flight_recorder().expect("recorder is on");
+    assert_eq!(ring.capacity(), 16);
+    assert_eq!(ring.len(), 16, "a 250-sample stream must have filled the ring");
+
+    let bundles = session.incidents();
+    let bundle = bundles
+        .iter()
+        .find(|b| b.sample_index > 16)
+        .expect("an incident fired past ring capacity");
+    assert_eq!(bundle.windows.len(), 16, "the ring must cap the recorded history");
+    for (i, w) in bundle.windows.iter().enumerate() {
+        assert_eq!(
+            w.sample,
+            bundle.sample_index - 16 + i as u64,
+            "window {i} is not the consecutive trailing sample"
+        );
+        assert_eq!(w.row.len(), bundle.windows[0].row.len(), "row width must be uniform");
+    }
+    assert_eq!(
+        bundle.verdict_digest,
+        hmd::recorder::verdict_digest(bundle.windows.iter().map(|w| w.verdict)),
+        "bundle digest must fold from exactly the retained windows"
+    );
+
+    // an early incident (before the ring filled) records every window
+    // served so far and nothing more
+    if let Some(early) = bundles.iter().find(|b| b.sample_index <= 16) {
+        assert_eq!(early.windows.len(), early.sample_index as usize);
+    }
 }
