@@ -78,9 +78,13 @@ for _ in $(seq 1 300); do
 done
 SERVE_ADDR="$(sed -n 's/^SERVE_ADDR //p' "$TRACE_DIR/serve.out")"
 [ -n "$SERVE_ADDR" ] || { echo "ERROR: serve never printed SERVE_ADDR" >&2; exit 1; }
+# --expect-history / --expect-traces extend the gate to the continuous
+# observability surface: a populated multi-resolution /history.json
+# whose merged counters equal the shard sums, at least one promoted
+# stage trace on /traces.json, and a served /dashboard page.
 cargo run --release --offline -p hmd-bench --bin obs_check -- \
     "$SERVE_ADDR" --wait-samples 1200 --expect-transitions 4 --expect-shards 2 \
-    --expect-generation 2 --expect-incident \
+    --expect-generation 2 --expect-incident --expect-history --expect-traces \
     --save-incident "$TRACE_DIR/incident.json" --quit
 wait "$SERVE_PID"
 SERVE_PID=""
@@ -89,8 +93,13 @@ echo "== forensic replay gate =="
 # Deterministic replay of the incident bundle captured above: rebuild
 # the artifacts at the pinned generation(s) from the recorded seed,
 # re-classify every captured window, and gate on a byte-identical
-# verdict digest (replay exits non-zero on any divergence).
-./target/release/replay "$TRACE_DIR/incident.json" --explain 4
+# verdict digest (replay exits non-zero on any divergence). The v2
+# bundle embeds the promoted flagged stage traces; replay round-trips
+# them and reports the count — the burst guarantees at least one.
+./target/release/replay "$TRACE_DIR/incident.json" --explain 4 \
+    | tee "$TRACE_DIR/replay.out"
+grep -Eq '^REPLAY_TRACES [1-9]' "$TRACE_DIR/replay.out" \
+    || { echo "ERROR: replayed v2 bundle embeds no stage traces" >&2; exit 1; }
 
 echo "== hermeticity: dependency tree must be workspace-only =="
 if cargo tree --workspace --offline --prefix none | grep -v '^hmd' | grep -q '[a-z]'; then

@@ -175,6 +175,8 @@ fn bench_obs(h: &mut Harness) {
         flagged_adversarial: false,
         latency_ns: 12_345,
         model_latency_ns: 11_000,
+        sample: 0,
+        generation: 0,
     };
     h.bench("obs/serving_monitor_record_sample", || {
         t = t.wrapping_add(10_000_000);

@@ -17,9 +17,16 @@
 //! `--expect-incident` validates the forensic pipeline: the
 //! `hmd_serving_incidents_total` counter must be ≥ 1, the `/incidents`
 //! index must list at least one bundle, and the first bundle fetched
-//! from `/incidents/<id>.json` must carry the `hmd-incident-v1` schema
+//! from `/incidents/<id>.json` must carry the `hmd-incident-v2` schema
 //! with a non-empty window array. `--save-incident PATH` writes that
 //! bundle to disk so the `replay` binary can re-execute it.
+//!
+//! `--expect-history` validates `/history.json`: the tier shape
+//! (`fine_every`/`fold`), a non-empty merged fine tier, a per-shard
+//! section, and that the merged counters equal the sum of the aligned
+//! per-shard counters. `--expect-traces` validates `/traces.json`: at
+//! least one promoted trace whose cumulative stage array is monotone
+//! non-decreasing, plus a working `/dashboard` page.
 //!
 //! Exits non-zero with a diagnostic on the first failure.
 
@@ -61,6 +68,8 @@ struct Args {
     expect_shards: Option<usize>,
     expect_generation: Option<f64>,
     expect_incident: bool,
+    expect_history: bool,
+    expect_traces: bool,
     save_incident: Option<String>,
     quit: bool,
 }
@@ -70,7 +79,7 @@ fn parse_args() -> Result<Args, String> {
     let Some(target) = raw.next() else {
         return Err("usage: obs_check <addr> [--wait-samples N] [--expect-transitions N] \
                     [--expect-shards N] [--expect-generation N] [--expect-incident] \
-                    [--save-incident PATH] [--quit]"
+                    [--expect-history] [--expect-traces] [--save-incident PATH] [--quit]"
             .into());
     };
     let mut args = Args {
@@ -80,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
         expect_shards: None,
         expect_generation: None,
         expect_incident: false,
+        expect_history: false,
+        expect_traces: false,
         save_incident: None,
         quit: false,
     };
@@ -106,6 +117,8 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("bad --expect-generation: {v:?}"))?);
             }
             "--expect-incident" => args.expect_incident = true,
+            "--expect-history" => args.expect_history = true,
+            "--expect-traces" => args.expect_traces = true,
             "--save-incident" => {
                 let v = raw.next().ok_or("--save-incident needs a path")?;
                 args.save_incident = Some(v);
@@ -211,8 +224,16 @@ fn check_incidents(args: &Args, page: &str) -> Result<(), String> {
     let bundle =
         Json::parse(&body).map_err(|e| format!("/incidents/{id}.json is not valid JSON: {e:?}"))?;
     match bundle.get("schema").and_then(Json::as_str) {
+        Some("hmd-incident-v2") => {
+            // v2 bundles must carry the traces array (may be empty if
+            // no flagged window was promoted before the fire edge)
+            if bundle.get("traces").and_then(Json::as_arr).is_none() {
+                return Err(format!("v2 bundle {id} is missing the traces array"));
+            }
+        }
+        // a replayed service could still serve pre-trace bundles
         Some("hmd-incident-v1") => {}
-        other => return Err(format!("bundle {id} schema is {other:?}, want hmd-incident-v1")),
+        other => return Err(format!("bundle {id} schema is {other:?}, want hmd-incident-v2")),
     }
     let windows = bundle
         .get("windows")
@@ -238,6 +259,146 @@ fn check_incidents(args: &Args, page: &str) -> Result<(), String> {
             .map_err(|e| format!("cannot write bundle to {path}: {e}"))?;
         println!("obs_check: bundle {id} saved to {path}");
     }
+    Ok(())
+}
+
+/// Validates `/history.json`: schema + tier shape, a non-empty merged
+/// fine tier, a per-shard section, and merged-equals-sum-of-shards for
+/// the `samples` counter of every merged fine point.
+fn check_history(args: &Args) -> Result<(), String> {
+    let (status, body) = get(&args.addr, "/history.json")?;
+    if status != 200 {
+        return Err(format!("/history.json returned {status}"));
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("/history.json is not valid JSON: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hmd-history-v1") => {}
+        other => return Err(format!("/history.json schema is {other:?}, want hmd-history-v1")),
+    }
+    let tiers = doc.get("tiers").ok_or("/history.json is missing the tiers shape")?;
+    let fine_every = tiers.get("fine_every").and_then(Json::as_f64).unwrap_or(0.0);
+    let fold = tiers.get("fold").and_then(Json::as_f64).unwrap_or(0.0);
+    if fine_every < 1.0 || fold < 2.0 {
+        return Err(format!("implausible tier shape: fine_every {fine_every}, fold {fold}"));
+    }
+    let merged_fine = doc
+        .get("merged")
+        .and_then(|m| m.get("fine"))
+        .and_then(Json::as_arr)
+        .ok_or("/history.json is missing merged.fine")?;
+    if merged_fine.is_empty() {
+        return Err("merged fine tier is empty (no history point flushed yet)".into());
+    }
+    let per_shard = doc
+        .get("per_shard")
+        .and_then(Json::as_arr)
+        .ok_or("/history.json is missing per_shard")?;
+    if per_shard.is_empty() {
+        return Err("/history.json per_shard is empty".into());
+    }
+    // merged counters must equal the sum of the aligned shard counters
+    for point in merged_fine {
+        let end = point.get("sample_end").and_then(Json::as_f64).unwrap_or(-1.0);
+        let merged_samples = point.get("samples").and_then(Json::as_f64).unwrap_or(0.0);
+        let mut shard_sum = 0.0;
+        for shard in per_shard {
+            let fine = shard
+                .get("fine")
+                .and_then(Json::as_arr)
+                .ok_or("per_shard entry is missing its fine tier")?;
+            if let Some(p) = fine
+                .iter()
+                .find(|p| p.get("sample_end").and_then(Json::as_f64) == Some(end))
+            {
+                shard_sum += p.get("samples").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+        }
+        if (merged_samples - shard_sum).abs() > f64::EPSILON {
+            return Err(format!(
+                "merged point at sample_end {end} says {merged_samples} samples, \
+                 shards sum to {shard_sum}"
+            ));
+        }
+    }
+    println!(
+        "obs_check: /history.json OK ({} merged fine point(s), {} shard(s), \
+         fine_every {fine_every}, fold {fold})",
+        merged_fine.len(),
+        per_shard.len()
+    );
+    Ok(())
+}
+
+/// Validates `/traces.json` (at least one promoted trace with a
+/// monotone cumulative stage array) and the `/dashboard` page.
+fn check_traces(args: &Args) -> Result<(), String> {
+    let (status, body) = get(&args.addr, "/traces.json")?;
+    if status != 200 {
+        return Err(format!("/traces.json returned {status}"));
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("/traces.json is not valid JSON: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hmd-traces-v1") => {}
+        other => return Err(format!("/traces.json schema is {other:?}, want hmd-traces-v1")),
+    }
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or("/traces.json is missing the stages array")?;
+    let per_shard = doc
+        .get("per_shard")
+        .and_then(Json::as_arr)
+        .ok_or("/traces.json is missing per_shard")?;
+    let mut traces = 0usize;
+    for shard in per_shard {
+        for ring in ["flagged", "latency_tail"] {
+            let list = shard
+                .get(ring)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("per_shard entry is missing its {ring} ring"))?;
+            for trace in list {
+                let ends = trace
+                    .get("stage_latency_ns")
+                    .and_then(Json::as_arr)
+                    .ok_or("trace is missing stage_latency_ns")?;
+                if ends.len() != stages.len() {
+                    return Err(format!(
+                        "trace has {} stage ends, page declares {} stages",
+                        ends.len(),
+                        stages.len()
+                    ));
+                }
+                let mut prev = 0.0;
+                for end in ends {
+                    let v = end.as_f64().ok_or("non-numeric stage end")?;
+                    if v < prev {
+                        return Err(format!(
+                            "stage ends not monotone: {v} after {prev} in trace at sample {:?}",
+                            trace.get("sample").and_then(Json::as_f64)
+                        ));
+                    }
+                    prev = v;
+                }
+                traces += 1;
+            }
+        }
+    }
+    if traces == 0 {
+        return Err("expected >= 1 promoted trace, /traces.json is empty".into());
+    }
+    let (status, page) = get(&args.addr, "/dashboard")?;
+    if status != 200 {
+        return Err(format!("/dashboard returned {status}"));
+    }
+    if !page.contains("<!doctype html>") || !page.contains("/history.json") {
+        return Err("/dashboard does not look like the self-contained dashboard page".into());
+    }
+    println!(
+        "obs_check: /traces.json OK ({traces} promoted trace(s), {} stage(s)); /dashboard OK \
+         ({} bytes)",
+        stages.len(),
+        page.len()
+    );
     Ok(())
 }
 
@@ -327,6 +488,12 @@ fn run(args: &Args) -> Result<(), String> {
 
     if args.expect_incident || args.save_incident.is_some() {
         check_incidents(args, &page)?;
+    }
+    if args.expect_history {
+        check_history(args)?;
+    }
+    if args.expect_traces {
+        check_traces(args)?;
     }
 
     let (status, _) = get(&args.addr, "/no-such-route")?;

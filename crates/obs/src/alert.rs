@@ -294,6 +294,8 @@ mod tests {
                     flagged_adversarial: flagged,
                     latency_ns: 1000,
                     model_latency_ns: 1000,
+                    sample: 0,
+                    generation: 0,
                 },
             );
         }

@@ -1,0 +1,125 @@
+//! The `/dashboard` page: a single self-contained HTML document (inline
+//! CSS + JS, no external assets — the zero-dependency policy applies to
+//! the browser side too) that polls `/history.json` and renders SVG
+//! sparklines of the multi-resolution history tiers, so a human can see
+//! a slow adversarial drift without standing up a metrics stack.
+
+/// The static dashboard document served at `/dashboard`.
+pub const DASHBOARD_HTML: &str = r##"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>HMD serving dashboard</title>
+<style>
+  body { background: #14171c; color: #d8dee9; font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }
+  h1 { font-size: 1.2rem; font-weight: 600; }
+  #meta { color: #7b8494; margin-bottom: 1rem; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(20rem, 1fr)); gap: 1rem; }
+  .card { background: #1c2128; border: 1px solid #2c323c; border-radius: 8px; padding: 0.8rem 1rem; }
+  .card h2 { font-size: 0.85rem; font-weight: 500; color: #9aa4b2; margin: 0 0 0.3rem; }
+  .card .last { font-size: 1.3rem; font-variant-numeric: tabular-nums; }
+  svg { display: block; width: 100%; height: 48px; margin-top: 0.4rem; }
+  polyline { fill: none; stroke: #7aa2f7; stroke-width: 1.5; }
+  .err { color: #e06c75; }
+</style>
+</head>
+<body>
+<h1>HMD continuous observability</h1>
+<div id="meta">loading /history.json…</div>
+<div id="charts" class="grid"></div>
+<script>
+"use strict";
+const SERIES = [
+  { title: "detection rate",   unit: "",    value: p => p.tp + p.fn > 0 ? p.tp / (p.tp + p.fn) : NaN },
+  { title: "adversarial flag rate", unit: "", value: p => p.samples > 0 ? p.flags / p.samples : NaN },
+  { title: "false positive rate", unit: "", value: p => p.fp + p.tn > 0 ? p.fp / (p.fp + p.tn) : NaN },
+  { title: "latency p95",      unit: "ms",  value: p => p.latency_p95_ns / 1e6 },
+  { title: "model latency p95", unit: "ms", value: p => p.model_latency_p95_ns / 1e6 },
+  { title: "critic score mean", unit: "",   value: p => p.samples > 0 ? p.critic_sum / p.samples : NaN },
+  { title: "quarantine depth", unit: "",    value: p => p.quarantine_depth },
+  { title: "model generation", unit: "",    value: p => p.generation },
+];
+
+function sparkline(values) {
+  const w = 300, h = 48, pad = 2;
+  const finite = values.filter(Number.isFinite);
+  if (finite.length === 0) return "<svg viewBox='0 0 300 48'></svg>";
+  const lo = Math.min(...finite), hi = Math.max(...finite);
+  const span = hi - lo || 1;
+  const pts = values.map((v, i) => {
+    if (!Number.isFinite(v)) return null;
+    const x = pad + (w - 2 * pad) * (values.length > 1 ? i / (values.length - 1) : 0.5);
+    const y = h - pad - (h - 2 * pad) * ((v - lo) / span);
+    return x.toFixed(1) + "," + y.toFixed(1);
+  }).filter(Boolean).join(" ");
+  return "<svg viewBox='0 0 " + w + " " + h + "' preserveAspectRatio='none'>" +
+         "<polyline points='" + pts + "'/></svg>";
+}
+
+function fmt(v, unit) {
+  if (!Number.isFinite(v)) return "–";
+  const s = Math.abs(v) >= 100 ? v.toFixed(0) : v.toPrecision(3);
+  return s + (unit ? " " + unit : "");
+}
+
+function render(doc) {
+  // longest available merged view: fine tier, falling back to coarser
+  const tiers = doc.merged || {};
+  const points = (tiers.fine && tiers.fine.length ? tiers.fine
+                 : tiers.mid && tiers.mid.length ? tiers.mid
+                 : tiers.coarse || []);
+  const meta = document.getElementById("meta");
+  if (points.length === 0) {
+    meta.textContent = "no history yet (fine tier fills every " +
+      (doc.tiers ? doc.tiers.fine_every : 64) + " windows)";
+    return;
+  }
+  const last = points[points.length - 1];
+  meta.textContent = "schema " + doc.schema + " · " + (doc.per_shard || []).length +
+    " shard(s) · " + points.length + " fine point(s) · stream sample " + last.sample_end;
+  const charts = document.getElementById("charts");
+  charts.innerHTML = SERIES.map(s => {
+    const values = points.map(s.value);
+    return "<div class='card'><h2>" + s.title + "</h2>" +
+      "<div class='last'>" + fmt(values[values.length - 1], s.unit) + "</div>" +
+      sparkline(values) + "</div>";
+  }).join("");
+}
+
+async function tick() {
+  try {
+    const res = await fetch("/history.json", { cache: "no-store" });
+    if (!res.ok) throw new Error("HTTP " + res.status);
+    render(await res.json());
+  } catch (e) {
+    document.getElementById("meta").innerHTML =
+      "<span class='err'>history fetch failed: " + e + "</span>";
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The page must be fully self-contained: no external scripts,
+    /// stylesheets, images or fonts — it has to render from an
+    /// air-gapped serving host.
+    #[test]
+    fn dashboard_is_self_contained() {
+        assert!(DASHBOARD_HTML.starts_with("<!doctype html>"));
+        for forbidden in ["http://", "https://", "<link", "src=", "@import", "url("] {
+            assert!(
+                !DASHBOARD_HTML.contains(forbidden),
+                "dashboard references an external asset via {forbidden:?}"
+            );
+        }
+        // and it actually consumes the history endpoint
+        assert!(DASHBOARD_HTML.contains("/history.json"));
+    }
+}

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use hmd_telemetry::{prometheus_histogram, prometheus_text};
+use hmd_telemetry::{prometheus_histogram_with_exemplars, prometheus_text};
 
 use crate::alert::AlertEngine;
 use crate::monitor::MonitorSnapshot;
@@ -98,13 +98,21 @@ fn render_page(snap: &MonitorSnapshot, engines: &[&AlertEngine], shards: &[Monit
         out,
         "# HELP hmd_serving_latency_ns Windowed end-to-end inference latency distribution (ns)."
     );
-    out.push_str(&prometheus_histogram("hmd_serving_latency_ns", &snap.latency));
+    out.push_str(&prometheus_histogram_with_exemplars(
+        "hmd_serving_latency_ns",
+        &snap.latency,
+        &snap.latency_exemplars,
+    ));
 
     let _ = writeln!(
         out,
         "# HELP hmd_serving_model_latency Windowed model-only classification latency distribution (ns)."
     );
-    out.push_str(&prometheus_histogram("hmd_serving_model_latency", &snap.model_latency));
+    out.push_str(&prometheus_histogram_with_exemplars(
+        "hmd_serving_model_latency",
+        &snap.model_latency,
+        &snap.model_latency_exemplars,
+    ));
 
     // per-shard series: label-separated so a dashboard can tell one
     // shard's stall or drift from fleet-wide trouble
@@ -250,19 +258,52 @@ fn to_f64(v: u64) -> f64 {
     v as f64
 }
 
+/// Parses an exposition sample value (`+Inf`/`-Inf`/`NaN` spellings
+/// included).
+fn parse_value(value: &str) -> Option<f64> {
+    match value {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => value.parse::<f64>().ok(),
+    }
+}
+
+/// The value of label `key` inside a `name{…}` series spelling.
+fn label_value<'a>(series: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("{key}=\"");
+    let start = series.find(&needle)? + needle.len();
+    let end = series[start..].find('"')?;
+    Some(&series[start..start + end])
+}
+
 /// Validates a text-exposition page the way `obs_check` and the tests
 /// do: every non-comment line must be `name[{labels}] value` with a
-/// legal metric name and a numeric (or `+Inf`/`-Inf`/`NaN`) value.
+/// legal metric name and a numeric (or `+Inf`/`-Inf`/`NaN`) value,
+/// optionally followed by an OpenMetrics exemplar
+/// (` # {labels} value`, buckets only). Histogram `_bucket` series
+/// must additionally be cumulative (non-decreasing in exposition
+/// order) and closed by a `le="+Inf"` bucket.
 ///
 /// # Errors
 ///
-/// Returns the first malformed line verbatim.
+/// Returns the first malformed line verbatim (or the name of an
+/// unclosed histogram).
 pub fn validate_exposition(page: &str) -> Result<(), String> {
+    // per-histogram bucket state: (base name, last cumulative count,
+    // le="+Inf" closure seen)
+    let mut hists: Vec<(String, f64, bool)> = Vec::new();
     for line in page.lines() {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (series, value) = line.rsplit_once(' ').ok_or_else(|| format!("no value: {line}"))?;
+        // OpenMetrics exemplar suffix: `series value # {labels} value`
+        let (sample_part, exemplar) = match line.split_once(" # ") {
+            Some((s, e)) => (s, Some(e)),
+            None => (line, None),
+        };
+        let (series, value) =
+            sample_part.rsplit_once(' ').ok_or_else(|| format!("no value: {line}"))?;
         let name_end = series.find('{').unwrap_or(series.len());
         let name = &series[..name_end];
         if name.is_empty() || hmd_telemetry::prometheus_name(name) != name {
@@ -271,12 +312,42 @@ pub fn validate_exposition(page: &str) -> Result<(), String> {
         if name_end < series.len() && !series.ends_with('}') {
             return Err(format!("unterminated labels: {line}"));
         }
-        let numeric = value == "+Inf"
-            || value == "-Inf"
-            || value == "NaN"
-            || value.parse::<f64>().is_ok();
-        if !numeric {
-            return Err(format!("bad sample value: {line}"));
+        let value = parse_value(value).ok_or_else(|| format!("bad sample value: {line}"))?;
+        if let Some(e) = exemplar {
+            if !name.ends_with("_bucket") {
+                return Err(format!("exemplar on a non-bucket series: {line}"));
+            }
+            let (labels, ev) =
+                e.split_once(' ').ok_or_else(|| format!("exemplar without a value: {line}"))?;
+            if !(labels.starts_with('{') && labels.ends_with('}')) {
+                return Err(format!("bad exemplar labels: {line}"));
+            }
+            if parse_value(ev).is_none() {
+                return Err(format!("bad exemplar value: {line}"));
+            }
+        }
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = label_value(series, "le")
+                .ok_or_else(|| format!("bucket without an le label: {line}"))?;
+            let entry = match hists.iter_mut().find(|(b, _, _)| b == base) {
+                Some(entry) => entry,
+                None => {
+                    hists.push((base.to_owned(), 0.0, false));
+                    hists.last_mut().expect("just pushed")
+                }
+            };
+            if value < entry.1 {
+                return Err(format!("bucket counts are not cumulative: {line}"));
+            }
+            entry.1 = value;
+            if le == "+Inf" {
+                entry.2 = true;
+            }
+        }
+    }
+    for (base, _, closed) in &hists {
+        if !closed {
+            return Err(format!("histogram {base} is missing its le=\"+Inf\" bucket"));
         }
     }
     Ok(())
@@ -300,6 +371,8 @@ mod tests {
                     flagged_adversarial: i % 10 == 0,
                     latency_ns: 1000 + i,
                     model_latency_ns: 900 + i,
+                    sample: i,
+                    generation: 1,
                 },
             );
         }
@@ -365,6 +438,8 @@ mod tests {
                         flagged_adversarial: false,
                         latency_ns: 500,
                         model_latency_ns: 400,
+                        sample: 0,
+                        generation: 0,
                     },
                 );
             }
@@ -409,5 +484,42 @@ mod tests {
         assert!(validate_exposition("x{le=\"1\" 3").is_err());
         assert!(validate_exposition("x three").is_err());
         assert!(validate_exposition("x 3\n\n# comment\ny NaN").is_ok());
+    }
+
+    #[test]
+    fn validator_enforces_bucket_monotonicity_and_inf_closure() {
+        let good = "h_bucket{le=\"1\"} 2\nh_bucket{le=\"4\"} 5\nh_bucket{le=\"+Inf\"} 5\n";
+        assert!(validate_exposition(good).is_ok());
+        let decreasing = "h_bucket{le=\"1\"} 5\nh_bucket{le=\"4\"} 2\nh_bucket{le=\"+Inf\"} 5\n";
+        assert!(validate_exposition(decreasing).unwrap_err().contains("cumulative"));
+        let unclosed = "h_bucket{le=\"1\"} 2\nh_bucket{le=\"4\"} 5\n";
+        assert!(validate_exposition(unclosed).unwrap_err().contains("+Inf"));
+        let unlabeled = "h_bucket{x=\"1\"} 2\n";
+        assert!(validate_exposition(unlabeled).unwrap_err().contains("le label"));
+    }
+
+    #[test]
+    fn validator_accepts_exemplars_on_buckets_only() {
+        let good = "h_bucket{le=\"4\"} 2 # {sample=\"9\",shard=\"0\",generation=\"1\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 2\n";
+        assert!(validate_exposition(good).is_ok());
+        let on_gauge = "g 2 # {sample=\"9\"} 3\n";
+        assert!(validate_exposition(on_gauge).unwrap_err().contains("non-bucket"));
+        let no_value = "h_bucket{le=\"+Inf\"} 2 # {sample=\"9\"}\n";
+        assert!(validate_exposition(no_value).is_err());
+        let bad_labels = "h_bucket{le=\"+Inf\"} 2 # sample=9 3\n";
+        assert!(validate_exposition(bad_labels).unwrap_err().contains("exemplar labels"));
+    }
+
+    #[test]
+    fn serving_page_carries_exemplars_that_validate() {
+        let p = page();
+        // the last sample landing in each bucket is annotated; sample 49
+        // (latency 1049, generation 1) must be the exemplar of its bucket
+        assert!(
+            p.contains("# {sample=\"49\",shard=\"0\",generation=\"1\"} 1049"),
+            "missing latest-sample exemplar in:\n{p}"
+        );
+        validate_exposition(&p).unwrap();
     }
 }

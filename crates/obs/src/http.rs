@@ -75,6 +75,12 @@ impl Response {
         Self { status: 200, content_type: "application/json", body }
     }
 
+    /// A `200 OK` HTML response (the self-contained `/dashboard` page).
+    #[must_use]
+    pub fn html(body: String) -> Self {
+        Self { status: 200, content_type: "text/html; charset=utf-8", body }
+    }
+
     /// A plain-text response with an explicit status.
     #[must_use]
     pub fn status(status: u16, body: &str) -> Self {

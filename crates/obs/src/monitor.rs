@@ -4,7 +4,10 @@
 //! histogram — with a plain-value snapshot for the alert engine and the
 //! `/metrics` endpoint.
 
-use hmd_telemetry::metrics::HistogramSnapshot;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use hmd_telemetry::metrics::{bucket_index, HistogramSnapshot, BUCKETS};
+use hmd_telemetry::Exemplar;
 
 use crate::window::{WindowConfig, WindowedCounter, WindowedHistogram};
 
@@ -24,6 +27,82 @@ pub struct SampleRecord {
     /// Model-only classification latency in nanoseconds (the detector
     /// call, excluding ingest) — what latency SLOs gate on.
     pub model_latency_ns: u64,
+    /// Global sample index of the window — exemplar identity linking a
+    /// latency bucket back to the flight-recorder entry.
+    pub sample: u64,
+    /// Model generation the window was classified under.
+    pub generation: u64,
+}
+
+/// One seqlock-guarded exemplar cell (see [`ExemplarStore`]).
+#[derive(Debug, Default)]
+struct ExemplarSlot {
+    /// Seqlock sequence: 0 = never written, odd = write in progress.
+    seq: AtomicU64,
+    sample: AtomicU64,
+    generation: AtomicU64,
+    value: AtomicU64,
+}
+
+/// Per-bucket exemplars for one latency histogram: each log₂ bucket
+/// remembers the last `(sample, generation, value)` observation that
+/// landed in it. Single writer (the hot loop), concurrent readers
+/// (scrape threads) — each cell is a tiny seqlock, so a reader never
+/// sees a half-written exemplar.
+#[derive(Debug)]
+pub struct ExemplarStore {
+    slots: [ExemplarSlot; BUCKETS],
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExemplarStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { slots: std::array::from_fn(|_| ExemplarSlot::default()) }
+    }
+
+    /// Records an observation into its bucket's cell. A handful of
+    /// relaxed stores; no allocation.
+    #[inline]
+    pub fn record(&self, value: u64, sample: u64, generation: u64) {
+        let slot = &self.slots[bucket_index(value)];
+        slot.seq.fetch_add(1, Ordering::Relaxed); // odd: write in progress
+        fence(Ordering::Release);
+        slot.sample.store(sample, Ordering::Relaxed);
+        slot.generation.store(generation, Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::Release); // even: stable
+    }
+
+    /// The last exemplar that landed in `bucket`, `None` before the
+    /// first observation. The `shard` field is left at 0 — the snapshot
+    /// layer stamps it.
+    #[must_use]
+    pub fn get(&self, bucket: usize) -> Option<Exemplar> {
+        let slot = &self.slots[bucket];
+        loop {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None;
+            }
+            if s1 & 1 == 0 {
+                let sample = slot.sample.load(Ordering::Relaxed);
+                let generation = slot.generation.load(Ordering::Relaxed);
+                let value = slot.value.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if slot.seq.load(Ordering::Relaxed) == s1 {
+                    return Some(Exemplar { sample, shard: 0, generation, value });
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// A point-in-time view of the windowed aggregates. All fields are
@@ -53,6 +132,11 @@ pub struct MonitorSnapshot {
     pub model_latency: HistogramSnapshot,
     /// All-time processed samples.
     pub total_samples: u64,
+    /// Per-bucket exemplars for the end-to-end latency histogram (the
+    /// last window that landed in each bucket, shard-stamped).
+    pub latency_exemplars: [Option<Exemplar>; BUCKETS],
+    /// Per-bucket exemplars for the model-only latency histogram.
+    pub model_latency_exemplars: [Option<Exemplar>; BUCKETS],
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -127,6 +211,8 @@ impl MonitorSnapshot {
                 sum: 0,
             },
             total_samples: 0,
+            latency_exemplars: [None; BUCKETS],
+            model_latency_exemplars: [None; BUCKETS],
         };
         for s in shards {
             out.t_ns = out.t_ns.max(s.t_ns);
@@ -150,8 +236,26 @@ impl MonitorSnapshot {
             }
             out.model_latency.count += s.model_latency.count;
             out.model_latency.sum += s.model_latency.sum;
+            for (dst, src) in out.latency_exemplars.iter_mut().zip(&s.latency_exemplars) {
+                merge_exemplar(dst, *src);
+            }
+            for (dst, src) in
+                out.model_latency_exemplars.iter_mut().zip(&s.model_latency_exemplars)
+            {
+                merge_exemplar(dst, *src);
+            }
         }
         out
+    }
+}
+
+/// Keeps the most recent (highest global sample index) of two bucket
+/// exemplars; ties keep the incumbent, so the merge is order-stable.
+fn merge_exemplar(dst: &mut Option<Exemplar>, src: Option<Exemplar>) {
+    match (&dst, src) {
+        (None, Some(e)) => *dst = Some(e),
+        (Some(d), Some(e)) if e.sample > d.sample => *dst = Some(e),
+        _ => {}
     }
 }
 
@@ -161,6 +265,7 @@ impl MonitorSnapshot {
 /// contract.
 #[derive(Debug)]
 pub struct ServingMonitor {
+    shard: usize,
     samples: WindowedCounter,
     tp: WindowedCounter,
     fn_: WindowedCounter,
@@ -170,13 +275,22 @@ pub struct ServingMonitor {
     drifts: WindowedCounter,
     latency: WindowedHistogram,
     model_latency: WindowedHistogram,
+    latency_exemplars: ExemplarStore,
+    model_latency_exemplars: ExemplarStore,
 }
 
 impl ServingMonitor {
-    /// A monitor whose windows all share `cfg`.
+    /// A monitor whose windows all share `cfg`, reporting as shard 0.
     #[must_use]
     pub fn new(cfg: WindowConfig) -> Self {
+        Self::with_shard(cfg, 0)
+    }
+
+    /// A monitor whose exemplars are stamped with `shard`.
+    #[must_use]
+    pub fn with_shard(cfg: WindowConfig, shard: usize) -> Self {
         Self {
+            shard,
             samples: WindowedCounter::new(cfg),
             tp: WindowedCounter::new(cfg),
             fn_: WindowedCounter::new(cfg),
@@ -186,6 +300,8 @@ impl ServingMonitor {
             drifts: WindowedCounter::new(cfg),
             latency: WindowedHistogram::new(cfg),
             model_latency: WindowedHistogram::new(cfg),
+            latency_exemplars: ExemplarStore::new(),
+            model_latency_exemplars: ExemplarStore::new(),
         }
     }
 
@@ -211,6 +327,8 @@ impl ServingMonitor {
         }
         self.latency.record_at(now_ns, s.latency_ns);
         self.model_latency.record_at(now_ns, s.model_latency_ns);
+        self.latency_exemplars.record(s.latency_ns, s.sample, s.generation);
+        self.model_latency_exemplars.record(s.model_latency_ns, s.sample, s.generation);
     }
 
     /// Records one integrity drift event at stream time `now_ns`.
@@ -221,6 +339,10 @@ impl ServingMonitor {
     /// The windowed aggregates as seen from stream time `now_ns`.
     #[must_use]
     pub fn snapshot_at(&self, now_ns: u64) -> MonitorSnapshot {
+        let stamp = |e: Option<Exemplar>| e.map(|mut e| {
+            e.shard = self.shard;
+            e
+        });
         MonitorSnapshot {
             t_ns: now_ns,
             samples: self.samples.sum_at(now_ns),
@@ -233,6 +355,10 @@ impl ServingMonitor {
             latency: self.latency.merged_at(now_ns),
             model_latency: self.model_latency.merged_at(now_ns),
             total_samples: self.samples.total(),
+            latency_exemplars: std::array::from_fn(|b| stamp(self.latency_exemplars.get(b))),
+            model_latency_exemplars: std::array::from_fn(|b| {
+                stamp(self.model_latency_exemplars.get(b))
+            }),
         }
     }
 }
@@ -254,6 +380,8 @@ mod tests {
             flagged_adversarial: flagged,
             latency_ns: 1000,
             model_latency_ns: 800,
+            sample: 0,
+            generation: 0,
         }
     }
 
@@ -321,6 +449,37 @@ mod tests {
         assert_eq!(m.model_latency.count, 3);
         assert_eq!(m.model_latency.sum, 2400);
         assert!(MonitorSnapshot::merged(&[]).samples == 0);
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_window_per_bucket_and_merge_by_recency() {
+        let a = ServingMonitor::with_shard(WindowConfig::new(4, 10 * MS), 0);
+        let b = ServingMonitor::with_shard(WindowConfig::new(4, 10 * MS), 1);
+        let at = |sample: u64, latency: u64| SampleRecord {
+            truth_attack: false,
+            verdict_attack: false,
+            flagged_adversarial: false,
+            latency_ns: latency,
+            model_latency_ns: latency,
+            sample,
+            generation: 2,
+        };
+        a.record_at(0, at(5, 1000));
+        a.record_at(0, at(9, 1000)); // same bucket: the later one wins
+        b.record_at(0, at(7, 1000));
+        b.record_at(0, at(8, 1 << 30)); // a different bucket entirely
+        let bucket = hmd_telemetry::metrics::bucket_index(1000);
+        let sa = a.snapshot_at(0);
+        let e = sa.latency_exemplars[bucket].expect("bucket has an exemplar");
+        assert_eq!((e.sample, e.shard, e.generation, e.value), (9, 0, 2, 1000));
+        // untouched buckets carry no exemplar
+        assert!(sa.latency_exemplars[40].is_none());
+        let merged = MonitorSnapshot::merged(&[sa, b.snapshot_at(0)]);
+        let m = merged.latency_exemplars[bucket].expect("merged keeps the bucket");
+        assert_eq!((m.sample, m.shard), (9, 0), "sample 9 beats shard 1's sample 7");
+        let big = merged.latency_exemplars[hmd_telemetry::metrics::bucket_index(1 << 30)]
+            .expect("shard 1's bucket survives the merge");
+        assert_eq!((big.sample, big.shard), (8, 1));
     }
 
     #[test]

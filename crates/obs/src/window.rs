@@ -16,13 +16,25 @@
 //! wall-clock windows simply pass `hmd_telemetry::clock::now_ns()`.
 //!
 //! Concurrency contract: **single writer, any number of readers.** The
-//! writer is the serving hot loop; readers are HTTP scrape threads. A
-//! reader racing the lazy slot reset can transiently see a partially
-//! reset slot — acceptable for monitoring, never for control flow.
+//! writer is the serving hot loop; readers are HTTP scrape threads and
+//! the alert engine (whose fire edges drive incident capture and SLO
+//! recalibration — control flow, not just monitoring). Each slot is
+//! therefore a tiny seqlock: the stored epoch is `epoch << 1`, and the
+//! writer raises the low *in-reset* bit for the duration of a lazy slot
+//! reset. Readers (re)read the tag around the payload and retry while
+//! it is odd or changed, so no reader can ever attribute a stale value
+//! to a fresh epoch or consume a half-zeroed histogram. Retries are
+//! bounded by the reset being a handful of plain stores; the hot
+//! no-reset write path is unchanged (one relaxed load, two relaxed
+//! adds).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use hmd_telemetry::metrics::{bucket_index, HistogramSnapshot, BUCKETS};
+
+/// Low bit of a slot's epoch tag: raised while the writer zeroes the
+/// slot, so readers retry instead of consuming a partial reset.
+const IN_RESET: u64 = 1;
 
 /// Shape of a sliding window.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -66,8 +78,27 @@ impl WindowConfig {
 /// One ring slot of a [`WindowedCounter`].
 #[derive(Debug, Default)]
 struct CounterSlot {
+    /// Seqlock tag: `epoch << 1`, low bit = [`IN_RESET`].
     epoch: AtomicU64,
     value: AtomicU64,
+}
+
+impl CounterSlot {
+    /// Seqlock read: a `(epoch, value)` pair that is guaranteed
+    /// consistent — the value was recorded under exactly that epoch.
+    fn read(&self) -> (u64, u64) {
+        loop {
+            let e1 = self.epoch.load(Ordering::Acquire);
+            if e1 & IN_RESET == 0 {
+                let value = self.value.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if self.epoch.load(Ordering::Relaxed) == e1 {
+                    return (e1 >> 1, value);
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// A monotonically increasing count whose reads cover only the sliding
@@ -99,11 +130,15 @@ impl WindowedCounter {
     #[inline]
     pub fn record_at(&self, now_ns: u64, n: u64) {
         let epoch = self.cfg.epoch(now_ns);
+        let tag = epoch << 1;
         let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
-        if slot.epoch.load(Ordering::Relaxed) != epoch {
-            // lazy expiry: first touch of a new epoch reclaims the slot
+        if slot.epoch.load(Ordering::Relaxed) != tag {
+            // lazy expiry behind the seqlock: the odd tag makes readers
+            // retry for the duration of the reset
+            slot.epoch.store(tag | IN_RESET, Ordering::Relaxed);
+            fence(Ordering::Release);
             slot.value.store(0, Ordering::Relaxed);
-            slot.epoch.store(epoch, Ordering::Relaxed);
+            slot.epoch.store(tag, Ordering::Release);
         }
         slot.value.fetch_add(n, Ordering::Relaxed);
         self.total.fetch_add(n, Ordering::Relaxed);
@@ -123,8 +158,10 @@ impl WindowedCounter {
         let now_epoch = self.cfg.epoch(now_ns);
         self.slots
             .iter()
-            .filter(|s| self.cfg.live(s.epoch.load(Ordering::Relaxed), now_epoch))
-            .map(|s| s.value.load(Ordering::Relaxed))
+            .map(|s| {
+                let (epoch, value) = s.read();
+                if self.cfg.live(epoch, now_epoch) { value } else { 0 }
+            })
             .sum()
     }
 
@@ -138,9 +175,31 @@ impl WindowedCounter {
 /// One ring slot of a [`WindowedHistogram`].
 #[derive(Debug)]
 struct HistSlot {
+    /// Seqlock tag: `epoch << 1`, low bit = [`IN_RESET`].
     epoch: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
+}
+
+impl HistSlot {
+    /// Seqlock read into `buckets`, returning the consistent
+    /// `(epoch, sum)` the buckets were captured under.
+    fn read(&self, buckets: &mut [u64; BUCKETS]) -> (u64, u64) {
+        loop {
+            let e1 = self.epoch.load(Ordering::Acquire);
+            if e1 & IN_RESET == 0 {
+                for (dst, b) in buckets.iter_mut().zip(&self.buckets) {
+                    *dst = b.load(Ordering::Relaxed);
+                }
+                let sum = self.sum.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if self.epoch.load(Ordering::Relaxed) == e1 {
+                    return (e1 >> 1, sum);
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 impl Default for HistSlot {
@@ -180,13 +239,16 @@ impl WindowedHistogram {
     #[inline]
     pub fn record_at(&self, now_ns: u64, v: u64) {
         let epoch = self.cfg.epoch(now_ns);
+        let tag = epoch << 1;
         let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
-        if slot.epoch.load(Ordering::Relaxed) != epoch {
+        if slot.epoch.load(Ordering::Relaxed) != tag {
+            slot.epoch.store(tag | IN_RESET, Ordering::Relaxed);
+            fence(Ordering::Release);
             for b in &slot.buckets {
                 b.store(0, Ordering::Relaxed);
             }
             slot.sum.store(0, Ordering::Relaxed);
-            slot.epoch.store(epoch, Ordering::Relaxed);
+            slot.epoch.store(tag, Ordering::Release);
         }
         slot.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         slot.sum.fetch_add(v, Ordering::Relaxed);
@@ -200,14 +262,16 @@ impl WindowedHistogram {
         let now_epoch = self.cfg.epoch(now_ns);
         let mut buckets = [0u64; BUCKETS];
         let mut sum = 0u64;
+        let mut captured = [0u64; BUCKETS];
         for slot in &*self.slots {
-            if !self.cfg.live(slot.epoch.load(Ordering::Relaxed), now_epoch) {
+            let (slot_epoch, slot_sum) = slot.read(&mut captured);
+            if !self.cfg.live(slot_epoch, now_epoch) {
                 continue;
             }
-            for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
-                *acc += b.load(Ordering::Relaxed);
+            for (acc, b) in buckets.iter_mut().zip(&captured) {
+                *acc += *b;
             }
-            sum = sum.wrapping_add(slot.sum.load(Ordering::Relaxed));
+            sum = sum.wrapping_add(slot_sum);
         }
         let count = buckets.iter().sum();
         HistogramSnapshot { buckets, count, sum }
@@ -313,5 +377,61 @@ mod tests {
     #[should_panic(expected = "at least 2 slots")]
     fn rejects_degenerate_window() {
         let _ = WindowConfig::new(1, MS);
+    }
+
+    /// Seqlock soundness under a real race: a writer storms through
+    /// epochs (forcing a lazy reset on nearly every slot touch, each
+    /// with many observations to zero) while readers continuously merge
+    /// snapshots. Every observation has the same value `V`, so any
+    /// consistent snapshot satisfies `sum ≈ count × V` up to a few
+    /// in-flight observations — while a torn reset (buckets zeroed,
+    /// stale sum, or vice versa) would skew the identity by a whole
+    /// slot's worth of observations.
+    #[test]
+    fn concurrent_readers_never_observe_a_partially_reset_slot() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        const V: u64 = 1000;
+        const PER_EPOCH: u64 = 64;
+        const EPOCHS: u64 = 4000;
+
+        let h = WindowedHistogram::new(cfg());
+        let now = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut worst = 0u64;
+                        while !done.load(Ordering::Acquire) {
+                            let s = h.merged_at(now.load(Ordering::Relaxed));
+                            let skew = s.sum.abs_diff(s.count * V);
+                            worst = worst.max(skew);
+                        }
+                        worst
+                    })
+                })
+                .collect();
+            for e in 0..EPOCHS {
+                let t = e * 10 * MS;
+                now.store(t, Ordering::Relaxed);
+                for _ in 0..PER_EPOCH {
+                    h.record_at(t, V);
+                }
+            }
+            done.store(true, Ordering::Release);
+            for r in readers {
+                // a reader that straddles single in-flight observations
+                // can be off by at most one observation per slot; a torn
+                // reset would show up as ~PER_EPOCH × V
+                let worst = r.join().expect("reader panicked");
+                let slots = cfg().slots as u64;
+                assert!(
+                    worst <= slots * V,
+                    "reader saw a torn slot: worst sum/count skew {worst} (> {} allowed)",
+                    slots * V
+                );
+            }
+        });
     }
 }

@@ -27,7 +27,7 @@ use std::path::PathBuf;
 
 use hmd_util::json::Json;
 
-use crate::metrics::{bucket_bounds, HistogramSnapshot};
+use crate::metrics::{bucket_bounds, HistogramSnapshot, BUCKETS};
 use crate::span::SpanRecord;
 use crate::{events, metrics, span};
 
@@ -186,6 +186,36 @@ pub fn prometheus_text() -> String {
 /// windowed views that render snapshots of their own.
 #[must_use]
 pub fn prometheus_histogram(n: &str, s: &HistogramSnapshot) -> String {
+    prometheus_histogram_with_exemplars(n, s, &[None; BUCKETS])
+}
+
+/// One exemplar per histogram bucket: the most recent observation that
+/// landed in that bucket, carrying enough identity (global sample
+/// index, shard, model generation) to find the matching flight-recorder
+/// window. Rendered as an OpenMetrics `# {…}` suffix on the bucket's
+/// exposition line by [`prometheus_histogram_with_exemplars`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Global sample index of the window that produced the observation.
+    pub sample: u64,
+    /// Shard that served the window.
+    pub shard: usize,
+    /// Model generation the window was classified under.
+    pub generation: u64,
+    /// The observed value itself, in the histogram's unit.
+    pub value: u64,
+}
+
+/// [`prometheus_histogram`] with OpenMetrics exemplar annotations: each
+/// non-empty bucket with a recorded exemplar gets a
+/// ` # {sample="…",shard="…",generation="…"} <value>` suffix linking
+/// the bucket to the last window that landed in it.
+#[must_use]
+pub fn prometheus_histogram_with_exemplars(
+    n: &str,
+    s: &HistogramSnapshot,
+    exemplars: &[Option<Exemplar>; BUCKETS],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "# TYPE {n} histogram");
@@ -196,7 +226,15 @@ pub fn prometheus_histogram(n: &str, s: &HistogramSnapshot) -> String {
         }
         cum += count;
         let (_, hi) = bucket_bounds(b);
-        let _ = writeln!(out, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+        let _ = write!(out, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+        if let Some(e) = exemplars[b] {
+            let _ = write!(
+                out,
+                " # {{sample=\"{}\",shard=\"{}\",generation=\"{}\"}} {}",
+                e.sample, e.shard, e.generation, e.value
+            );
+        }
+        out.push('\n');
     }
     let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", s.count);
     let _ = writeln!(out, "{n}_sum {}", s.sum);
@@ -371,6 +409,27 @@ mod tests {
         assert!(text.contains("t_hist_count 4"), "{text}");
         assert!(text.contains("t_hist_p50 "), "{text}");
         assert!(text.contains("t_hist_p99 "), "{text}");
+    }
+
+    #[test]
+    fn exemplar_annotations_attach_to_their_bucket_lines() {
+        let h = Histogram::standalone();
+        for v in [1u64, 2, 2, 700] {
+            h.record(v);
+        }
+        let mut ex = [None; BUCKETS];
+        ex[crate::metrics::bucket_index(700)] =
+            Some(Exemplar { sample: 41, shard: 2, generation: 1, value: 700 });
+        let text = prometheus_histogram_with_exemplars("t_ex", &h.merged(), &ex);
+        assert!(
+            text.contains(
+                "t_ex_bucket{le=\"1024\"} 4 # {sample=\"41\",shard=\"2\",generation=\"1\"} 700"
+            ),
+            "{text}"
+        );
+        // buckets without exemplars stay bare
+        assert!(text.contains("t_ex_bucket{le=\"2\"} 1\n"), "{text}");
+        assert!(text.contains("t_ex_bucket{le=\"+Inf\"} 4\n"), "{text}");
     }
 
     #[test]

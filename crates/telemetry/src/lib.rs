@@ -54,8 +54,8 @@ mod events;
 
 pub use events::{event, EventRecord};
 pub use export::{
-    collapsed_stacks, maybe_export, prometheus_histogram, prometheus_name, prometheus_text,
-    render_tree, snapshot_json,
+    collapsed_stacks, maybe_export, prometheus_histogram, prometheus_histogram_with_exemplars,
+    prometheus_name, prometheus_text, render_tree, snapshot_json, Exemplar,
 };
 pub use span::{span, SpanGuard, SpanRecord};
 

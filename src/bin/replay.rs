@@ -30,8 +30,9 @@
 use std::sync::Arc;
 
 use hmd::core::{Framework, ServingArtifacts, Verdict};
-use hmd::recorder::{verdict_digest, verdict_name, IncidentBundle};
+use hmd::recorder::{verdict_digest, verdict_name, IncidentBundle, WindowTrace};
 use hmd::serving::FleetSession;
+use hmd_util::json::Json;
 
 fn usage(problem: &str) -> ! {
     eprintln!("replay: {problem}");
@@ -93,6 +94,23 @@ fn main() {
     }
     if bundle.windows.is_empty() {
         fail("bundle holds no windows");
+    }
+
+    // v2 bundles embed the promoted flagged stage traces; assert they
+    // survive a serialize → parse round trip byte-for-byte and that
+    // every cumulative stage array is monotone (v1 bundles carry none)
+    for t in &bundle.traces {
+        if t.stage_ns.windows(2).any(|w| w[1] < w[0]) {
+            fail(&format!("trace at sample {} has non-monotone stage ends", t.sample));
+        }
+        let text = t.to_json().to_string();
+        let back = WindowTrace::from_json(
+            &Json::parse(&text).unwrap_or_else(|e| fail(&format!("trace re-parse failed: {e}"))),
+        )
+        .unwrap_or_else(|e| fail(&format!("trace round-trip failed: {e}")));
+        if back != *t {
+            fail(&format!("trace at sample {} did not round-trip", t.sample));
+        }
     }
 
     // rebuild the serving universe at the recorded seed. Generation 0
@@ -238,5 +256,6 @@ fn main() {
         );
         std::process::exit(1);
     }
+    println!("REPLAY_TRACES {} embedded stage trace(s) round-tripped", bundle.traces.len());
     println!("REPLAY_OK {} windows digest {digest:016x}", replayed.len());
 }

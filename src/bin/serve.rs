@@ -2,7 +2,8 @@
 //!
 //! Trains the full pipeline on the simulated corpus, then streams a
 //! seeded benign/malware/adversarial traffic mix through the deployed
-//! detector while exposing `/metrics`, `/healthz` and `/snapshot.json`
+//! detector while exposing `/metrics`, `/healthz`, `/snapshot.json`,
+//! `/history.json`, `/traces.json` and the self-contained `/dashboard`
 //! over HTTP. After the sample budget is spent the process lingers,
 //! still answering scrapes, until `/quit` is hit or the linger timeout
 //! expires.

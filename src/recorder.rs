@@ -32,8 +32,14 @@ use hmd_util::json::{field, Json, JsonError};
 
 use crate::serving::{Burst, ServingConfig};
 
-/// Schema tag written into every bundle; replay refuses anything else.
-pub const BUNDLE_SCHEMA: &str = "hmd-incident-v1";
+/// Schema tag written into every bundle. v2 adds the `traces` array
+/// (promoted per-window stage traces); [`IncidentBundle::from_json`]
+/// still accepts v1 documents, which simply carry no traces.
+pub const BUNDLE_SCHEMA: &str = "hmd-incident-v2";
+
+/// The previous bundle schema, still accepted on parse for replay
+/// compatibility with bundles captured before stage tracing existed.
+pub const BUNDLE_SCHEMA_V1: &str = "hmd-incident-v1";
 
 /// FNV-1a offset basis — the seed of every verdict digest chain.
 pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
@@ -94,6 +100,278 @@ fn parse_kind(key: &str) -> Result<ConstraintKind, JsonError> {
         .into_iter()
         .find(|k| k.key() == key)
         .ok_or_else(|| JsonError::new(format!("unknown constraint kind {key:?}")))
+}
+
+/// The per-window pipeline stages a trace stamps, in hot-loop order.
+/// [`WindowTrace::stage_ns`] is index-aligned with this list.
+pub const TRACE_STAGES: [&str; 6] = ["draw", "transform", "classify", "critic", "route", "record"];
+
+/// Why a window's trace was promoted out of the per-window slab into
+/// the bounded trace store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceReason {
+    /// The verdict was adversarial — the deterministic promotion class
+    /// (identical across batch sizes, thread counts and shard counts).
+    Flagged,
+    /// The window set a new session latency maximum (wall-clock, so
+    /// promotion membership is informational, never compared for byte
+    /// determinism).
+    LatencyTail,
+}
+
+impl TraceReason {
+    /// The wire name of the reason.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Flagged => "flagged",
+            Self::LatencyTail => "latency_tail",
+        }
+    }
+
+    fn parse(name: &str) -> Result<Self, JsonError> {
+        match name {
+            "flagged" => Ok(Self::Flagged),
+            "latency_tail" => Ok(Self::LatencyTail),
+            other => Err(JsonError::new(format!("unknown trace reason {other:?}"))),
+        }
+    }
+}
+
+/// One promoted per-window stage trace: cumulative stage-end offsets
+/// (ns since the window's draw began) for every pipeline stage in
+/// [`TRACE_STAGES`] order. Cumulative means the array is monotone
+/// non-decreasing by construction; stage *durations* are adjacent
+/// differences.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowTrace {
+    /// Zero-based shard sample index of the traced window.
+    pub sample: u64,
+    /// Stream time the window was served at.
+    pub t_ns: u64,
+    /// Model generation that served the window.
+    pub generation: u64,
+    /// The verdict the serving loop emitted.
+    pub verdict: Verdict,
+    /// Why the trace was promoted.
+    pub reason: TraceReason,
+    /// Cumulative wall-clock stage-end offsets, [`TRACE_STAGES`] order.
+    pub stage_ns: [u64; 6],
+    /// Total wall-clock window latency (equals the last stage end).
+    pub latency_ns: u64,
+}
+
+impl WindowTrace {
+    /// The all-zero trace used to preallocate ring slots.
+    pub const ZERO: Self = Self {
+        sample: 0,
+        t_ns: 0,
+        generation: 0,
+        verdict: Verdict::Benign,
+        reason: TraceReason::Flagged,
+        stage_ns: [0; 6],
+        latency_ns: 0,
+    };
+
+    /// Serializes the trace. The stage array lives under a
+    /// `stage_latency_ns` key on purpose: byte-determinism comparisons
+    /// scrub every key containing `latency`, so wall-clock stage
+    /// timings never poison bundle digests.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sample".to_owned(), Json::UInt(self.sample)),
+            ("t_ns".to_owned(), Json::UInt(self.t_ns)),
+            ("generation".to_owned(), Json::UInt(self.generation)),
+            ("verdict".to_owned(), Json::Str(verdict_name(self.verdict).to_owned())),
+            ("reason".to_owned(), Json::Str(self.reason.name().to_owned())),
+            (
+                "stage_latency_ns".to_owned(),
+                Json::Arr(self.stage_ns.iter().map(|&n| Json::UInt(n)).collect()),
+            ),
+            ("latency_ns".to_owned(), Json::UInt(self.latency_ns)),
+        ])
+    }
+
+    /// Parses a trace from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on any malformed or missing field or a
+    /// stage array of the wrong length.
+    pub fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let stages = j
+            .get("stage_latency_ns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("missing array \"stage_latency_ns\""))?;
+        if stages.len() != TRACE_STAGES.len() {
+            return Err(JsonError::new(format!(
+                "stage_latency_ns has {} entries (expected {})",
+                stages.len(),
+                TRACE_STAGES.len()
+            )));
+        }
+        let mut stage_ns = [0_u64; 6];
+        for (slot, v) in stage_ns.iter_mut().zip(stages) {
+            *slot = v
+                .as_f64()
+                .ok_or_else(|| JsonError::new("non-number in \"stage_latency_ns\""))?
+                as u64;
+        }
+        Ok(Self {
+            sample: field(j, "sample")?,
+            t_ns: field(j, "t_ns")?,
+            generation: field(j, "generation")?,
+            verdict: parse_verdict(&field::<String>(j, "verdict")?)?,
+            reason: TraceReason::parse(&field::<String>(j, "reason")?)?,
+            stage_ns,
+            latency_ns: field(j, "latency_ns")?,
+        })
+    }
+}
+
+/// A preallocated ring of promoted traces (oldest evicted first).
+#[derive(Debug)]
+struct TraceRing {
+    cap: usize,
+    head: usize,
+    len: usize,
+    slots: Vec<WindowTrace>,
+}
+
+impl TraceRing {
+    fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace ring capacity must be positive");
+        Self { cap, head: 0, len: 0, slots: vec![WindowTrace::ZERO; cap] }
+    }
+
+    fn push(&mut self, trace: WindowTrace) {
+        self.slots[self.head] = trace;
+        self.head = (self.head + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+    }
+
+    fn snapshot(&self) -> Vec<WindowTrace> {
+        (0..self.len)
+            .map(|i| self.slots[(self.head + self.cap - self.len + i) % self.cap])
+            .collect()
+    }
+}
+
+/// The per-shard store of promoted window traces: two independent
+/// preallocated rings, one for deterministically flagged windows (the
+/// set replayed and digest-compared) and one for wall-clock latency
+/// tails — so a burst of slow-but-benign windows can never evict the
+/// forensic flagged history.
+#[derive(Debug)]
+pub struct TraceStore {
+    flagged: TraceRing,
+    tail: TraceRing,
+}
+
+/// Default flagged-ring capacity.
+pub const TRACE_FLAGGED_CAP: usize = 32;
+/// Default latency-tail ring capacity.
+pub const TRACE_TAIL_CAP: usize = 8;
+
+impl TraceStore {
+    /// Builds a store with the default ring capacities.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_caps(TRACE_FLAGGED_CAP, TRACE_TAIL_CAP)
+    }
+
+    /// Builds a store with explicit ring capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    #[must_use]
+    pub fn with_caps(flagged_cap: usize, tail_cap: usize) -> Self {
+        Self { flagged: TraceRing::new(flagged_cap), tail: TraceRing::new(tail_cap) }
+    }
+
+    /// Promotes one trace into the ring its reason selects. In-place
+    /// `Copy` write — allocation-free after construction.
+    pub fn push(&mut self, trace: WindowTrace) {
+        match trace.reason {
+            TraceReason::Flagged => self.flagged.push(trace),
+            TraceReason::LatencyTail => self.tail.push(trace),
+        }
+    }
+
+    /// Promoted flagged traces, oldest first. Allocates — snapshot
+    /// path only, never per window.
+    #[must_use]
+    pub fn flagged(&self) -> Vec<WindowTrace> {
+        self.flagged.snapshot()
+    }
+
+    /// Promoted latency-tail traces, oldest first.
+    #[must_use]
+    pub fn tail(&self) -> Vec<WindowTrace> {
+        self.tail.snapshot()
+    }
+
+    /// Total traces currently held across both rings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flagged.len + self.tail.len
+    }
+
+    /// Whether nothing has been promoted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Schema tag of the `/traces.json` document.
+pub const TRACES_SCHEMA: &str = "hmd-traces-v1";
+
+/// One shard's promoted traces, as served by `/traces.json`.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Deterministically flagged traces, oldest first.
+    pub flagged: Vec<WindowTrace>,
+    /// Wall-clock latency-tail traces, oldest first.
+    pub tail: Vec<WindowTrace>,
+}
+
+/// Renders the `/traces.json` document for a fleet of shards.
+#[must_use]
+pub fn traces_json(shards: &[TraceSnapshot]) -> Json {
+    let trace_arr =
+        |ts: &[WindowTrace]| Json::Arr(ts.iter().map(WindowTrace::to_json).collect());
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(TRACES_SCHEMA.to_owned())),
+        (
+            "stages".to_owned(),
+            Json::Arr(TRACE_STAGES.iter().map(|&s| Json::Str(s.to_owned())).collect()),
+        ),
+        (
+            "per_shard".to_owned(),
+            Json::Arr(
+                shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        Json::Obj(vec![
+                            ("shard".to_owned(), Json::UInt(i as u64)),
+                            ("flagged".to_owned(), trace_arr(&s.flagged)),
+                            ("latency_tail".to_owned(), trace_arr(&s.tail)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// One served window as the flight recorder captured it: everything
@@ -381,6 +659,11 @@ pub struct IncidentBundle {
     pub shards: usize,
     /// The recorded windows, oldest first.
     pub windows: Vec<IncidentWindow>,
+    /// Promoted flagged stage traces at capture time, oldest first
+    /// (v2; empty when parsed from a v1 document). Only the
+    /// deterministic flagged ring is embedded — latency-tail
+    /// membership is wall-clock and stays endpoint-only.
+    pub traces: Vec<WindowTrace>,
 }
 
 impl IncidentBundle {
@@ -415,6 +698,10 @@ impl IncidentBundle {
                 "windows".to_owned(),
                 Json::Arr(self.windows.iter().map(IncidentWindow::to_json).collect()),
             ),
+            (
+                "traces".to_owned(),
+                Json::Arr(self.traces.iter().map(WindowTrace::to_json).collect()),
+            ),
         ])
     }
 
@@ -426,9 +713,9 @@ impl IncidentBundle {
     /// missing field.
     pub fn from_json(j: &Json) -> Result<Self, JsonError> {
         let schema: String = field(j, "schema")?;
-        if schema != BUNDLE_SCHEMA {
+        if schema != BUNDLE_SCHEMA && schema != BUNDLE_SCHEMA_V1 {
             return Err(JsonError::new(format!(
-                "unsupported bundle schema {schema:?} (expected {BUNDLE_SCHEMA:?})"
+                "unsupported bundle schema {schema:?} (expected {BUNDLE_SCHEMA:?} or {BUNDLE_SCHEMA_V1:?})"
             )));
         }
         let arr = |name: &str| -> Result<&[Json], JsonError> {
@@ -448,6 +735,11 @@ impl IncidentBundle {
             .collect::<Result<_, _>>()?;
         let windows =
             arr("windows")?.iter().map(IncidentWindow::from_json).collect::<Result<_, _>>()?;
+        // v1 documents predate stage tracing and carry no traces key.
+        let traces = match j.get("traces").and_then(Json::as_arr) {
+            Some(ts) => ts.iter().map(WindowTrace::from_json).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         let monitor = IncidentMonitor::from_json(
             j.get("monitor").ok_or_else(|| JsonError::new("missing monitor"))?,
         )?;
@@ -470,6 +762,7 @@ impl IncidentBundle {
             config,
             shards,
             windows,
+            traces,
         })
     }
 
@@ -571,8 +864,10 @@ impl FlightRecorder {
         self.model_scratch = detector.models().iter().map(|m| m.make_scratch(1)).collect();
     }
 
-    /// Records one served window. Allocation-free: scores the row
-    /// through the recorder-owned scratch and writes into the
+    /// Records one served window and returns the adversarial
+    /// predictor's critic score for the row (the value the metrics
+    /// history accumulates as `critic_sum`). Allocation-free: scores
+    /// the row through the recorder-owned scratch and writes into the
     /// preallocated ring.
     ///
     /// # Errors
@@ -589,7 +884,7 @@ impl FlightRecorder {
         row: &[f64],
         verdict: Verdict,
         stamp: WindowStamp,
-    ) -> Result<(), CoreError> {
+    ) -> Result<f64, CoreError> {
         assert_eq!(row.len(), self.width, "row width changed under the recorder");
         let slot = self.head;
         self.rows[slot * self.width..(slot + 1) * self.width].copy_from_slice(row);
@@ -597,8 +892,8 @@ impl FlightRecorder {
             self.probs[slot * self.n_models + m] =
                 model.predict_proba_row_with(row, &mut self.model_scratch[m])?;
         }
-        self.adv_scores[slot] =
-            detector.predictor().feedback_reward_with(row, &mut self.critic);
+        let adv_score = detector.predictor().feedback_reward_with(row, &mut self.critic);
+        self.adv_scores[slot] = adv_score;
         self.selected[slot] = detector.controller().selected_model();
         self.verdicts[slot] = verdict;
         self.samples[slot] = stamp.sample;
@@ -607,7 +902,7 @@ impl FlightRecorder {
         self.model_latency[slot] = stamp.model_latency_ns;
         self.head = (self.head + 1) % self.cap;
         self.len = (self.len + 1).min(self.cap);
-        Ok(())
+        Ok(adv_score)
     }
 
     /// Windows currently held (≤ capacity).
@@ -737,5 +1032,58 @@ mod tests {
     fn bundle_parse_rejects_wrong_schema() {
         let err = IncidentBundle::parse("{\"schema\":\"hmd-incident-v0\"}").unwrap_err();
         assert!(err.to_string().contains("unsupported bundle schema"));
+    }
+
+    fn trace(sample: u64, reason: TraceReason) -> WindowTrace {
+        WindowTrace {
+            sample,
+            t_ns: sample * 10_000_000,
+            generation: 1,
+            verdict: Verdict::AdversarialAttack,
+            reason,
+            stage_ns: [10, 25, 60, 80, 85, 95],
+            latency_ns: 95,
+        }
+    }
+
+    #[test]
+    fn window_trace_round_trips_through_json() {
+        let t = trace(7, TraceReason::LatencyTail);
+        let text = t.to_json().to_string();
+        let back = WindowTrace::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, t);
+        // the stage array key opts into the latency-scrub convention
+        assert!(text.contains("\"stage_latency_ns\""));
+    }
+
+    #[test]
+    fn trace_store_keeps_flagged_and_tail_rings_independent() {
+        let mut store = TraceStore::with_caps(3, 2);
+        for s in 0..5 {
+            store.push(trace(s, TraceReason::Flagged));
+        }
+        // tail promotions can never evict flagged history
+        for s in 100..110 {
+            store.push(trace(s, TraceReason::LatencyTail));
+        }
+        let flagged = store.flagged();
+        let tail = store.tail();
+        assert_eq!(flagged.iter().map(|t| t.sample).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(tail.iter().map(|t| t.sample).collect::<Vec<_>>(), vec![108, 109]);
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn traces_json_names_the_stage_order() {
+        let snap = TraceSnapshot { flagged: vec![trace(1, TraceReason::Flagged)], tail: vec![] };
+        let doc = traces_json(&[snap]);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(TRACES_SCHEMA));
+        let stages = doc.get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(stages.len(), TRACE_STAGES.len());
+        assert_eq!(stages[0].as_str(), Some("draw"));
+        assert_eq!(stages[5].as_str(), Some("record"));
+        let shard0 = doc.get("per_shard").and_then(Json::as_arr).unwrap()[0].clone();
+        assert_eq!(shard0.get("flagged").and_then(Json::as_arr).unwrap().len(), 1);
+        assert_eq!(shard0.get("latency_tail").and_then(Json::as_arr).unwrap().len(), 0);
     }
 }

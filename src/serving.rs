@@ -21,7 +21,8 @@
 //! seeded shards share one trained [`ServingArtifacts`] (and its
 //! quarantine ring) and run on one OS thread each, merged behind a
 //! single [`HttpServer`] answering `/metrics`, `/healthz`,
-//! `/snapshot.json` and `/quit` from a worker pool with keep-alive.
+//! `/snapshot.json`, `/history.json`, `/traces.json`, `/dashboard` and
+//! `/quit` from a worker pool with keep-alive.
 //!
 //! # Model lifecycle
 //!
@@ -75,10 +76,12 @@ use hmd_core::{
 };
 use hmd_integrity::{MetricMonitor, ModelRegistry};
 use hmd_ml::{classical_models, BinaryMetrics, Classifier, ConfusionMatrix};
+use hmd_obs::history::FINE_EVERY;
 use hmd_obs::{
-    append_incident_series, append_promotion_series, default_rules, render_metrics_fleet,
-    AlertEngine, AlertTransition, HttpServer, MonitorSnapshot, Response, SampleRecord,
-    ServingMonitor, SloKind, SloRule, WindowConfig,
+    append_incident_series, append_promotion_series, default_rules, history_json,
+    render_metrics_fleet, AlertEngine, AlertTransition, HistoryAccumulator, HttpServer,
+    MetricsHistory, MonitorSnapshot, Response, SampleRecord, ServingMonitor, SloKind, SloRule,
+    TierSnapshot, WindowConfig, DASHBOARD_HTML,
 };
 use hmd_tabular::Dataset;
 use hmd_rl::ConstraintKind;
@@ -88,7 +91,8 @@ use hmd_util::json::Json;
 use hmd_util::rng::prelude::*;
 
 use crate::recorder::{
-    self, FlightRecorder, IncidentBundle, IncidentMonitor, IncidentTrigger,
+    self, FlightRecorder, IncidentBundle, IncidentMonitor, IncidentTrigger, TraceReason,
+    TraceSnapshot, TraceStore, WindowTrace,
 };
 
 /// A phase of elevated adversarial traffic.
@@ -323,6 +327,12 @@ struct Shared {
     /// Clean calibration rows the adversarial predictor flagged on this
     /// shard's calibration pass (quarantined, then discarded).
     calibration_quarantined: AtomicU64,
+    /// Multi-resolution metrics history: one point per [`FINE_EVERY`]
+    /// windows, folding fine → mid → coarse. Served at `/history.json`.
+    history: MetricsHistory,
+    /// Promoted per-window stage traces (flagged + latency tail),
+    /// served at `/traces.json` and embedded into incident bundles.
+    traces: Mutex<TraceStore>,
 }
 
 impl Shared {
@@ -334,6 +344,15 @@ impl Shared {
 
     fn incidents(&self) -> MutexGuard<'_, Vec<Arc<IncidentBundle>>> {
         self.incidents.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn traces(&self) -> MutexGuard<'_, TraceStore> {
+        self.traces.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn trace_snapshot(&self) -> TraceSnapshot {
+        let store = self.traces();
+        TraceSnapshot { flagged: store.flagged(), tail: store.tail() }
     }
 
     fn push_incident(&self, bundle: IncidentBundle) {
@@ -767,6 +786,17 @@ pub struct ServingOutcome {
     pub generation: u64,
 }
 
+/// Wall-clock timings of one served window, as handed to
+/// `record_verdict`: end-to-end and model-only latency plus the
+/// (batch-amortized) durations of the draw and transform stages.
+#[derive(Clone, Copy, Debug)]
+struct StageTiming {
+    latency_ns: u64,
+    model_latency_ns: u64,
+    draw_ns: u64,
+    transform_ns: u64,
+}
+
 /// A streaming detection session — one shard of the serving loop. See
 /// the module docs.
 #[derive(Debug)]
@@ -827,6 +857,16 @@ pub struct ServingSession {
     base_calibration_samples: usize,
     /// Incidents captured by this shard so far (bundle sequence).
     incident_seq: u64,
+    /// Session-local history accumulator, flushed into the shared
+    /// [`MetricsHistory`] every [`FINE_EVERY`] windows.
+    hist_acc: HistoryAccumulator,
+    /// Running per-window latency maximum — a window exceeding it is
+    /// promoted into the latency-tail trace ring (wall-clock).
+    latency_tail_max: u64,
+    /// Wall-clock nanoseconds the current draw spent in the scaler
+    /// transform, accumulated by [`draw_sample`](Self::draw_sample) so
+    /// the stage trace can split draw from transform.
+    transform_ns: u64,
 }
 
 impl ServingSession {
@@ -917,7 +957,7 @@ impl ServingSession {
             h.register_shard();
         }
         let shared = Arc::new(Shared {
-            monitor: ServingMonitor::new(cfg.window),
+            monitor: ServingMonitor::with_shard(cfg.window, shard),
             engine: Mutex::new(AlertEngine::new(cfg.rules.clone())),
             t_ns: AtomicU64::new(0),
             quit: AtomicBool::new(false),
@@ -926,6 +966,8 @@ impl ServingSession {
             calibration_quarantined: AtomicU64::new(
                 calibration.map_or(0, |c| c.quarantined as u64),
             ),
+            history: MetricsHistory::new(),
+            traces: Mutex::new(TraceStore::new()),
         });
         let rng = StdRng::seed_from_u64(cfg.stream_seed ^ 0x414456); // "ADV"
         let arena = artifacts.detector.warmup(width, cfg.batch.max(1));
@@ -961,6 +1003,9 @@ impl ServingSession {
             n_shards,
             base_calibration_samples,
             incident_seq: 0,
+            hist_acc: HistoryAccumulator::new(),
+            latency_tail_max: 0,
+            transform_ns: 0,
         };
         for k in 0..session.cfg.replay {
             let truth = session.draw_sample(k)?;
@@ -972,7 +1017,8 @@ impl ServingSession {
 
     /// Starts the HTTP endpoint (use port 0 for an ephemeral port) and
     /// returns the bound address. Routes: `/metrics`, `/healthz`,
-    /// `/snapshot.json`, `/quit`.
+    /// `/snapshot.json`, `/history.json`, `/traces.json`, `/dashboard`,
+    /// `/incidents`, `/quit`.
     ///
     /// # Errors
     ///
@@ -1055,7 +1101,9 @@ impl ServingSession {
         for (dst, &src) in self.scratch.iter_mut().zip(&self.feature_idx) {
             *dst = w.values[src];
         }
+        let t0 = clock::now_ns();
         self.artifacts.bundle.scaler.transform_row(&mut self.scratch)?;
+        self.transform_ns += clock::now_ns().saturating_sub(t0);
         Ok(w.is_malware())
     }
 
@@ -1074,40 +1122,91 @@ impl ServingSession {
     }
 
     /// The bookkeeping half of one sample: digest, counters, clock,
-    /// flight-recorder write and (when enabled) monitoring — identical
-    /// between the scalar and batched paths. `latency_ns` is end-to-end
-    /// (traffic draw included), `model_latency_ns` covers
-    /// classification only — the quantity the latency SLO gates on.
-    /// `row` is the engineered, scaled input the verdict was served
-    /// for; the recorder re-scores it through its own preallocated
-    /// scratch, so the write is allocation-free.
+    /// flight-recorder write and (when enabled) monitoring, history and
+    /// stage-trace promotion — identical between the scalar and batched
+    /// paths. `row` is the engineered, scaled input the verdict was
+    /// served for; the recorder re-scores it through its own
+    /// preallocated scratch, so the write is allocation-free.
+    ///
+    /// Stage order matches [`recorder::TRACE_STAGES`]: draw and
+    /// transform happened in the caller (their timings arrive in
+    /// `timing`), classify is behind `timing.model_latency_ns`, and
+    /// this function times critic (the flight recorder's re-score),
+    /// route (digest + counters + clock publication) and record
+    /// (monitor + history) itself.
     fn record_verdict(
         &mut self,
         row: &[f64],
         truth_attack: bool,
         verdict: Verdict,
-        latency_ns: u64,
-        model_latency_ns: u64,
+        timing: StageTiming,
     ) -> Result<(), CoreError> {
-        self.digest = recorder::digest_step(self.digest, verdict);
-        self.verdicts[recorder::verdict_slot(verdict) as usize] += 1;
         let sample = self.processed as u64;
         self.processed += 1;
         let now_ns = self.processed as u64 * self.cfg.tick_ns;
-        self.shared.t_ns.store(now_ns, Ordering::Relaxed);
-        if let Some(ring) = &mut self.recorder_ring {
+        let t_enter = clock::now_ns();
+        // critic stage: the flight recorder re-scores the row through
+        // the adversarial predictor (and the whole zoo)
+        let critic_score = if let Some(ring) = &mut self.recorder_ring {
             let stamp = recorder::WindowStamp {
                 sample,
                 t_ns: now_ns,
                 generation: self.generation as u64,
-                model_latency_ns,
+                model_latency_ns: timing.model_latency_ns,
             };
-            ring.record(&self.artifacts.detector, row, verdict, stamp)?;
-        }
+            ring.record(&self.artifacts.detector, row, verdict, stamp)?
+        } else {
+            0.0
+        };
+        let t_critic = clock::now_ns();
+        // route stage: digest, counters, clock publication
+        self.digest = recorder::digest_step(self.digest, verdict);
+        self.verdicts[recorder::verdict_slot(verdict) as usize] += 1;
+        self.shared.t_ns.store(now_ns, Ordering::Relaxed);
+        let t_route = clock::now_ns();
         if self.cfg.monitoring {
-            self.observe(now_ns, truth_attack, verdict, latency_ns, model_latency_ns);
+            // record stage: monitor windows, alerts, integrity, history
+            self.observe(now_ns, sample, truth_attack, verdict, timing, critic_score);
+            let t_record = clock::now_ns();
+            // cumulative stage ends — monotone by construction
+            let mut stage_ns = [0_u64; 6];
+            stage_ns[0] = timing.draw_ns;
+            stage_ns[1] = stage_ns[0].saturating_add(timing.transform_ns);
+            stage_ns[2] = stage_ns[1].saturating_add(timing.model_latency_ns);
+            stage_ns[3] = stage_ns[2].saturating_add(t_critic.saturating_sub(t_enter));
+            stage_ns[4] = stage_ns[3].saturating_add(t_route.saturating_sub(t_critic));
+            stage_ns[5] = stage_ns[4].saturating_add(t_record.saturating_sub(t_route));
+            self.promote_trace(sample, now_ns, verdict, stage_ns);
         }
         Ok(())
+    }
+
+    /// Tail-samples one window's stage trace: flagged (adversarial)
+    /// verdicts always promote — the deterministic forensic class — and
+    /// a window that sets a new session latency maximum promotes into
+    /// the separate latency-tail ring. Everything else is dropped; the
+    /// promoted write is a `Copy` into a preallocated ring slot.
+    fn promote_trace(&mut self, sample: u64, t_ns: u64, verdict: Verdict, stage_ns: [u64; 6]) {
+        let total = stage_ns[5];
+        let reason = if verdict == Verdict::AdversarialAttack {
+            Some(TraceReason::Flagged)
+        } else if total > self.latency_tail_max {
+            Some(TraceReason::LatencyTail)
+        } else {
+            None
+        };
+        self.latency_tail_max = self.latency_tail_max.max(total);
+        if let Some(reason) = reason {
+            self.shared.traces().push(WindowTrace {
+                sample,
+                t_ns,
+                generation: self.generation as u64,
+                verdict,
+                reason,
+                stage_ns,
+                latency_ns: total,
+            });
+        }
     }
 
     /// Classifies one sample; returns `false` once the budget is spent.
@@ -1121,6 +1220,7 @@ impl ServingSession {
         }
         self.sync_generation()?;
         let t_start = clock::now_ns();
+        self.transform_ns = 0;
         let truth_attack = self.next_sample(self.processed)?;
         let t_model = clock::now_ns();
         let verdict = if self.cfg.arena {
@@ -1129,17 +1229,19 @@ impl ServingSession {
             self.artifacts.detector.classify(&self.scratch)?
         };
         let t_end = clock::now_ns();
+        let transform_ns = self.transform_ns;
+        let draw_ns = t_model.saturating_sub(t_start).saturating_sub(transform_ns);
         // lend the scratch row out without allocating (mem::take leaves
         // an empty Vec behind); record_verdict needs `&mut self` plus
         // the row
         let row = std::mem::take(&mut self.scratch);
-        let result = self.record_verdict(
-            &row,
-            truth_attack,
-            verdict,
-            t_end.saturating_sub(t_start),
-            t_end.saturating_sub(t_model),
-        );
+        let timing = StageTiming {
+            latency_ns: t_end.saturating_sub(t_start),
+            model_latency_ns: t_end.saturating_sub(t_model),
+            draw_ns,
+            transform_ns,
+        };
+        let result = self.record_verdict(&row, truth_attack, verdict, timing);
         self.scratch = row;
         result?;
         Ok(true)
@@ -1178,6 +1280,7 @@ impl ServingSession {
         }
         let width = self.feature_idx.len();
         let t_start = clock::now_ns();
+        self.transform_ns = 0;
         self.batch_rows.clear();
         self.batch_truth.clear();
         for k in 0..n {
@@ -1186,13 +1289,24 @@ impl ServingSession {
             self.batch_truth.push(truth);
         }
         let t_model = clock::now_ns();
+        // amortized per-sample stage durations: draw splits out the
+        // scaler-transform time draw_sample accumulated
+        let transform_ns = self.transform_ns / n as u64;
+        let draw_ns = t_model
+            .saturating_sub(t_start)
+            .saturating_sub(self.transform_ns)
+            / n as u64;
         if self.cfg.arena {
             self.artifacts.detector.classify_batch_into(&self.batch_rows, width, &mut self.arena)?;
             let t_end = clock::now_ns();
             // amortized per-sample latencies: the histograms stay
             // comparable across batch sizes
-            let latency_ns = t_end.saturating_sub(t_start) / n as u64;
-            let model_latency_ns = t_end.saturating_sub(t_model) / n as u64;
+            let timing = StageTiming {
+                latency_ns: t_end.saturating_sub(t_start) / n as u64,
+                model_latency_ns: t_end.saturating_sub(t_model) / n as u64,
+                draw_ns,
+                transform_ns,
+            };
             // lend the batch buffers out allocation-free (see step())
             let rows = std::mem::take(&mut self.batch_rows);
             let truths = std::mem::take(&mut self.batch_truth);
@@ -1203,8 +1317,7 @@ impl ServingSession {
                     &rows[k * width..(k + 1) * width],
                     truths[k],
                     verdict,
-                    latency_ns,
-                    model_latency_ns,
+                    timing,
                 );
                 if result.is_err() {
                     break;
@@ -1216,8 +1329,12 @@ impl ServingSession {
         } else {
             let verdicts = self.artifacts.detector.classify_batch(&self.batch_rows, width)?;
             let t_end = clock::now_ns();
-            let latency_ns = t_end.saturating_sub(t_start) / n as u64;
-            let model_latency_ns = t_end.saturating_sub(t_model) / n as u64;
+            let timing = StageTiming {
+                latency_ns: t_end.saturating_sub(t_start) / n as u64,
+                model_latency_ns: t_end.saturating_sub(t_model) / n as u64,
+                draw_ns,
+                transform_ns,
+            };
             let rows = std::mem::take(&mut self.batch_rows);
             let truths = std::mem::take(&mut self.batch_truth);
             let mut result = Ok(());
@@ -1226,8 +1343,7 @@ impl ServingSession {
                     &rows[k * width..(k + 1) * width],
                     truth,
                     verdict,
-                    latency_ns,
-                    model_latency_ns,
+                    timing,
                 );
                 if result.is_err() {
                     break;
@@ -1250,21 +1366,34 @@ impl ServingSession {
     fn observe(
         &mut self,
         now_ns: u64,
+        sample: u64,
         truth_attack: bool,
         verdict: Verdict,
-        latency_ns: u64,
-        model_latency_ns: u64,
+        timing: StageTiming,
+        critic_score: f64,
     ) {
-        self.shared.monitor.record_at(
-            now_ns,
-            SampleRecord {
-                truth_attack,
-                verdict_attack: verdict.is_attack(),
-                flagged_adversarial: verdict == Verdict::AdversarialAttack,
-                latency_ns,
-                model_latency_ns,
-            },
-        );
+        let record = SampleRecord {
+            truth_attack,
+            verdict_attack: verdict.is_attack(),
+            flagged_adversarial: verdict == Verdict::AdversarialAttack,
+            latency_ns: timing.latency_ns,
+            model_latency_ns: timing.model_latency_ns,
+            sample,
+            generation: self.generation as u64,
+        };
+        self.shared.monitor.record_at(now_ns, record);
+        self.hist_acc.observe(&record, critic_score);
+        if (self.processed as u64).is_multiple_of(FINE_EVERY) {
+            // flush one fine-tier point; the shared history folds it
+            // toward the mid/coarse tiers in place, allocation-free
+            let point = self.hist_acc.flush(
+                self.processed as u64,
+                now_ns,
+                self.artifacts.detector.quarantined() as u64,
+                self.generation as u64,
+            );
+            self.shared.history.push(point);
+        }
         if self.processed.is_multiple_of(self.cfg.evaluate_every) {
             let snap = self.shared.monitor.snapshot_at(now_ns);
             let edges = self.shared.engine().evaluate(&snap);
@@ -1345,6 +1474,9 @@ impl ServingSession {
             config,
             shards: self.n_shards,
             windows: ring.snapshot_windows(),
+            // only the deterministic flagged ring rides along; the
+            // latency tail is wall-clock and stays endpoint-only
+            traces: self.shared.traces().flagged(),
         };
         self.shared.push_incident(bundle);
     }
@@ -1413,6 +1545,18 @@ impl ServingSession {
     #[must_use]
     pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
         self.recorder_ring.as_ref()
+    }
+
+    /// This shard's multi-resolution metrics history tiers.
+    #[must_use]
+    pub fn history_snapshot(&self) -> TierSnapshot {
+        self.shared.history.snapshot()
+    }
+
+    /// This shard's promoted stage traces (flagged + latency tail).
+    #[must_use]
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.shared.trace_snapshot()
     }
 
     /// Whether a client requested shutdown via `/quit`.
@@ -1568,7 +1712,9 @@ impl FleetSession {
     }
 
     /// Starts the merged HTTP endpoint with `workers` pool threads.
-    /// Routes: `/metrics`, `/healthz`, `/snapshot.json`, `/quit`.
+    /// Routes: `/metrics`, `/healthz`, `/snapshot.json`,
+    /// `/history.json`, `/traces.json`, `/dashboard`, `/incidents`,
+    /// `/quit`.
     ///
     /// # Errors
     ///
@@ -1642,6 +1788,24 @@ impl FleetSession {
         let shared: Vec<Arc<Shared>> =
             self.shards.iter().map(|s| Arc::clone(&s.shared)).collect();
         MonitorSnapshot::merged(&shard_snapshots(&shared))
+    }
+
+    /// The `/history.json` document: merged + per-shard history tiers.
+    /// Byte-identical to what the HTTP endpoint serves.
+    #[must_use]
+    pub fn history_json(&self) -> Json {
+        let tiers: Vec<TierSnapshot> =
+            self.shards.iter().map(ServingSession::history_snapshot).collect();
+        history_json(&tiers)
+    }
+
+    /// The `/traces.json` document: per-shard promoted stage traces.
+    /// Byte-identical to what the HTTP endpoint serves.
+    #[must_use]
+    pub fn traces_json(&self) -> Json {
+        let snaps: Vec<TraceSnapshot> =
+            self.shards.iter().map(ServingSession::trace_snapshot).collect();
+        recorder::traces_json(&snaps)
     }
 
     /// Whether any client requested shutdown via `/quit`.
@@ -1818,6 +1982,17 @@ fn handle(state: &EndpointState, path: &str) -> Response {
             }
         }
         "/snapshot.json" => Response::json(live_snapshot_json(state).to_string()),
+        "/history.json" => {
+            let tiers: Vec<TierSnapshot> =
+                shards.iter().map(|s| s.history.snapshot()).collect();
+            Response::json(history_json(&tiers).to_string())
+        }
+        "/traces.json" => {
+            let snaps: Vec<TraceSnapshot> =
+                shards.iter().map(|s| s.trace_snapshot()).collect();
+            Response::json(recorder::traces_json(&snaps).to_string())
+        }
+        "/dashboard" => Response::html(DASHBOARD_HTML.to_owned()),
         "/incidents" => Response::json(incident_index_json(state).to_string()),
         "/quit" => {
             for s in shards {

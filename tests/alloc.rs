@@ -2,11 +2,13 @@
 //! counting global allocator: once a session is warmed up (arena built,
 //! windows settled, alert engine past its initial transitions, replay
 //! ring standing in for live traffic synthesis), classifying a window —
-//! monitoring, alert evaluation, integrity checks and the flight
-//! recorder (on at its default 64-window depth, re-capturing every
-//! window's row, probabilities and critic score into its preallocated
-//! ring) included — must perform **zero** heap allocations, on both the
-//! scalar and the batched path.
+//! monitoring, alert evaluation, integrity checks, the flight recorder
+//! (on at its default 64-window depth, re-capturing every window's row,
+//! probabilities and critic score into its preallocated ring), the
+//! multi-resolution metrics history (flushing a point every
+//! `FINE_EVERY` windows) and the tail-sampling trace promoter included
+//! — must perform **zero** heap allocations, on both the scalar and the
+//! batched path.
 //!
 //! The counting allocator is process-global, so this integration test
 //! lives in its own binary: no sibling test's allocations can bleed
@@ -71,6 +73,18 @@ fn serving_steady_state_allocates_nothing() {
         // window: recording is part of the zero-allocation contract
         let ring = session.flight_recorder().expect("recorder defaults on");
         assert_eq!(ring.len(), ring.capacity(), "ring must be full after warmup");
+        // the continuous-observability surface was live the whole time:
+        // history points flushed every FINE_EVERY windows and the trace
+        // sampler promoted flagged windows (the replay traffic carries
+        // the background adversarial fraction) — all inside the same
+        // zero-allocation budget, proving both rings are preallocated
+        let history = session.history_snapshot();
+        assert!(!history.fine.is_empty(), "steady state must flush fine history points");
+        let traces = session.trace_snapshot();
+        assert!(
+            !traces.flagged.is_empty(),
+            "replay traffic must promote flagged stage traces"
+        );
         assert_eq!(
             allocs, 0,
             "batch {batch}: {allocs} allocations ({bytes} bytes) across {windows} \

@@ -394,15 +394,25 @@ fn incident_bundles_are_byte_identical_across_batch_threads_and_shards() {
     }
 }
 
-/// Replaces the wall-clock latency fields and the stream-grouping knobs
-/// (batch size, fleet width) of a serialized incident bundle with
-/// zeros, leaving all seed-derived content intact.
+/// Replaces everything interleave- or wall-clock-dependent in a
+/// serialized observability document with zeros, leaving all
+/// seed-derived content intact: latency fields (wall-clock — this also
+/// flattens the `latency_tail` trace ring, whose promotions depend on
+/// machine timing), quarantine depths (the quarantine ring is
+/// fleet-shared, so its fill level depends on shard interleaving) and
+/// the stream-grouping knobs themselves (batch size, fleet width —
+/// recorded so replay can rebuild the run, legitimately different
+/// across configurations).
 fn scrub_incident(text: &str) -> String {
     fn scrub(value: &mut Json) {
         match value {
             Json::Obj(fields) => {
                 for (key, v) in fields {
-                    if key.contains("latency") || key == "batch" || key == "shards" {
+                    if key.contains("latency")
+                        || key.contains("quarantine")
+                        || key == "batch"
+                        || key == "shards"
+                    {
                         *v = Json::UInt(0);
                     } else {
                         scrub(v);
@@ -416,6 +426,86 @@ fn scrub_incident(text: &str) -> String {
     let mut doc = Json::parse(text).expect("bundle is valid JSON");
     scrub(&mut doc);
     doc.to_string()
+}
+
+/// The continuous-observability surface is part of the determinism
+/// contract: shard 0's multi-resolution history and its promoted
+/// flagged stage traces serialize to identical bytes at any batch
+/// size, worker-thread count, and fleet width. History points flush on
+/// stream-time sample boundaries and fold counters exactly, flagged
+/// trace promotion is verdict-driven — both are pure functions of the
+/// seed once the wall-clock fields (scrubbed, including the
+/// wall-clock-promoted `latency_tail` ring) are zeroed.
+#[test]
+fn shard_history_and_traces_are_byte_identical_across_batch_threads_and_shards() {
+    let base = {
+        let mut cfg = hmd::ServingConfig::quick(37);
+        cfg.samples = 250; // lull + burst: the burst flags adversarial windows
+        cfg
+    };
+    let artifacts = hmd::ServingSession::start(base.clone()).expect("train").artifacts_handle();
+
+    // shard 0's history + trace documents of an n-shard fleet, scrubbed
+    let run = |batch: usize, shards: usize| -> (String, String) {
+        let mut cfg = base.clone();
+        cfg.batch = batch;
+        cfg.calibration_samples = 0;
+        let mut fleet =
+            hmd::FleetSession::with_artifacts(&cfg, shards, artifacts.clone()).expect("fleet");
+        fleet.run().expect("fleet run");
+        let shard0 = &fleet.shards()[0];
+        let history = hmd::obs::history_json(&[shard0.history_snapshot()]).to_string();
+        let traces = hmd::recorder::traces_json(&[shard0.trace_snapshot()]).to_string();
+        (scrub_incident(&history), scrub_incident(&traces))
+    };
+
+    let mut variants = Vec::new();
+    for threads in [1usize, 4] {
+        par::set_thread_override(Some(threads));
+        for batch in [1usize, 7] {
+            for shards in [1usize, 3] {
+                variants.push((threads, batch, shards, run(batch, shards)));
+            }
+        }
+    }
+    par::set_thread_override(None);
+
+    let (_, _, _, reference) = &variants[0];
+    let (history, traces) = reference;
+
+    // the reference is non-trivial: 250 samples flush fine points at
+    // 64/128/192, each covering exactly FINE_EVERY windows
+    let doc = Json::parse(history).expect("history is valid JSON");
+    let fine = doc
+        .get("per_shard")
+        .and_then(|s| s.at(0))
+        .and_then(|s| s.get("fine"))
+        .and_then(Json::as_arr)
+        .expect("shard 0 fine tier");
+    assert_eq!(fine.len(), 3, "250 samples must flush exactly three fine points");
+    let covered: f64 =
+        fine.iter().filter_map(|p| p.get("samples").and_then(Json::as_f64)).sum();
+    assert_eq!(covered, 192.0, "fine points must each cover one flush interval");
+    let doc = Json::parse(traces).expect("traces are valid JSON");
+    let flagged = doc
+        .get("per_shard")
+        .and_then(|s| s.at(0))
+        .and_then(|s| s.get("flagged"))
+        .and_then(Json::as_arr)
+        .expect("shard 0 flagged ring");
+    assert!(!flagged.is_empty(), "the seeded burst must promote flagged traces");
+
+    for (threads, batch, shards, got) in &variants {
+        let (h, t) = got;
+        assert_eq!(
+            h, history,
+            "history bytes moved at batch {batch}, {threads} thread(s), {shards} shard(s)"
+        );
+        assert_eq!(
+            t, traces,
+            "trace bytes moved at batch {batch}, {threads} thread(s), {shards} shard(s)"
+        );
+    }
 }
 
 /// Shard 0 of a fleet replays the exact single-session stream: same

@@ -60,9 +60,17 @@ fn serving_breach_and_recovery_end_to_end() {
         "hmd_serving_samples_total",
         "hmd_serving_healthy 0",
         "hmd_serving_alert_firing",
+        "hmd_serving_latency_ns_bucket{le=",
+        "hmd_serving_latency_ns_bucket{le=\"+Inf\"}",
     ] {
         assert!(page.contains(series), "missing {series} in:\n{page}");
     }
+    // every observed window stamps its bucket's exemplar, so mid-burst
+    // at least one bucket line carries an OpenMetrics annotation
+    assert!(
+        page.contains(" # {sample=\""),
+        "latency buckets must carry exemplar annotations in:\n{page}"
+    );
 
     // Run out the budget: the burst windows slide clean and every
     // critical alert resolves.
@@ -242,6 +250,57 @@ fn fleet_merged_endpoint_with_concurrent_keepalive_scrapers() {
     assert_eq!(num("samples_total"), 600.0, "merged sample total");
     assert_eq!(num("shards"), 2.0);
 
+    // continuous-observability surface: the multi-resolution history
+    // document, merged across both shards with per-shard tiers attached
+    let (status, body) = get(&addr, "/history.json");
+    assert_eq!(status, 200);
+    let hist = Json::parse(&body).expect("history must be valid JSON");
+    assert_eq!(hist.get("schema").and_then(Json::as_str), Some("hmd-history-v1"));
+    let merged_fine = hist
+        .get("merged")
+        .and_then(|m| m.get("fine"))
+        .and_then(Json::as_arr)
+        .expect("merged fine tier");
+    assert!(!merged_fine.is_empty(), "300 samples per shard must flush fine points");
+    let per_shard = hist.get("per_shard").and_then(Json::as_arr).expect("per-shard tiers");
+    assert_eq!(per_shard.len(), 2, "one history tier set per shard");
+
+    // promoted stage traces: every cumulative stage array spans the
+    // pinned stage order and is monotone non-decreasing
+    let (status, body) = get(&addr, "/traces.json");
+    assert_eq!(status, 200);
+    let traces = Json::parse(&body).expect("traces must be valid JSON");
+    assert_eq!(traces.get("schema").and_then(Json::as_str), Some("hmd-traces-v1"));
+    let stages = traces.get("stages").and_then(Json::as_arr).expect("stage names");
+    assert_eq!(stages.len(), hmd::recorder::TRACE_STAGES.len());
+    let mut promoted = 0usize;
+    for shard in traces.get("per_shard").and_then(Json::as_arr).expect("per-shard traces") {
+        for ring in ["flagged", "latency_tail"] {
+            for t in shard.get(ring).and_then(Json::as_arr).expect(ring) {
+                promoted += 1;
+                let ends: Vec<f64> = t
+                    .get("stage_latency_ns")
+                    .and_then(Json::as_arr)
+                    .expect("stage array")
+                    .iter()
+                    .filter_map(Json::as_f64)
+                    .collect();
+                assert_eq!(ends.len(), stages.len(), "one stage end per pinned stage");
+                assert!(
+                    ends.windows(2).all(|w| w[0] <= w[1]),
+                    "cumulative stage ends must be monotone: {ends:?}"
+                );
+            }
+        }
+    }
+    assert!(promoted >= 1, "the burst must promote at least one trace");
+
+    // the dashboard is one self-contained page that polls the history
+    let (status, page) = get(&addr, "/dashboard");
+    assert_eq!(status, 200);
+    assert!(page.starts_with("<!doctype html>"), "dashboard must be a full document");
+    assert!(page.contains("/history.json"), "dashboard must poll the history endpoint");
+
     let (status, _) = get(&addr, "/quit");
     assert_eq!(status, 200);
     assert!(fleet.quit_requested(), "/quit must reach every shard");
@@ -340,6 +399,54 @@ fn model_hot_swap_under_scrape_load() {
     let (status, _) = get(&addr, "/quit");
     assert_eq!(status, 200);
     fleet.finish();
+}
+
+/// Exemplar identity: every latency-histogram exemplar names a global
+/// sample index, and with the flight recorder deep enough to retain the
+/// whole run, that index must resolve to a recorded window whose
+/// generation matches. Model-latency exemplars additionally carry the
+/// exact nanosecond value the recorder stamped — the exemplar is a
+/// live cross-reference from the exposition into the forensic ring,
+/// not a statistical echo.
+#[test]
+fn latency_exemplars_resolve_to_flight_recorder_windows() {
+    let mut cfg = ServingConfig::quick(11);
+    cfg.samples = 250;
+    cfg.recorder = 250; // the ring retains every served window
+    let mut session = ServingSession::start(cfg).expect("training succeeds");
+    while session.step().expect("step") {}
+
+    let snap = session.snapshot();
+    let ring = session.flight_recorder().expect("recorder is on");
+    let windows = ring.snapshot_windows();
+    assert_eq!(windows.len(), 250, "the ring must retain the whole run");
+
+    let mut resolved = 0usize;
+    for e in snap.latency_exemplars.iter().chain(&snap.model_latency_exemplars).flatten() {
+        let w = windows
+            .iter()
+            .find(|w| w.sample == e.sample)
+            .unwrap_or_else(|| panic!("exemplar sample {} is not in the ring", e.sample));
+        assert_eq!(e.shard, 0, "a single session stamps shard 0");
+        assert_eq!(
+            w.generation, e.generation,
+            "exemplar at sample {} pins the wrong generation",
+            e.sample
+        );
+        resolved += 1;
+    }
+    assert!(resolved >= 2, "a 250-window run must populate exemplars");
+
+    // the model-latency store records the same nanosecond value the
+    // flight recorder stamped for that window
+    for e in snap.model_latency_exemplars.iter().flatten() {
+        let w = windows.iter().find(|w| w.sample == e.sample).expect("resolved above");
+        assert_eq!(
+            w.model_latency_ns, e.value,
+            "model-latency exemplar at sample {} diverged from the recorded stamp",
+            e.sample
+        );
+    }
 }
 
 /// Ring wraparound: with a 16-deep flight recorder, an incident
